@@ -1,0 +1,154 @@
+// Package repro's root benchmark harness: one benchmark per
+// experiment of DESIGN.md §3 (each regenerates a figure or claim of
+// the paper), plus kernel benchmarks for the substrates on the
+// critical path (exact simplex, edge coloring, reconstruction,
+// simulators).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"io"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+)
+
+// benchExperiment times a full experiment regeneration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for _, e := range experiments.Registry() {
+		if e.ID != id {
+			continue
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := e.Run(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return
+	}
+	b.Fatalf("unknown experiment %s", id)
+}
+
+func BenchmarkE1MasterSlave(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2Scatter(b *testing.B)          { benchExperiment(b, "E2") }
+func BenchmarkE3Multicast(b *testing.B)        { benchExperiment(b, "E3") }
+func BenchmarkE4Broadcast(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5Asymptotic(b *testing.B)       { benchExperiment(b, "E5") }
+func BenchmarkE6Startup(b *testing.B)          { benchExperiment(b, "E6") }
+func BenchmarkE7FixedPeriod(b *testing.B)      { benchExperiment(b, "E7") }
+func BenchmarkE8Adaptive(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9SendRecv(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10Discovery(b *testing.B)       { benchExperiment(b, "E10") }
+func BenchmarkE11DAG(b *testing.B)             { benchExperiment(b, "E11") }
+func BenchmarkE12Collectives(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13Baselines(b *testing.B)       { benchExperiment(b, "E13") }
+func BenchmarkE14Solvers(b *testing.B)         { benchExperiment(b, "E14") }
+func BenchmarkE15Divisible(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16Multiport(b *testing.B)       { benchExperiment(b, "E16") }
+func BenchmarkE17GreedyMulticast(b *testing.B) { benchExperiment(b, "E17") }
+
+// Kernel benchmarks: the building blocks, at growing platform sizes.
+
+func randomPlatform(n int) *platform.Platform {
+	rng := rand.New(rand.NewSource(int64(n)))
+	return platform.RandomConnected(rng, n, n, 5, 5, 0.15)
+}
+
+func BenchmarkSolveMasterSlave8(b *testing.B)  { benchSolveMS(b, 8) }
+func BenchmarkSolveMasterSlave16(b *testing.B) { benchSolveMS(b, 16) }
+func BenchmarkSolveMasterSlave24(b *testing.B) { benchSolveMS(b, 24) }
+
+func benchSolveMS(b *testing.B, n int) {
+	p := randomPlatform(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveMasterSlave(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveScatter8(b *testing.B) {
+	p := randomPlatform(8)
+	targets := []int{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveScatter(p, 0, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct16(b *testing.B) {
+	p := randomPlatform(16)
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := schedule.Reconstruct(ms); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeriodicSim100Periods(b *testing.B) {
+	p := platform.Figure1()
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per, err := schedule.Reconstruct(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPeriodicMasterSlave(per, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMakespan100kTasks(b *testing.B) {
+	p := platform.Figure1()
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per, err := schedule.Reconstruct(ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := big.NewInt(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.MakespanPeriods(per, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePackingFigure2(b *testing.B) {
+	p := platform.Figure2()
+	src := p.NodeByName("P0")
+	targets := platform.Figure2Targets(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveTreePacking(p, src, targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Command experiments regenerates the paper's figures and claims.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments E3 E5      # run selected experiments
+//	experiments -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		for _, e := range reg {
+			fmt.Printf("%-5s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range flag.Args() {
+		want[a] = true
+	}
+	ran := 0
+	for _, e := range reg {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Desc)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiment matched %v (try -list)\n", flag.Args())
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,86 @@
+// Command platgen generates platform descriptions in the JSON format
+// consumed by ssched.
+//
+// Usage:
+//
+//	platgen -kind random -n 10 -extra 8 -seed 7 > platform.json
+//	platgen -kind figure1           # the paper's Figure 1
+//	platgen -kind figure2           # the multicast counterexample
+//	platgen -kind star -n 5
+//	platgen -kind tree -fanout 2 -depth 3
+//	platgen -kind grid -rows 3 -cols 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "platgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("platgen", flag.ContinueOnError)
+	kind := fs.String("kind", "random", "figure1|figure2|random|star|tree|grid|ring|clique")
+	n := fs.Int("n", 8, "number of nodes (random/star/ring/clique)")
+	extra := fs.Int("extra", 6, "extra random links (random)")
+	seed := fs.Int64("seed", 1, "random seed")
+	maxW := fs.Int64("maxw", 5, "max node weight")
+	maxC := fs.Int64("maxc", 5, "max edge cost")
+	forward := fs.Float64("forwarders", 0.1, "fraction of forwarder-only nodes (random)")
+	fanout := fs.Int("fanout", 2, "tree fanout")
+	depth := fs.Int("depth", 3, "tree depth")
+	rows := fs.Int("rows", 3, "grid rows")
+	cols := fs.Int("cols", 3, "grid cols")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	var p *platform.Platform
+	switch *kind {
+	case "figure1":
+		p = platform.Figure1()
+	case "figure2":
+		p = platform.Figure2()
+	case "random":
+		p = platform.RandomConnected(rng, *n, *extra, *maxW, *maxC, *forward)
+	case "star":
+		ws := make([]platform.Weight, *n)
+		cs := make([]rat.Rat, *n)
+		for i := range ws {
+			ws[i] = platform.WInt(1 + rng.Int63n(*maxW))
+			cs[i] = rat.FromInt(1 + rng.Int63n(*maxC))
+		}
+		p = platform.Star(platform.WInt(1+rng.Int63n(*maxW)), ws, cs)
+	case "tree":
+		p = platform.Tree(rng, *fanout, *depth, *maxW, *maxC)
+	case "grid":
+		p = platform.Grid(rng, *rows, *cols, *maxW, *maxC)
+	case "ring":
+		p = platform.Ring(rng, *n, *maxW, *maxC)
+	case "clique":
+		p = platform.Clique(rng, *n, *maxW, *maxC)
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(w, p.DOT())
+		return nil
+	}
+	return p.WriteJSON(w)
+}

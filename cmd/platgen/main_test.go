@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestAllKindsProduceValidJSON(t *testing.T) {
+	kinds := [][]string{
+		{"-kind", "figure1"},
+		{"-kind", "figure2"},
+		{"-kind", "random", "-n", "6", "-extra", "4", "-seed", "3"},
+		{"-kind", "star", "-n", "4"},
+		{"-kind", "tree", "-fanout", "2", "-depth", "2"},
+		{"-kind", "grid", "-rows", "2", "-cols", "3"},
+		{"-kind", "ring", "-n", "5"},
+		{"-kind", "clique", "-n", "4"},
+	}
+	for _, args := range kinds {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+		p, err := platform.ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("%v: invalid JSON round trip: %v", args, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-kind", "random", "-seed", "9"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "random", "-seed", "9"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different platforms")
+	}
+}
+
+func TestDOTFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "figure1", "-dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph platform") {
+		t.Fatalf("dot output:\n%s", buf.String())
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "mystery"}, &buf); err == nil {
+		t.Fatal("expected error")
+	}
+}

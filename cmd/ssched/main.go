@@ -1,0 +1,220 @@
+// Command ssched solves steady-state scheduling problems on a
+// platform description and prints the LP solution and, where the
+// theory allows it (§4), the reconstructed periodic schedule.
+//
+// Usage:
+//
+//	ssched -problem masterslave -master P1 platform.json
+//	ssched -problem scatter -source P1 -targets P4,P5,P6 platform.json
+//	ssched -problem multicast -source P0 -targets P5,P6 platform.json
+//	ssched -problem broadcast -source P0 platform.json
+//	ssched -problem reduce -root P1 platform.json
+//	ssched -dot platform.json            # emit Graphviz and exit
+//
+// With no file argument the paper's Figure 1 platform is used
+// (Figure 2 for -problem multicast).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/schedule"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ssched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("ssched", flag.ContinueOnError)
+	problem := fs.String("problem", "masterslave", "masterslave|scatter|multicast|broadcast|reduce")
+	master := fs.String("master", "", "master/root node name (default: first node)")
+	source := fs.String("source", "", "source node name (default: first node)")
+	root := fs.String("root", "", "reduce root node name (default: first node)")
+	targets := fs.String("targets", "", "comma-separated target node names")
+	sendrecv := fs.Bool("sendrecv", false, "use the send-OR-receive port model (§5.1.1)")
+	dot := fs.Bool("dot", false, "print the platform in Graphviz DOT format and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := loadPlatform(fs.Args(), *problem)
+	if err != nil {
+		return err
+	}
+	if *dot {
+		fmt.Fprint(w, p.DOT())
+		return nil
+	}
+
+	nodeByName := func(name string, fallback int) (int, error) {
+		if name == "" {
+			return fallback, nil
+		}
+		id := p.NodeByName(name)
+		if id < 0 {
+			return 0, fmt.Errorf("unknown node %q", name)
+		}
+		return id, nil
+	}
+	parseTargets := func() ([]int, error) {
+		if *targets == "" {
+			return nil, fmt.Errorf("-targets required for %s", *problem)
+		}
+		var out []int
+		for _, name := range strings.Split(*targets, ",") {
+			id := p.NodeByName(strings.TrimSpace(name))
+			if id < 0 {
+				return nil, fmt.Errorf("unknown target %q", name)
+			}
+			out = append(out, id)
+		}
+		return out, nil
+	}
+
+	pm := core.SendAndReceive
+	if *sendrecv {
+		pm = core.SendOrReceive
+	}
+
+	switch *problem {
+	case "masterslave":
+		m, err := nodeByName(*master, 0)
+		if err != nil {
+			return err
+		}
+		ms, err := core.SolveMasterSlavePort(p, m, pm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "ntask(G) = %v = %.6f tasks/time-unit (%s model)\n",
+			ms.Throughput, ms.Throughput.Float64(), pm)
+		for i := 0; i < p.NumNodes(); i++ {
+			fmt.Fprintf(w, "  alpha[%s] = %v\n", p.Name(i), ms.Alpha[i])
+		}
+		for e := 0; e < p.NumEdges(); e++ {
+			if ms.S[e].Sign() > 0 {
+				ed := p.Edge(e)
+				fmt.Fprintf(w, "  s[%s->%s] = %v\n", p.Name(ed.From), p.Name(ed.To), ms.S[e])
+			}
+		}
+		if pm == core.SendAndReceive {
+			per, err := schedule.Reconstruct(ms)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "schedule: %v\n", per)
+			for i, s := range per.Slots {
+				fmt.Fprintf(w, "  slot %d (dur %v):", i, s.Dur)
+				for _, e := range s.Edges {
+					ed := p.Edge(e)
+					fmt.Fprintf(w, " %s->%s", p.Name(ed.From), p.Name(ed.To))
+				}
+				fmt.Fprintln(w)
+			}
+		} else {
+			ev, err := schedule.EvaluateSendRecv(ms)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "greedy general-graph schedule: achieved %v of bound %v (%d slots)\n",
+				ev.Achieved, ev.Bound, ev.Slots)
+		}
+	case "scatter":
+		s, err := nodeByName(*source, 0)
+		if err != nil {
+			return err
+		}
+		tg, err := parseTargets()
+		if err != nil {
+			return err
+		}
+		sc, err := core.SolveScatterPort(p, s, tg, pm)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "TP = %v = %.6f scatters/time-unit\n", sc.Throughput, sc.Throughput.Float64())
+		if pm == core.SendAndReceive {
+			sp, err := schedule.ReconstructScatter(sc)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "schedule: %v\n", sp)
+		}
+	case "multicast":
+		s, err := nodeByName(*source, 0)
+		if err != nil {
+			return err
+		}
+		tg, err := parseTargets()
+		if err != nil {
+			return err
+		}
+		sum, err := core.SolveMulticastSum(p, s, tg)
+		if err != nil {
+			return err
+		}
+		bound, err := core.SolveMulticastBound(p, s, tg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "sum-LP (achievable)  TP = %v\n", sum.Throughput)
+		fmt.Fprintf(w, "max-LP (upper bound) TP = %v\n", bound.Throughput)
+		if p.NumEdges() <= 24 {
+			pack, err := core.SolveTreePacking(p, s, tg)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "exact tree packing   TP = %v (%d trees)\n", pack.Throughput, pack.NumTrees)
+		} else {
+			fmt.Fprintf(w, "exact tree packing skipped (platform too large; the problem is NP-hard)\n")
+		}
+	case "broadcast":
+		s, err := nodeByName(*source, 0)
+		if err != nil {
+			return err
+		}
+		b, err := core.SolveBroadcastBound(p, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "broadcast TP = %v (achievable per [5])\n", b.Throughput)
+	case "reduce":
+		r, err := nodeByName(*root, 0)
+		if err != nil {
+			return err
+		}
+		red, err := core.SolveReduceBound(p, r)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "reduce TP = %v\n", red.Throughput)
+	default:
+		return fmt.Errorf("unknown problem %q", *problem)
+	}
+	return nil
+}
+
+func loadPlatform(args []string, problem string) (*platform.Platform, error) {
+	if len(args) == 0 {
+		if problem == "multicast" || problem == "broadcast" {
+			return platform.Figure2(), nil
+		}
+		return platform.Figure1(), nil
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return platform.ReadJSON(f)
+}

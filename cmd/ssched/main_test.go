@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestMasterSlaveDefaultFigure1(t *testing.T) {
+	out := runCLI(t, "-problem", "masterslave", "-master", "P1")
+	if !strings.Contains(out, "ntask(G) = 4/3") {
+		t.Fatalf("missing throughput:\n%s", out)
+	}
+	if !strings.Contains(out, "slot 0") {
+		t.Fatalf("missing schedule slots:\n%s", out)
+	}
+}
+
+func TestMulticastDefaultFigure2(t *testing.T) {
+	out := runCLI(t, "-problem", "multicast", "-source", "P0", "-targets", "P5,P6")
+	for _, want := range []string{
+		"sum-LP (achievable)  TP = 1/2",
+		"max-LP (upper bound) TP = 1",
+		"exact tree packing   TP = 3/4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterAndBroadcastAndReduce(t *testing.T) {
+	if out := runCLI(t, "-problem", "scatter", "-source", "P1", "-targets", "P4,P5"); !strings.Contains(out, "TP = ") {
+		t.Fatalf("scatter output:\n%s", out)
+	}
+	if out := runCLI(t, "-problem", "broadcast", "-source", "P0"); !strings.Contains(out, "broadcast TP = 1/2") {
+		t.Fatalf("broadcast output:\n%s", out)
+	}
+	if out := runCLI(t, "-problem", "reduce", "-root", "P1"); !strings.Contains(out, "reduce TP = ") {
+		t.Fatalf("reduce output:\n%s", out)
+	}
+}
+
+func TestSendRecvFlag(t *testing.T) {
+	out := runCLI(t, "-problem", "masterslave", "-master", "P1", "-sendrecv")
+	if !strings.Contains(out, "send-or-receive") || !strings.Contains(out, "greedy general-graph schedule") {
+		t.Fatalf("send-or-receive output:\n%s", out)
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := runCLI(t, "-dot")
+	if !strings.Contains(out, "digraph platform") {
+		t.Fatalf("dot output:\n%s", out)
+	}
+}
+
+func TestPlatformFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	json := `{"nodes":[{"name":"M","w":"2"},{"name":"W","w":"1"}],
+	          "edges":[{"from":"M","to":"W","c":"1"}]}`
+	if err := os.WriteFile(path, []byte(json), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-problem", "masterslave", "-master", "M", path)
+	// 1/2 (master) + 1 (worker fully fed) = 3/2.
+	if !strings.Contains(out, "ntask(G) = 3/2") {
+		t.Fatalf("file platform output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-problem", "nope"},
+		{"-problem", "masterslave", "-master", "ZZZ"},
+		{"-problem", "scatter", "-source", "P1"},            // missing targets
+		{"-problem", "scatter", "-targets", "ZZZ"},          // unknown target
+		{"-problem", "masterslave", "/does/not/exist.json"}, // bad file
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

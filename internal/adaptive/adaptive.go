@@ -1,0 +1,152 @@
+// Package adaptive implements the §5.5 dynamic version of
+// steady-state scheduling: "divide the scheduling into phases; during
+// each phase, machine and network parameters are collected ... this
+// information will then guide the scheduling decisions for the next
+// phase". It re-solves the steady-state LP each epoch from NWS-style
+// forecasts (internal/forecast) and turns the activity variables into
+// a work-allocation policy for the online simulator.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/forecast"
+	"repro/internal/platform"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+// maxDen bounds the denominators of measured values fed into the
+// exact LP (continued-fraction approximation of float measurements).
+const maxDen = 1 << 12
+
+// QuotaPolicy serves, among the children requesting work, the one
+// furthest behind its steady-state rate. Rates come from the current
+// LP solution; SetRates swaps them at epoch boundaries.
+type QuotaPolicy struct {
+	// rate[e] is the target task rate (tasks per time unit) of
+	// platform edge e under the current LP solution.
+	rate []float64
+	tree []int
+}
+
+// NewQuotaPolicy builds a policy over the given overlay tree.
+func NewQuotaPolicy(tree []int, nEdges int) *QuotaPolicy {
+	return &QuotaPolicy{rate: make([]float64, nEdges), tree: tree}
+}
+
+// SetRates installs the per-edge target rates of a new LP solution.
+func (q *QuotaPolicy) SetRates(ms *core.MasterSlave) {
+	for e := range q.rate {
+		q.rate[e] = ms.TasksPerUnit(e).Float64()
+	}
+}
+
+// Pick implements sim.Policy: maximum deficit = rate*now - sent.
+func (q *QuotaPolicy) Pick(from int, pending []int, st *sim.OnlineState) int {
+	best, bestDef := 0, -1e300
+	for i, child := range pending {
+		e := q.tree[child]
+		def := q.rate[e]*st.Now - float64(st.SentTo[e])
+		if def > bestDef {
+			best, bestDef = i, def
+		}
+	}
+	return best
+}
+
+// Name implements sim.Policy.
+func (q *QuotaPolicy) Name() string { return "lp-quota" }
+
+// Controller re-estimates the platform each epoch and re-solves the
+// steady-state LP, feeding the new rates to its QuotaPolicy.
+type Controller struct {
+	base   *platform.Platform // nominal platform (topology + base costs)
+	master int
+	policy *QuotaPolicy
+
+	wEst []forecast.Predictor // per node: observed seconds/task
+	cEst []forecast.Predictor // per edge: observed seconds/file
+
+	// Resolves counts LP re-solves; LastThroughput is the latest LP
+	// optimum (on the estimated platform).
+	Resolves       int
+	LastThroughput rat.Rat
+}
+
+// NewController builds a controller for the nominal platform. The
+// initial rates come from the LP on the nominal values.
+func NewController(p *platform.Platform, master int, tree []int) (*Controller, *QuotaPolicy, error) {
+	pol := NewQuotaPolicy(tree, p.NumEdges())
+	ms, err := core.SolveMasterSlave(p, master)
+	if err != nil {
+		return nil, nil, fmt.Errorf("adaptive: initial LP: %w", err)
+	}
+	pol.SetRates(ms)
+	c := &Controller{
+		base:           p,
+		master:         master,
+		policy:         pol,
+		wEst:           make([]forecast.Predictor, p.NumNodes()),
+		cEst:           make([]forecast.Predictor, p.NumEdges()),
+		LastThroughput: ms.Throughput,
+	}
+	for i := range c.wEst {
+		c.wEst[i] = forecast.NewAdaptive()
+	}
+	for e := range c.cEst {
+		c.cEst[e] = forecast.NewAdaptive()
+	}
+	return c, pol, nil
+}
+
+// OnEpoch is wired into sim.OnlineConfig: it records the epoch's
+// observations and re-solves the LP on the forecast platform.
+func (c *Controller) OnEpoch(now float64, obs *sim.EpochObservation) {
+	for i := range c.wEst {
+		if obs.EffectiveW[i] > 0 {
+			c.wEst[i].Update(obs.EffectiveW[i])
+		}
+	}
+	for e := range c.cEst {
+		if obs.EffectiveC[e] > 0 {
+			c.cEst[e].Update(obs.EffectiveC[e])
+		}
+	}
+	est := c.EstimatedPlatform()
+	ms, err := core.SolveMasterSlave(est, c.master)
+	if err != nil {
+		// Keep the previous rates; a transient bad estimate must not
+		// crash the run.
+		return
+	}
+	c.Resolves++
+	c.LastThroughput = ms.Throughput
+	c.policy.SetRates(ms)
+}
+
+// EstimatedPlatform returns the forecast platform: same topology as
+// the nominal one, with node weights and edge costs replaced by
+// forecasts wherever at least one observation exists.
+func (c *Controller) EstimatedPlatform() *platform.Platform {
+	q := platform.New()
+	for i := 0; i < c.base.NumNodes(); i++ {
+		w := c.base.Weight(i)
+		if !w.Inf {
+			if f := c.wEst[i].Predict(); f > 0 {
+				w = platform.W(rat.ApproxFloat(f, maxDen))
+			}
+		}
+		q.AddNode(c.base.Name(i), w)
+	}
+	for _, ed := range c.base.Edges() {
+		cost := ed.C
+		eIdx := q.NumEdges()
+		if f := c.cEst[eIdx].Predict(); f > 0 {
+			cost = rat.ApproxFloat(f, maxDen)
+		}
+		q.AddEdge(ed.From, ed.To, cost)
+	}
+	return q
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rat"
+	"repro/internal/sim"
+)
+
+func star(t *testing.T) (*platform.Platform, []int) {
+	t.Helper()
+	p := platform.Star(platform.WInt(4),
+		[]platform.Weight{platform.WInt(1), platform.WInt(2), platform.WInt(8)},
+		[]rat.Rat{rat.FromInt(1), rat.FromInt(2), rat.FromInt(1)})
+	tree, err := sim.ShortestPathTree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tree
+}
+
+func runPolicy(t *testing.T, p *platform.Platform, tree []int, pol sim.Policy, tasks int) *sim.OnlineResult {
+	t.Helper()
+	res, err := sim.RunOnlineMasterSlave(sim.OnlineConfig{
+		Platform: p, Tree: tree, Master: 0, Tasks: tasks, Policy: pol,
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", pol.Name(), err)
+	}
+	if res.Done != tasks {
+		t.Fatalf("%s: done %d != %d", pol.Name(), res.Done, tasks)
+	}
+	return res
+}
+
+func TestAllPoliciesComplete(t *testing.T) {
+	p, tree := star(t)
+	policies := []sim.Policy{
+		FCFS{},
+		NewRoundRobin(),
+		FastestFirst{},
+		BandwidthCentric{Tree: tree},
+		Random{Rng: rand.New(rand.NewSource(9))},
+	}
+	for _, pol := range policies {
+		res := runPolicy(t, p, tree, pol, 300)
+		if res.Makespan <= 0 {
+			t.Fatalf("%s: zero makespan", pol.Name())
+		}
+	}
+}
+
+func TestPoliciesRespectSteadyStateBound(t *testing.T) {
+	// No policy can asymptotically beat ntask(G): tasks/time <= ntask.
+	p, tree := star(t)
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := ms.Throughput.Float64()
+	const tasks = 3000
+	for _, pol := range []sim.Policy{FCFS{}, FastestFirst{}, BandwidthCentric{Tree: tree}} {
+		res := runPolicy(t, p, tree, pol, tasks)
+		rate := float64(tasks) / res.Makespan
+		if rate > opt*1.001 {
+			t.Fatalf("%s achieves %v tasks/unit, beating the LP optimum %v",
+				pol.Name(), rate, opt)
+		}
+		t.Logf("%s: rate %.4f vs optimum %.4f (efficiency %.1f%%)",
+			pol.Name(), rate, opt, 100*rate/opt)
+	}
+}
+
+func TestBandwidthCentricBeatsFastestFirstWhenCommBound(t *testing.T) {
+	// A fast worker behind a terrible link vs a modest worker behind
+	// a good link: fastest-first wastes the master's port feeding the
+	// fast-but-far machine — the [11] scenario.
+	p := platform.Star(platform.WInt(50),
+		[]platform.Weight{platform.WInt(1), platform.WInt(3)},
+		[]rat.Rat{rat.FromInt(10), rat.FromInt(1)})
+	tree, err := sim.ShortestPathTree(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tasks = 400
+	ff := runPolicy(t, p, tree, FastestFirst{}, tasks)
+	bc := runPolicy(t, p, tree, BandwidthCentric{Tree: tree}, tasks)
+	if bc.Makespan >= ff.Makespan {
+		t.Fatalf("bandwidth-centric (%.1f) not better than fastest-first (%.1f)",
+			bc.Makespan, ff.Makespan)
+	}
+}
+
+func TestListScheduleMakespan(t *testing.T) {
+	p, tree := star(t)
+	m1, err := ListScheduleMakespan(p, 0, tree, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One task: best single resource. Master computes in 4 with no
+	// comm; worker 0 needs 1 (comm) + 1 (compute) = 2.
+	if m1 != 2 {
+		t.Fatalf("1-task EFT = %v, want 2", m1)
+	}
+	m100, err := ListScheduleMakespan(p, 0, tree, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m100 <= m1 {
+		t.Fatal("makespan must grow with n")
+	}
+	// Compute-only bound is a true lower bound.
+	lb, err := ComputeOnlyMakespan(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m100 < lb {
+		t.Fatalf("EFT %v beats compute-only bound %v", m100, lb)
+	}
+}
+
+func TestListScheduleRespectsSteadyStateAsymptotics(t *testing.T) {
+	p, tree := star(t)
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	m, err := ListScheduleMakespan(p, 0, tree, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := float64(n) / ms.Throughput.Float64()
+	if m < lb*0.999 {
+		t.Fatalf("EFT makespan %v beats steady-state bound %v", m, lb)
+	}
+	t.Logf("EFT: %.1f vs steady-state bound %.1f (ratio %.3f)", m, lb, m/lb)
+}
+
+func TestComputeOnlyMakespan(t *testing.T) {
+	p := platform.Star(platform.WInt(2),
+		[]platform.Weight{platform.WInt(2)}, []rat.Rat{rat.One()})
+	m, err := ComputeOnlyMakespan(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two w=2 nodes, 10 tasks -> 5 each -> 10 time units.
+	if m != 10 {
+		t.Fatalf("compute-only = %v, want 10", m)
+	}
+}
+
+func TestListScheduleErrors(t *testing.T) {
+	p, tree := star(t)
+	if _, err := ListScheduleMakespan(p, 0, tree, 0); err == nil {
+		t.Fatal("expected n error")
+	}
+	if _, err := ListScheduleMakespan(p, 0, tree[:1], 5); err == nil {
+		t.Fatal("expected tree error")
+	}
+	q := platform.New()
+	q.AddNode("F", platform.WInf())
+	if _, err := ComputeOnlyMakespan(q, 3); err == nil {
+		t.Fatal("expected no-compute error")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, pol := range []sim.Policy{
+		FCFS{}, NewRoundRobin(), FastestFirst{},
+		BandwidthCentric{}, Random{Rng: rand.New(rand.NewSource(1))},
+	} {
+		if pol.Name() == "" || names[pol.Name()] {
+			t.Fatalf("bad or duplicate policy name %q", pol.Name())
+		}
+		names[pol.Name()] = true
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rrp := NewRoundRobin()
+	st := &sim.OnlineState{}
+	picks := map[int]int{}
+	for i := 0; i < 6; i++ {
+		picks[rrp.Pick(0, []int{10, 11, 12}, st)]++
+	}
+	if picks[0] != 2 || picks[1] != 2 || picks[2] != 2 {
+		t.Fatalf("round robin not fair: %v", picks)
+	}
+}

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// ListScheduleMakespan computes the makespan of the classical
+// earliest-finish-time list schedule for n identical independent
+// tasks on a tree overlay (HEFT degenerates to EFT when all tasks are
+// equal): tasks are assigned one by one to the resource that would
+// finish them soonest, respecting the one-port constraint on every
+// hop of the task file's route from the master.
+//
+// This is the offline makespan-oriented strawman of §1: polynomial,
+// reasonable, and measurably worse than the steady-state schedule on
+// communication-bound platforms because it reasons per-task instead
+// of per-rate.
+func ListScheduleMakespan(p *platform.Platform, master int, tree []int, n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("baseline: n must be positive")
+	}
+	nn := p.NumNodes()
+	if len(tree) != nn {
+		return 0, fmt.Errorf("baseline: tree size mismatch")
+	}
+	// Route (edge list, master -> node) per node.
+	routes := make([][]int, nn)
+	for v := 0; v < nn; v++ {
+		if v == master {
+			continue
+		}
+		var rev []int
+		at := v
+		for at != master {
+			e := tree[at]
+			if e < 0 || p.Edge(e).To != at {
+				return 0, fmt.Errorf("baseline: malformed tree at node %d", v)
+			}
+			rev = append(rev, e)
+			at = p.Edge(e).From
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		routes[v] = rev
+	}
+
+	var (
+		sendFree = make([]float64, nn) // next time a node's out-port is free
+		recvFree = make([]float64, nn) // next time a node's in-port is free
+		cpuFree  = make([]float64, nn) // next time a node's cpu is free
+	)
+	makespan := 0.0
+	for task := 0; task < n; task++ {
+		bestNode, bestFinish := -1, 0.0
+		// Candidate evaluation is non-destructive: recompute the
+		// finish time for each node, pick the min, then commit.
+		for v := 0; v < nn; v++ {
+			if !p.CanCompute(v) {
+				continue
+			}
+			finish := finishTime(p, v, routes[v], sendFree, recvFree, cpuFree, false)
+			if bestNode < 0 || finish < bestFinish {
+				bestNode, bestFinish = v, finish
+			}
+		}
+		if bestNode < 0 {
+			return 0, fmt.Errorf("baseline: no compute node")
+		}
+		finishTime(p, bestNode, routes[bestNode], sendFree, recvFree, cpuFree, true)
+		if bestFinish > makespan {
+			makespan = bestFinish
+		}
+	}
+	return makespan, nil
+}
+
+// finishTime computes (and optionally commits) the earliest finish
+// time of one task executed on node v, whose file travels hop by hop
+// from the master.
+func finishTime(p *platform.Platform, v int, route []int, sendFree, recvFree, cpuFree []float64, commit bool) float64 {
+	t := 0.0
+	// Each hop waits for the sender's out-port and receiver's in-port.
+	for _, e := range route {
+		ed := p.Edge(e)
+		start := t
+		if sendFree[ed.From] > start {
+			start = sendFree[ed.From]
+		}
+		if recvFree[ed.To] > start {
+			start = recvFree[ed.To]
+		}
+		end := start + ed.C.Float64()
+		if commit {
+			sendFree[ed.From] = end
+			recvFree[ed.To] = end
+		}
+		t = end
+	}
+	start := t
+	if cpuFree[v] > start {
+		start = cpuFree[v]
+	}
+	end := start + p.Weight(v).Val.Float64()
+	if commit {
+		cpuFree[v] = end
+	}
+	return end
+}
+
+// taskHeapItem supports SelfishMakespan.
+type taskHeapItem struct {
+	free float64
+	node int
+}
+
+type taskHeap []taskHeapItem
+
+func (h taskHeap) Len() int            { return len(h) }
+func (h taskHeap) Less(i, j int) bool  { return h[i].free < h[j].free }
+func (h taskHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x interface{}) { *h = append(*h, x.(taskHeapItem)) }
+func (h *taskHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ComputeOnlyMakespan is the no-communication lower bound: n tasks
+// spread over all compute nodes ignoring every transfer. No schedule
+// can beat it, and the gap to the steady-state makespan quantifies
+// how communication-bound the platform is.
+func ComputeOnlyMakespan(p *platform.Platform, n int) (float64, error) {
+	var h taskHeap
+	for v := 0; v < p.NumNodes(); v++ {
+		if p.CanCompute(v) {
+			h = append(h, taskHeapItem{0, v})
+		}
+	}
+	if len(h) == 0 {
+		return 0, fmt.Errorf("baseline: no compute node")
+	}
+	heap.Init(&h)
+	makespan := 0.0
+	for task := 0; task < n; task++ {
+		it := heap.Pop(&h).(taskHeapItem)
+		end := it.free + p.Weight(it.node).Val.Float64()
+		if end > makespan {
+			makespan = end
+		}
+		heap.Push(&h, taskHeapItem{end, it.node})
+	}
+	return makespan, nil
+}

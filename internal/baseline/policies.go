@@ -1,0 +1,105 @@
+// Package baseline implements the makespan-oriented heuristics that
+// steady-state scheduling is evaluated against (§1: "makespan
+// minimization turned out to be NP-hard in most practical
+// situations"; practitioners therefore run greedy online policies).
+//
+// The demand-driven policies plug into sim.RunOnlineMasterSlave; the
+// offline list scheduler (heft.go) provides the classical
+// earliest-finish-time estimate.
+package baseline
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// FCFS serves child requests in arrival order.
+type FCFS struct{}
+
+// Pick implements sim.Policy.
+func (FCFS) Pick(from int, pending []int, st *sim.OnlineState) int { return 0 }
+
+// Name implements sim.Policy.
+func (FCFS) Name() string { return "fcfs" }
+
+// RoundRobin cycles through children regardless of arrival order.
+type RoundRobin struct {
+	next map[int]int
+}
+
+// NewRoundRobin returns a round-robin policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{next: map[int]int{}} }
+
+// Pick implements sim.Policy.
+func (rrp *RoundRobin) Pick(from int, pending []int, st *sim.OnlineState) int {
+	i := rrp.next[from] % len(pending)
+	rrp.next[from]++
+	return i
+}
+
+// Name implements sim.Policy.
+func (rrp *RoundRobin) Name() string { return "round-robin" }
+
+// FastestFirst serves the requesting child with the smallest
+// computation weight w (the "give work to the fastest machine"
+// folk heuristic; blind to communication costs).
+type FastestFirst struct{}
+
+// Pick implements sim.Policy.
+func (FastestFirst) Pick(from int, pending []int, st *sim.OnlineState) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		wi := st.P.Weight(pending[i])
+		wb := st.P.Weight(pending[best])
+		switch {
+		case wb.Inf && !wi.Inf:
+			best = i
+		case !wb.Inf && !wi.Inf && wi.Val.Less(wb.Val):
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements sim.Policy.
+func (FastestFirst) Name() string { return "fastest-first" }
+
+// BandwidthCentric serves the requesting child with the cheapest
+// incoming link c, the bandwidth-centric principle of Carter et al.
+// [11]: on a tree it is the delegation rule that realizes the optimal
+// steady state without global knowledge.
+type BandwidthCentric struct {
+	// Tree maps each node to its parent edge, as in sim.OnlineConfig.
+	Tree []int
+}
+
+// Pick implements sim.Policy.
+func (b BandwidthCentric) Pick(from int, pending []int, st *sim.OnlineState) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		ci := st.P.Edge(b.Tree[pending[i]]).C
+		cb := st.P.Edge(b.Tree[pending[best]]).C
+		if ci.Less(cb) {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements sim.Policy.
+func (b BandwidthCentric) Name() string { return "bandwidth-centric" }
+
+// Random serves a uniformly random pending request (a control
+// baseline).
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Pick implements sim.Policy.
+func (r Random) Pick(from int, pending []int, st *sim.OnlineState) int {
+	return r.Rng.Intn(len(pending))
+}
+
+// Name implements sim.Policy.
+func (r Random) Name() string { return "random" }

@@ -1,0 +1,326 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func rr(n, d int64) rat.Rat { return rat.New(n, d) }
+func ri(n int64) rat.Rat    { return rat.FromInt(n) }
+
+// checkDecomposition verifies all the §4.1 guarantees:
+//   - every slot is a matching (no shared left node, no shared right node);
+//   - per-edge durations sum exactly to the edge's weight;
+//   - the total duration equals Delta (optimal for bipartite).
+func checkDecomposition(t *testing.T, nL, nR int, edges []Edge, slots []Matching, delta rat.Rat) {
+	t.Helper()
+	perEdge := make(map[int]rat.Rat) // ID -> accumulated duration
+	total := rat.Zero()
+	for si, s := range slots {
+		if s.Dur.Sign() <= 0 {
+			t.Fatalf("slot %d has non-positive duration %v", si, s.Dur)
+		}
+		seenL := make(map[int]bool)
+		seenR := make(map[int]bool)
+		for _, e := range s.Edges {
+			if seenL[e.L] {
+				t.Fatalf("slot %d: left node %d used twice (one-port violation)", si, e.L)
+			}
+			if seenR[e.R] {
+				t.Fatalf("slot %d: right node %d used twice (one-port violation)", si, e.R)
+			}
+			seenL[e.L], seenR[e.R] = true, true
+			if !e.W.Equal(s.Dur) {
+				t.Fatalf("slot %d: edge weight %v != slot duration %v", si, e.W, s.Dur)
+			}
+			perEdge[e.ID] = perEdge[e.ID].Add(s.Dur)
+		}
+		total = total.Add(s.Dur)
+	}
+	for _, e := range edges {
+		if got := perEdge[e.ID]; !got.Equal(e.W) {
+			t.Fatalf("edge %d: scheduled %v, want %v", e.ID, got, e.W)
+		}
+	}
+	if !total.Equal(delta) {
+		t.Fatalf("total duration %v != Delta %v (decomposition not optimal)", total, delta)
+	}
+	maxSlots := len(edges) + nL + nR + 2
+	if len(slots) > maxSlots {
+		t.Fatalf("%d slots exceeds polynomial bound %d", len(slots), maxSlots)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	slots, delta, err := DecomposeBipartite(3, 3, nil)
+	if err != nil || len(slots) != 0 || !delta.IsZero() {
+		t.Fatalf("empty: %v %v %v", slots, delta, err)
+	}
+}
+
+func TestDecomposeSingleEdge(t *testing.T) {
+	edges := []Edge{{L: 0, R: 0, W: rr(3, 2), ID: 0}}
+	slots, delta, err := DecomposeBipartite(1, 1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Equal(rr(3, 2)) {
+		t.Fatalf("delta = %v", delta)
+	}
+	checkDecomposition(t, 1, 1, edges, slots, delta)
+}
+
+func TestDecomposeConflicts(t *testing.T) {
+	// Two edges sharing a sender must serialize.
+	edges := []Edge{
+		{L: 0, R: 0, W: ri(1), ID: 0},
+		{L: 0, R: 1, W: ri(2), ID: 1},
+	}
+	slots, delta, err := DecomposeBipartite(1, 2, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Equal(ri(3)) {
+		t.Fatalf("delta = %v, want 3", delta)
+	}
+	checkDecomposition(t, 1, 2, edges, slots, delta)
+}
+
+func TestDecomposeParallelizable(t *testing.T) {
+	// Disjoint pairs fit in a single slot: Delta = 1 even with 3 edges.
+	edges := []Edge{
+		{L: 0, R: 0, W: ri(1), ID: 0},
+		{L: 1, R: 1, W: ri(1), ID: 1},
+		{L: 2, R: 2, W: ri(1), ID: 2},
+	}
+	slots, delta, err := DecomposeBipartite(3, 3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Equal(ri(1)) {
+		t.Fatalf("delta = %v, want 1", delta)
+	}
+	checkDecomposition(t, 3, 3, edges, slots, delta)
+}
+
+func TestDecomposeAsymmetricSides(t *testing.T) {
+	// More right nodes than left; rational weights.
+	edges := []Edge{
+		{L: 0, R: 0, W: rr(1, 3), ID: 0},
+		{L: 0, R: 1, W: rr(1, 2), ID: 1},
+		{L: 0, R: 2, W: rr(1, 6), ID: 2},
+		{L: 1, R: 0, W: rr(2, 3), ID: 3},
+		{L: 1, R: 3, W: rr(1, 4), ID: 4},
+	}
+	slots, delta, err := DecomposeBipartite(2, 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDecomposition(t, 2, 4, edges, slots, delta)
+}
+
+func TestDecomposeMultigraph(t *testing.T) {
+	// Parallel edges between the same pair must serialize.
+	edges := []Edge{
+		{L: 0, R: 0, W: ri(1), ID: 0},
+		{L: 0, R: 0, W: ri(1), ID: 1},
+	}
+	slots, delta, err := DecomposeBipartite(1, 1, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Equal(ri(2)) {
+		t.Fatalf("delta = %v, want 2", delta)
+	}
+	checkDecomposition(t, 1, 1, edges, slots, delta)
+}
+
+func TestDecomposeZeroWeightEdgesIgnored(t *testing.T) {
+	edges := []Edge{
+		{L: 0, R: 0, W: rat.Zero(), ID: 0},
+		{L: 0, R: 1, W: ri(1), ID: 1},
+	}
+	slots, delta, err := DecomposeBipartite(1, 2, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Equal(ri(1)) {
+		t.Fatalf("delta = %v", delta)
+	}
+	for _, s := range slots {
+		for _, e := range s.Edges {
+			if e.ID == 0 {
+				t.Fatal("zero-weight edge scheduled")
+			}
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	if _, _, err := DecomposeBipartite(1, 1, []Edge{{L: 0, R: 0, W: ri(-1)}}); err == nil {
+		t.Fatal("expected negative-weight error")
+	}
+	if _, _, err := DecomposeBipartite(1, 1, []Edge{{L: 5, R: 0, W: ri(1)}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestDecomposeRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		nL := 1 + rng.Intn(8)
+		nR := 1 + rng.Intn(8)
+		nE := rng.Intn(25)
+		var edges []Edge
+		for i := 0; i < nE; i++ {
+			edges = append(edges, Edge{
+				L:  rng.Intn(nL),
+				R:  rng.Intn(nR),
+				W:  rr(int64(rng.Intn(12)), int64(1+rng.Intn(6))),
+				ID: i,
+			})
+		}
+		slots, delta, err := DecomposeBipartite(nL, nR, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Filter zero-weight edges for the exactness check.
+		var nz []Edge
+		for _, e := range edges {
+			if e.W.Sign() > 0 {
+				nz = append(nz, e)
+			}
+		}
+		checkDecomposition(t, nL, nR, nz, slots, delta)
+	}
+}
+
+func TestLoads(t *testing.T) {
+	edges := []Edge{
+		{L: 0, R: 1, W: ri(2)},
+		{L: 0, R: 0, W: ri(1)},
+	}
+	l, r := Loads(2, 2, edges)
+	if !l[0].Equal(ri(3)) || !l[1].IsZero() || !r[0].Equal(ri(1)) || !r[1].Equal(ri(2)) {
+		t.Fatalf("loads wrong: %v %v", l, r)
+	}
+}
+
+func checkGeneral(t *testing.T, n int, edges []GEdge, slots []GMatching, total, delta rat.Rat) {
+	t.Helper()
+	perEdge := make(map[int]rat.Rat)
+	sum := rat.Zero()
+	for si, s := range slots {
+		seen := make(map[int]bool)
+		for _, e := range s.Edges {
+			if seen[e.U] || seen[e.V] {
+				t.Fatalf("slot %d: endpoint reused (send-or-receive violation)", si)
+			}
+			seen[e.U], seen[e.V] = true, true
+			perEdge[e.ID] = perEdge[e.ID].Add(s.Dur)
+		}
+		sum = sum.Add(s.Dur)
+	}
+	for _, e := range edges {
+		if e.W.Sign() > 0 && !perEdge[e.ID].Equal(e.W) {
+			t.Fatalf("edge %d scheduled %v, want %v", e.ID, perEdge[e.ID], e.W)
+		}
+	}
+	if !sum.Equal(total) {
+		t.Fatalf("slot sum %v != reported total %v", sum, total)
+	}
+	if total.Less(delta) {
+		t.Fatalf("total %v below lower bound Delta %v", total, delta)
+	}
+	// Greedy guarantee used by E9: never more than 2*Delta.
+	if total.Cmp(delta.Mul(ri(2))) > 0 {
+		t.Fatalf("total %v exceeds 2*Delta %v", total, delta.Mul(ri(2)))
+	}
+}
+
+func TestDecomposeGeneralTriangle(t *testing.T) {
+	// A triangle of unit edges: Delta = 2 but no two edges are
+	// independent, so the best possible total is 3 — the structure
+	// that makes the general problem hard (§5.1.1).
+	edges := []GEdge{
+		{U: 0, V: 1, W: ri(1), ID: 0},
+		{U: 1, V: 2, W: ri(1), ID: 1},
+		{U: 2, V: 0, W: ri(1), ID: 2},
+	}
+	slots, total, delta := DecomposeGeneral(3, edges)
+	if !delta.Equal(ri(2)) {
+		t.Fatalf("delta = %v, want 2", delta)
+	}
+	if !total.Equal(ri(3)) {
+		t.Fatalf("total = %v, want 3 (each edge alone)", total)
+	}
+	checkGeneral(t, 3, edges, slots, total, delta)
+}
+
+func TestDecomposeGeneralStarIsTight(t *testing.T) {
+	// A star must serialize: greedy is exactly Delta here.
+	edges := []GEdge{
+		{U: 0, V: 1, W: ri(2), ID: 0},
+		{U: 0, V: 2, W: ri(1), ID: 1},
+		{U: 0, V: 3, W: rr(1, 2), ID: 2},
+	}
+	slots, total, delta := DecomposeGeneral(4, edges)
+	if !total.Equal(delta) {
+		t.Fatalf("star: total %v != delta %v", total, delta)
+	}
+	checkGeneral(t, 4, edges, slots, total, delta)
+}
+
+func TestDecomposeGeneralRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(8)
+		nE := rng.Intn(20)
+		var edges []GEdge
+		for i := 0; i < nE; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, GEdge{U: u, V: v, W: rr(int64(1+rng.Intn(10)), int64(1+rng.Intn(4))), ID: i})
+		}
+		slots, total, delta := DecomposeGeneral(n, edges)
+		checkGeneral(t, n, edges, slots, total, delta)
+	}
+}
+
+func BenchmarkDecomposeBipartite(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	var edges []Edge
+	for i := 0; i < 60; i++ {
+		edges = append(edges, Edge{
+			L: rng.Intn(12), R: rng.Intn(12),
+			W:  rr(int64(1+rng.Intn(20)), int64(1+rng.Intn(5))),
+			ID: i,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecomposeBipartite(12, 12, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeGeneral(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	var edges []GEdge
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(12), rng.Intn(12)
+		if u == v {
+			v = (v + 1) % 12
+		}
+		edges = append(edges, GEdge{U: u, V: v, W: ri(int64(1 + rng.Intn(20))), ID: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DecomposeGeneral(12, edges)
+	}
+}

@@ -1,0 +1,97 @@
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/rat"
+)
+
+// GEdge is a weighted edge of a general (non-bipartite) graph, as
+// arises under the send-OR-receive model of §5.1.1 where a processor
+// has a single port shared by emissions and receptions.
+type GEdge struct {
+	U, V int
+	W    rat.Rat
+	ID   int
+}
+
+// GMatching is a slot of simultaneous communications in the general
+// model: no two edges share any endpoint.
+type GMatching struct {
+	Dur   rat.Rat
+	Edges []GEdge
+}
+
+// DecomposeGeneral greedily decomposes a weighted general graph into
+// matchings. Exact minimum-length decomposition is NP-hard (weighted
+// edge coloring of arbitrary graphs, §5.1.1); the greedy
+// heaviest-edge-first rule is the "efficient polynomial approximation
+// algorithm" stand-in. The returned total duration is at least Delta
+// (the max node load, a lower bound) and empirically close to it; E9
+// measures the gap.
+func DecomposeGeneral(n int, edges []GEdge) (slots []GMatching, total, delta rat.Rat) {
+	load := make([]rat.Rat, n)
+	for _, e := range edges {
+		load[e.U] = load[e.U].Add(e.W)
+		load[e.V] = load[e.V].Add(e.W)
+	}
+	for _, l := range load {
+		delta = rat.Max(delta, l)
+	}
+
+	type wedge struct {
+		u, v int
+		w    rat.Rat
+		id   int
+	}
+	work := make([]wedge, 0, len(edges))
+	for _, e := range edges {
+		if e.W.Sign() > 0 {
+			work = append(work, wedge{e.U, e.V, e.W, e.ID})
+		}
+	}
+	total = rat.Zero()
+	used := make([]bool, n)
+	for len(work) > 0 {
+		// Heaviest-first maximal matching.
+		sort.SliceStable(work, func(i, j int) bool {
+			return work[j].w.Less(work[i].w)
+		})
+		for i := range used {
+			used[i] = false
+		}
+		var matched []int
+		for i, e := range work {
+			if used[e.u] || used[e.v] {
+				continue
+			}
+			used[e.u], used[e.v] = true, true
+			matched = append(matched, i)
+		}
+		// Run the slot for the smallest matched weight so at least one
+		// edge completes.
+		lambda := work[matched[0]].w
+		for _, i := range matched {
+			lambda = rat.Min(lambda, work[i].w)
+		}
+		slot := GMatching{Dur: lambda}
+		inSlot := make(map[int]bool, len(matched))
+		for _, i := range matched {
+			slot.Edges = append(slot.Edges, GEdge{U: work[i].u, V: work[i].v, W: lambda, ID: work[i].id})
+			work[i].w = work[i].w.Sub(lambda)
+			if work[i].w.Sign() == 0 {
+				inSlot[i] = true
+			}
+		}
+		next := work[:0]
+		for i, e := range work {
+			if !inSlot[i] {
+				next = append(next, e)
+			}
+		}
+		work = next
+		slots = append(slots, slot)
+		total = total.Add(lambda)
+	}
+	return slots, total, delta
+}

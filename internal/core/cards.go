@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// CardAssign fixes, for every platform edge, which send card of its
+// source and which receive card of its destination carry it — the
+// §5.1.2 case where "each network card on a given host is used in
+// only one direction ... and is linked to a set of fixed network
+// cards on neighbor hosts". With the assignment fixed, the LP is
+// per-card and the §4.1 reconstruction goes through with one
+// bipartite node per card.
+type CardAssign struct {
+	Caps PortCaps
+	// SendCard[e] in [0, Caps.Send[from]) and RecvCard[e] in
+	// [0, Caps.Recv[to]) give edge e's cards.
+	SendCard []int
+	RecvCard []int
+}
+
+// RoundRobinCards spreads each node's edges over its cards cyclically
+// — a reasonable default wiring.
+func RoundRobinCards(p *platform.Platform, caps PortCaps) CardAssign {
+	a := CardAssign{
+		Caps:     caps,
+		SendCard: make([]int, p.NumEdges()),
+		RecvCard: make([]int, p.NumEdges()),
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		for idx, e := range p.OutEdges(i) {
+			a.SendCard[e] = idx % caps.Send[i]
+		}
+		for idx, e := range p.InEdges(i) {
+			a.RecvCard[e] = idx % caps.Recv[i]
+		}
+	}
+	return a
+}
+
+// Validate checks the assignment against the platform.
+func (a CardAssign) Validate(p *platform.Platform) error {
+	if err := a.Caps.Validate(p); err != nil {
+		return err
+	}
+	if len(a.SendCard) != p.NumEdges() || len(a.RecvCard) != p.NumEdges() {
+		return fmt.Errorf("core: card assignment must cover every edge")
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ed := p.Edge(e)
+		if a.SendCard[e] < 0 || a.SendCard[e] >= a.Caps.Send[ed.From] {
+			return fmt.Errorf("core: edge %d assigned to invalid send card", e)
+		}
+		if a.RecvCard[e] < 0 || a.RecvCard[e] >= a.Caps.Recv[ed.To] {
+			return fmt.Errorf("core: edge %d assigned to invalid recv card", e)
+		}
+	}
+	return nil
+}
+
+// CardSolution is a master-slave solution under a fixed card wiring.
+type CardSolution struct {
+	*MasterSlave
+	Assign CardAssign
+}
+
+// SolveMasterSlaveCards solves SSMS(G) with per-card one-port
+// constraints under the given fixed wiring.
+func SolveMasterSlaveCards(p *platform.Platform, master int, assign CardAssign) (*CardSolution, error) {
+	if err := assign.Validate(p); err != nil {
+		return nil, err
+	}
+	if master < 0 || master >= p.NumNodes() {
+		return nil, fmt.Errorf("core: master index %d out of range", master)
+	}
+	m := lp.NewModel()
+	one := rat.One()
+
+	alpha := make([]lp.Var, p.NumNodes())
+	hasAlpha := make([]bool, p.NumNodes())
+	obj := lp.Expr{}
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.CanCompute(i) {
+			alpha[i] = m.VarRange(fmt.Sprintf("alpha[%s]", p.Name(i)), one)
+			hasAlpha[i] = true
+			obj = obj.Plus(alpha[i], p.Weight(i).Val.Inv())
+		}
+	}
+	if len(obj) == 0 {
+		return nil, fmt.Errorf("core: no node can compute")
+	}
+	sVar := make([]lp.Var, p.NumEdges())
+	for e := 0; e < p.NumEdges(); e++ {
+		sVar[e] = m.VarRange(fmt.Sprintf("s[e%d]", e), one)
+	}
+	m.Objective(lp.Maximize, obj)
+
+	// One-port per card.
+	for i := 0; i < p.NumNodes(); i++ {
+		for card := 0; card < assign.Caps.Send[i]; card++ {
+			ex := lp.Expr{}
+			for _, e := range p.OutEdges(i) {
+				if assign.SendCard[e] == card {
+					ex = ex.PlusInt(sVar[e], 1)
+				}
+			}
+			if len(ex) > 0 {
+				m.Le(fmt.Sprintf("send[%s#%d]", p.Name(i), card), ex, one)
+			}
+		}
+		for card := 0; card < assign.Caps.Recv[i]; card++ {
+			ex := lp.Expr{}
+			for _, e := range p.InEdges(i) {
+				if assign.RecvCard[e] == card {
+					ex = ex.PlusInt(sVar[e], 1)
+				}
+			}
+			if len(ex) > 0 {
+				m.Le(fmt.Sprintf("recv[%s#%d]", p.Name(i), card), ex, one)
+			}
+		}
+	}
+	for _, e := range p.InEdges(master) {
+		m.Eq(fmt.Sprintf("no-recv-master[%d]", e), lp.Expr{}.PlusInt(sVar[e], 1), rat.Zero())
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == master {
+			continue
+		}
+		ex := lp.Expr{}
+		for _, ei := range p.InEdges(i) {
+			ex = ex.Plus(sVar[ei], p.Edge(ei).C.Inv())
+		}
+		if hasAlpha[i] {
+			ex = ex.Plus(alpha[i], p.Weight(i).Val.Inv().Neg())
+		}
+		for _, eo := range p.OutEdges(i) {
+			ex = ex.Plus(sVar[eo], p.Edge(eo).C.Inv().Neg())
+		}
+		if len(ex) == 0 {
+			continue
+		}
+		m.Eq(fmt.Sprintf("conserve[%s]", p.Name(i)), ex, rat.Zero())
+	}
+
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: card LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: card LP %v", sol.Status)
+	}
+	ms := &MasterSlave{
+		P:          p,
+		Master:     master,
+		Model:      SendAndReceive,
+		Throughput: sol.Objective,
+		Alpha:      make([]rat.Rat, p.NumNodes()),
+		S:          make([]rat.Rat, p.NumEdges()),
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			ms.Alpha[i] = sol.Value(alpha[i])
+		}
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ms.S[e] = sol.Value(sVar[e])
+	}
+	cs := &CardSolution{MasterSlave: ms, Assign: assign}
+	if err := cs.CheckCards(); err != nil {
+		return nil, fmt.Errorf("core: invalid card solution: %w", err)
+	}
+	return cs, nil
+}
+
+// CheckCards re-verifies the per-card constraints and conservation.
+func (cs *CardSolution) CheckCards() error {
+	p := cs.P
+	if err := cs.Assign.Validate(p); err != nil {
+		return err
+	}
+	one := rat.One()
+	for i := 0; i < p.NumNodes(); i++ {
+		sendLoad := make([]rat.Rat, cs.Assign.Caps.Send[i])
+		for _, e := range p.OutEdges(i) {
+			c := cs.Assign.SendCard[e]
+			sendLoad[c] = sendLoad[c].Add(cs.S[e])
+		}
+		for card, l := range sendLoad {
+			if l.Cmp(one) > 0 {
+				return fmt.Errorf("core: send card %d of %s overloaded: %v", card, p.Name(i), l)
+			}
+		}
+		recvLoad := make([]rat.Rat, cs.Assign.Caps.Recv[i])
+		for _, e := range p.InEdges(i) {
+			c := cs.Assign.RecvCard[e]
+			recvLoad[c] = recvLoad[c].Add(cs.S[e])
+		}
+		for card, l := range recvLoad {
+			if l.Cmp(one) > 0 {
+				return fmt.Errorf("core: recv card %d of %s overloaded: %v", card, p.Name(i), l)
+			}
+		}
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == cs.Master {
+			continue
+		}
+		in := rat.Zero()
+		for _, e := range p.InEdges(i) {
+			in = in.Add(cs.TasksPerUnit(e))
+		}
+		out := cs.ComputeRate(i)
+		for _, e := range p.OutEdges(i) {
+			out = out.Add(cs.TasksPerUnit(e))
+		}
+		if !in.Equal(out) {
+			return fmt.Errorf("core: conservation violated at %s", p.Name(i))
+		}
+	}
+	return nil
+}

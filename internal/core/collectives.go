@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// SolveReduceBound computes the optimal steady-state throughput of a
+// pipelined reduce to root ("the approach for scatters also works for
+// personalized all-to-all and reduce operations" — §4.2, [12]).
+//
+// A reduction combines partial results on the way to the root: the
+// reduction trees are exactly the broadcast trees of the *reversed*
+// platform, so the reduce throughput equals the broadcast bound on
+// Reverse(G) rooted at root. Like broadcast (and unlike multicast)
+// the bound is achievable.
+func SolveReduceBound(p *platform.Platform, root int) (*Scatter, error) {
+	r := p.Reverse()
+	sol, err := SolveBroadcastBound(r, root)
+	if err != nil {
+		return nil, fmt.Errorf("core: reduce: %w", err)
+	}
+	// Present the solution on the original platform: edge i of the
+	// reversed platform is edge i of p with endpoints swapped, so the
+	// activity variables transfer index-for-index.
+	sol.P = p
+	return sol, nil
+}
+
+// AllToAll is the solved steady-state personalized all-to-all
+// program: every ordered pair (src, dst) of distinct participants
+// exchanges TP distinct messages per time-unit.
+type AllToAll struct {
+	P            *platform.Platform
+	Participants []int
+	Model        PortModel
+
+	Throughput rat.Rat
+	// S[e] is the busy fraction of edge e.
+	S []rat.Rat
+	// Send[e][q] is the flow on edge e of pair q (see Pairs).
+	Send [][]rat.Rat
+	// Pairs lists the (src, dst) ordered pairs indexed by q.
+	Pairs [][2]int
+}
+
+// SolveAllToAll builds and solves the personalized all-to-all LP: a
+// scatter from every participant simultaneously, with a common
+// throughput TP and per-pair conservation laws.
+func SolveAllToAll(p *platform.Platform, participants []int) (*AllToAll, error) {
+	if len(participants) < 2 {
+		return nil, fmt.Errorf("core: all-to-all needs at least two participants")
+	}
+	seen := map[int]bool{}
+	for _, i := range participants {
+		if i < 0 || i >= p.NumNodes() {
+			return nil, fmt.Errorf("core: participant %d out of range", i)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("core: duplicate participant %d", i)
+		}
+		seen[i] = true
+	}
+	var pairs [][2]int
+	for _, s := range participants {
+		for _, t := range participants {
+			if s != t {
+				pairs = append(pairs, [2]int{s, t})
+			}
+		}
+	}
+
+	m := lp.NewModel()
+	one := rat.One()
+	nE := p.NumEdges()
+
+	sVar := make([]lp.Var, nE)
+	for e := 0; e < nE; e++ {
+		sVar[e] = m.VarRange(fmt.Sprintf("s[e%d]", e), one)
+	}
+	send := make([][]lp.Var, nE)
+	for e := 0; e < nE; e++ {
+		send[e] = make([]lp.Var, len(pairs))
+		for q := range pairs {
+			send[e][q] = m.Var(fmt.Sprintf("f[e%d,q%d]", e, q))
+		}
+	}
+	tp := m.Var("TP")
+	m.Objective(lp.Maximize, lp.Expr{}.PlusInt(tp, 1))
+
+	addOnePortConstraints(m, p, sVar, SendAndReceive)
+
+	// Distinct messages: per-edge times add up.
+	for e := 0; e < nE; e++ {
+		c := p.Edge(e).C
+		ex := lp.Expr{}.PlusInt(sVar[e], -1)
+		for q := range pairs {
+			ex = ex.Plus(send[e][q], c)
+		}
+		m.Eq(fmt.Sprintf("sum[e%d]", e), ex, rat.Zero())
+	}
+
+	// Conservation at every node that is neither the pair's source
+	// nor its destination.
+	for i := 0; i < p.NumNodes(); i++ {
+		for q, pr := range pairs {
+			if i == pr[0] || i == pr[1] {
+				continue
+			}
+			ex := lp.Expr{}
+			for _, e := range p.InEdges(i) {
+				ex = ex.PlusInt(send[e][q], 1)
+			}
+			for _, e := range p.OutEdges(i) {
+				ex = ex.PlusInt(send[e][q], -1)
+			}
+			if len(ex) == 0 {
+				continue
+			}
+			m.Eq(fmt.Sprintf("conserve[n%d,q%d]", i, q), ex, rat.Zero())
+		}
+	}
+
+	// Delivery of every pair.
+	for q, pr := range pairs {
+		ex := lp.Expr{}.PlusInt(tp, -1)
+		for _, e := range p.InEdges(pr[1]) {
+			ex = ex.PlusInt(send[e][q], 1)
+		}
+		m.Eq(fmt.Sprintf("deliver[q%d]", q), ex, rat.Zero())
+	}
+
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: all-to-all LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: all-to-all LP %v", sol.Status)
+	}
+
+	a := &AllToAll{
+		P: p, Participants: append([]int(nil), participants...),
+		Model:      SendAndReceive,
+		Throughput: sol.Objective,
+		S:          make([]rat.Rat, nE),
+		Send:       make([][]rat.Rat, nE),
+		Pairs:      pairs,
+	}
+	for e := 0; e < nE; e++ {
+		a.S[e] = sol.Value(sVar[e])
+		a.Send[e] = make([]rat.Rat, len(pairs))
+		for q := range pairs {
+			a.Send[e][q] = sol.Value(send[e][q])
+		}
+	}
+	if err := a.Check(); err != nil {
+		return nil, fmt.Errorf("core: invalid all-to-all solution: %w", err)
+	}
+	return a, nil
+}
+
+// Check re-verifies the all-to-all equations independently.
+func (a *AllToAll) Check() error {
+	p := a.P
+	if err := checkOnePort(p, a.S, a.Model); err != nil {
+		return err
+	}
+	for e := range a.S {
+		tot := rat.Zero()
+		for q := range a.Pairs {
+			if a.Send[e][q].Sign() < 0 {
+				return fmt.Errorf("core: negative flow e%d q%d", e, q)
+			}
+			tot = tot.Add(a.Send[e][q].Mul(p.Edge(e).C))
+		}
+		if !tot.Equal(a.S[e]) {
+			return fmt.Errorf("core: edge %d busy time mismatch", e)
+		}
+	}
+	for q, pr := range a.Pairs {
+		got := rat.Zero()
+		for _, e := range p.InEdges(pr[1]) {
+			got = got.Add(a.Send[e][q])
+		}
+		if !got.Equal(a.Throughput) {
+			return fmt.Errorf("core: pair %v receives %v != TP %v", pr, got, a.Throughput)
+		}
+		for i := 0; i < p.NumNodes(); i++ {
+			if i == pr[0] || i == pr[1] {
+				continue
+			}
+			in, out := rat.Zero(), rat.Zero()
+			for _, e := range p.InEdges(i) {
+				in = in.Add(a.Send[e][q])
+			}
+			for _, e := range p.OutEdges(i) {
+				out = out.Add(a.Send[e][q])
+			}
+			if !in.Equal(out) {
+				return fmt.Errorf("core: conservation violated n%d q%d", i, q)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the
+// steady-state linear programs of §3 and their surrounding theory.
+//
+//   - Master-slave tasking (§3.1): SSMS(G), maximizing the number of
+//     independent equal-sized tasks processed per time-unit.
+//   - Pipelined scatter (§3.2): SSPS(G), maximizing the common
+//     throughput of a series of scatter operations.
+//   - Pipelined broadcast/multicast (§3.3): the max-operator variant,
+//     which upper-bounds multicast throughput (unachievable in
+//     general — Figure 2/3's counterexample, reproduced in
+//     multicast.go) and is achievable for broadcast.
+//   - Extensions of §4.2 and §5: reduce and personalized all-to-all,
+//     collections of DAGs, and the send-OR-receive port model.
+//
+// Every Solve* function returns exact rational activity variables
+// computed by the exact simplex of internal/lp, together with an
+// independent Check* verifier that re-validates the paper's equations
+// (one-port constraints, conservation laws) on the returned solution.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// PortModel selects the communication model of §2 (full overlap,
+// separate send and receive ports) or the restricted §5.1.1 model
+// where a processor can either send or receive at any given time.
+type PortModel int
+
+const (
+	// SendAndReceive is the paper's base model: at most one emission
+	// and one reception at a time, overlapping with computation.
+	SendAndReceive PortModel = iota
+	// SendOrReceive shares a single port for emissions and
+	// receptions (§5.1.1); schedule reconstruction becomes NP-hard.
+	SendOrReceive
+)
+
+func (m PortModel) String() string {
+	if m == SendOrReceive {
+		return "send-or-receive"
+	}
+	return "send-and-receive"
+}
+
+// addOnePortConstraints adds the model's port constraints for every
+// node: either separate in/out budgets (third and fourth equations of
+// SSMS) or a combined budget under SendOrReceive.
+func addOnePortConstraints(m *lp.Model, p *platform.Platform, sVar []lp.Var, pm PortModel) {
+	one := rat.One()
+	for i := 0; i < p.NumNodes(); i++ {
+		switch pm {
+		case SendAndReceive:
+			out := lp.Expr{}
+			for _, e := range p.OutEdges(i) {
+				out = out.PlusInt(sVar[e], 1)
+			}
+			if len(out) > 0 {
+				m.Le(fmt.Sprintf("out-port[%s]", p.Name(i)), out, one)
+			}
+			in := lp.Expr{}
+			for _, e := range p.InEdges(i) {
+				in = in.PlusInt(sVar[e], 1)
+			}
+			if len(in) > 0 {
+				m.Le(fmt.Sprintf("in-port[%s]", p.Name(i)), in, one)
+			}
+		case SendOrReceive:
+			both := lp.Expr{}
+			for _, e := range p.OutEdges(i) {
+				both = both.PlusInt(sVar[e], 1)
+			}
+			for _, e := range p.InEdges(i) {
+				both = both.PlusInt(sVar[e], 1)
+			}
+			if len(both) > 0 {
+				m.Le(fmt.Sprintf("port[%s]", p.Name(i)), both, one)
+			}
+		}
+	}
+}
+
+// checkOnePort verifies the port constraints on concrete activity
+// values (fraction of time spent on each edge).
+func checkOnePort(p *platform.Platform, s []rat.Rat, pm PortModel) error {
+	one := rat.One()
+	for i := 0; i < p.NumNodes(); i++ {
+		out, in := rat.Zero(), rat.Zero()
+		for _, e := range p.OutEdges(i) {
+			out = out.Add(s[e])
+		}
+		for _, e := range p.InEdges(i) {
+			in = in.Add(s[e])
+		}
+		switch pm {
+		case SendAndReceive:
+			if out.Cmp(one) > 0 {
+				return fmt.Errorf("core: node %s sends %v > 1", p.Name(i), out)
+			}
+			if in.Cmp(one) > 0 {
+				return fmt.Errorf("core: node %s receives %v > 1", p.Name(i), in)
+			}
+		case SendOrReceive:
+			if out.Add(in).Cmp(one) > 0 {
+				return fmt.Errorf("core: node %s uses port %v > 1", p.Name(i), out.Add(in))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// MasterSlave is the solved steady-state master-slave program SSMS(G)
+// of §3.1: the master initially holds a large collection of
+// independent identical tasks; the solution says which fraction of
+// each time-unit every node computes (Alpha) and every edge carries
+// task files (S).
+type MasterSlave struct {
+	P      *platform.Platform
+	Master int
+	Model  PortModel
+
+	// Throughput is ntask(G) = sum over nodes of alpha_i / w_i, the
+	// optimal number of tasks processed per time-unit in steady state.
+	Throughput rat.Rat
+	// Alpha[i] is the fraction of time node i spends computing.
+	Alpha []rat.Rat
+	// S[e] is the fraction of time edge e's sender spends sending
+	// task files along e.
+	S []rat.Rat
+}
+
+// TasksPerUnit returns, for edge e, the (rational) number of task
+// files crossing e per time-unit: s_e / c_e.
+func (ms *MasterSlave) TasksPerUnit(e int) rat.Rat {
+	return ms.S[e].Div(ms.P.Edge(e).C)
+}
+
+// ComputeRate returns node i's tasks computed per time-unit:
+// alpha_i / w_i (zero for forwarder-only nodes).
+func (ms *MasterSlave) ComputeRate(i int) rat.Rat {
+	w := ms.P.Weight(i)
+	if w.Inf {
+		return rat.Zero()
+	}
+	return ms.Alpha[i].Div(w.Val)
+}
+
+// SolveMasterSlave builds and solves SSMS(G) under the base
+// send-and-receive model.
+func SolveMasterSlave(p *platform.Platform, master int) (*MasterSlave, error) {
+	return SolveMasterSlavePort(p, master, SendAndReceive)
+}
+
+// SolveMasterSlavePort builds and solves SSMS(G) under the given port
+// model. The LP is exactly the one displayed in §3.1:
+//
+//	maximize   ntask(G) = sum_i alpha_i / w_i
+//	subject to 0 <= alpha_i <= 1
+//	           0 <= s_ij <= 1
+//	           sum_j s_ij <= 1                  (one-port, out)
+//	           sum_j s_ji <= 1                  (one-port, in)
+//	           s_jm = 0                         (master receives nothing)
+//	           sum_j s_ji/c_ji = alpha_i/w_i + sum_j s_ij/c_ij  (i != m)
+func SolveMasterSlavePort(p *platform.Platform, master int, pm PortModel) (*MasterSlave, error) {
+	if master < 0 || master >= p.NumNodes() {
+		return nil, fmt.Errorf("core: master index %d out of range", master)
+	}
+	m := lp.NewModel()
+	one := rat.One()
+
+	alpha := make([]lp.Var, p.NumNodes())
+	hasAlpha := make([]bool, p.NumNodes())
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.CanCompute(i) {
+			alpha[i] = m.VarRange(fmt.Sprintf("alpha[%s]", p.Name(i)), one)
+			hasAlpha[i] = true
+		}
+	}
+	sVar := make([]lp.Var, p.NumEdges())
+	for e := 0; e < p.NumEdges(); e++ {
+		ed := p.Edge(e)
+		sVar[e] = m.VarRange(fmt.Sprintf("s[%s->%s#%d]", p.Name(ed.From), p.Name(ed.To), e), one)
+	}
+
+	// Objective: sum alpha_i / w_i.
+	obj := lp.Expr{}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			obj = obj.Plus(alpha[i], p.Weight(i).Val.Inv())
+		}
+	}
+	if len(obj) == 0 {
+		return nil, fmt.Errorf("core: no node can compute")
+	}
+	m.Objective(lp.Maximize, obj)
+
+	addOnePortConstraints(m, p, sVar, pm)
+
+	// The master does not receive anything.
+	for _, e := range p.InEdges(master) {
+		m.Eq(fmt.Sprintf("no-recv-master[%d]", e), lp.Expr{}.PlusInt(sVar[e], 1), rat.Zero())
+	}
+
+	// Conservation law at every non-master node:
+	// received rate = compute rate + forwarded rate.
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == master {
+			continue
+		}
+		e := lp.Expr{}
+		for _, ei := range p.InEdges(i) {
+			e = e.Plus(sVar[ei], p.Edge(ei).C.Inv())
+		}
+		if hasAlpha[i] {
+			e = e.Plus(alpha[i], p.Weight(i).Val.Inv().Neg())
+		}
+		for _, eo := range p.OutEdges(i) {
+			e = e.Plus(sVar[eo], p.Edge(eo).C.Inv().Neg())
+		}
+		if len(e) == 0 {
+			continue
+		}
+		m.Eq(fmt.Sprintf("conserve[%s]", p.Name(i)), e, rat.Zero())
+	}
+
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: master-slave LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: master-slave LP %v", sol.Status)
+	}
+
+	ms := &MasterSlave{
+		P:          p,
+		Master:     master,
+		Model:      pm,
+		Throughput: sol.Objective,
+		Alpha:      make([]rat.Rat, p.NumNodes()),
+		S:          make([]rat.Rat, p.NumEdges()),
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			ms.Alpha[i] = sol.Value(alpha[i])
+		}
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ms.S[e] = sol.Value(sVar[e])
+	}
+	if err := ms.Check(); err != nil {
+		return nil, fmt.Errorf("core: solver returned invalid solution: %w", err)
+	}
+	return ms, nil
+}
+
+// Check re-verifies every SSMS equation on the stored activity
+// variables using independent code (not the LP solver).
+func (ms *MasterSlave) Check() error {
+	p := ms.P
+	one := rat.One()
+	for i, a := range ms.Alpha {
+		if a.Sign() < 0 || a.Cmp(one) > 0 {
+			return fmt.Errorf("core: alpha[%s] = %v outside [0,1]", p.Name(i), a)
+		}
+		if !p.CanCompute(i) && !a.IsZero() {
+			return fmt.Errorf("core: forwarder %s computes", p.Name(i))
+		}
+	}
+	for e, s := range ms.S {
+		if s.Sign() < 0 || s.Cmp(one) > 0 {
+			return fmt.Errorf("core: s[%d] = %v outside [0,1]", e, s)
+		}
+	}
+	if err := checkOnePort(p, ms.S, ms.Model); err != nil {
+		return err
+	}
+	for _, e := range p.InEdges(ms.Master) {
+		if !ms.S[e].IsZero() {
+			return fmt.Errorf("core: master receives on edge %d", e)
+		}
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == ms.Master {
+			continue
+		}
+		in := rat.Zero()
+		for _, e := range p.InEdges(i) {
+			in = in.Add(ms.TasksPerUnit(e))
+		}
+		out := ms.ComputeRate(i)
+		for _, e := range p.OutEdges(i) {
+			out = out.Add(ms.TasksPerUnit(e))
+		}
+		if !in.Equal(out) {
+			return fmt.Errorf("core: conservation violated at %s: in %v != out %v",
+				p.Name(i), in, out)
+		}
+	}
+	tp := rat.Zero()
+	for i := range ms.Alpha {
+		tp = tp.Add(ms.ComputeRate(i))
+	}
+	if !tp.Equal(ms.Throughput) {
+		return fmt.Errorf("core: throughput %v != sum of compute rates %v", ms.Throughput, tp)
+	}
+	return nil
+}
+
+// StarThroughput returns the closed-form optimal steady-state
+// throughput for a single-level star (master + workers), used to
+// cross-check the LP: the master computes at rate 1/w_m and
+// distributes its unit of sending time to workers by increasing link
+// cost c_j (a fractional knapsack), each worker being capped at its
+// compute rate 1/w_j.
+func StarThroughput(p *platform.Platform, master int) (rat.Rat, error) {
+	if len(p.InEdges(master)) != 0 {
+		return rat.Zero(), fmt.Errorf("core: not a star rooted at %d", master)
+	}
+	type worker struct {
+		c, rate rat.Rat
+	}
+	var ws []worker
+	for _, e := range p.OutEdges(master) {
+		ed := p.Edge(e)
+		if len(p.OutEdges(ed.To)) != 0 {
+			return rat.Zero(), fmt.Errorf("core: node %s is not a leaf", p.Name(ed.To))
+		}
+		w := p.Weight(ed.To)
+		if w.Inf {
+			continue // a forwarder leaf contributes nothing
+		}
+		ws = append(ws, worker{c: ed.C, rate: w.Val.Inv()})
+	}
+	// Sort by increasing c (cheapest links first): insertion sort is
+	// fine at star sizes.
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].c.Less(ws[j-1].c); j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	tp := rat.Zero()
+	if p.CanCompute(master) {
+		tp = p.Weight(master).Val.Inv()
+	}
+	budget := rat.One() // one unit of master sending time
+	for _, w := range ws {
+		if budget.Sign() <= 0 {
+			break
+		}
+		need := w.c.Mul(w.rate) // time to feed the worker at full rate
+		if need.Cmp(budget) <= 0 {
+			tp = tp.Add(w.rate)
+			budget = budget.Sub(need)
+		} else {
+			tp = tp.Add(budget.Div(w.c))
+			budget = rat.Zero()
+		}
+	}
+	return tp, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// GreedyTreePacking is the heuristic companion of SolveTreePacking
+// for platforms too large to enumerate Steiner trees (the optimal
+// problem is NP-hard [7]; the paper's reference 7 is exactly
+// "complexity results and heuristics for pipelined multicast").
+//
+// Strategy: solve the max-operator LP for guidance, then repeatedly
+// peel a multicast tree out of the LP's flow support — growing the
+// arborescence along edges with the largest guidance flow — and run
+// it at the largest rate the residual port budgets allow. The result
+// is an achievable packing (every invariant re-checked), typically
+// close to the LP bound from below.
+func GreedyTreePacking(p *platform.Platform, source int, targets []int) (*TreePacking, error) {
+	bound, err := SolveMulticastBound(p, source, targets)
+	if err != nil {
+		return nil, err
+	}
+	// Guidance flow per edge: the largest per-type flow (the max-LP's
+	// effective usage of the edge).
+	guide := make([]rat.Rat, p.NumEdges())
+	for e := 0; e < p.NumEdges(); e++ {
+		for k := range targets {
+			guide[e] = rat.Max(guide[e], bound.Send[e][k])
+		}
+	}
+
+	// Residual port budgets (time fractions).
+	sendBudget := make([]rat.Rat, p.NumNodes())
+	recvBudget := make([]rat.Rat, p.NumNodes())
+	for i := range sendBudget {
+		sendBudget[i] = rat.One()
+		recvBudget[i] = rat.One()
+	}
+
+	tp := &TreePacking{
+		P: p, Source: source, Targets: append([]int(nil), targets...),
+	}
+	total := rat.Zero()
+	for iter := 0; iter < 4*len(targets)+8; iter++ {
+		tree := growTree(p, source, targets, guide, sendBudget, recvBudget)
+		if tree == nil {
+			break
+		}
+		// Largest feasible rate: for every node, rate * (port time in
+		// tree) must fit the residual budget.
+		rate := rat.Zero()
+		first := true
+		for v := 0; v < p.NumNodes(); v++ {
+			st, rt := rat.Zero(), rat.Zero()
+			for _, e := range tree {
+				ed := p.Edge(e)
+				if ed.From == v {
+					st = st.Add(ed.C)
+				}
+				if ed.To == v {
+					rt = rt.Add(ed.C)
+				}
+			}
+			if st.Sign() > 0 {
+				r := sendBudget[v].Div(st)
+				if first || r.Less(rate) {
+					rate, first = r, false
+				}
+			}
+			if rt.Sign() > 0 {
+				r := recvBudget[v].Div(rt)
+				if first || r.Less(rate) {
+					rate, first = r, false
+				}
+			}
+		}
+		if first || rate.Sign() <= 0 {
+			break
+		}
+		// Don't overshoot the LP bound (keeps the packing tight when
+		// a single tree could saturate more than the bound allows).
+		if total.Add(rate).Cmp(bound.Throughput) > 0 {
+			rate = bound.Throughput.Sub(total)
+			if rate.Sign() <= 0 {
+				break
+			}
+		}
+		for v := 0; v < p.NumNodes(); v++ {
+			for _, e := range tree {
+				ed := p.Edge(e)
+				if ed.From == v {
+					sendBudget[v] = sendBudget[v].Sub(rate.Mul(ed.C))
+				}
+				if ed.To == v {
+					recvBudget[v] = recvBudget[v].Sub(rate.Mul(ed.C))
+				}
+			}
+		}
+		// Reduce guidance along the used edges so the next tree
+		// prefers fresh routes.
+		for _, e := range tree {
+			g := guide[e].Sub(rate)
+			if g.Sign() < 0 {
+				g = rat.Zero()
+			}
+			guide[e] = g
+		}
+		tp.Trees = append(tp.Trees, MulticastTree{Edges: tree, Rate: rate})
+		total = total.Add(rate)
+	}
+	if len(tp.Trees) == 0 {
+		return nil, fmt.Errorf("core: greedy packing found no feasible tree")
+	}
+	tp.Throughput = total
+	tp.NumTrees = len(tp.Trees)
+	return tp, nil
+}
+
+// growTree builds one minimal arborescence from source covering all
+// targets, preferring edges with the largest guidance flow among
+// those whose endpoints still have positive port budgets. Returns nil
+// when some target is unreachable under the current budgets.
+func growTree(p *platform.Platform, source int, targets []int, guide, sendBudget, recvBudget []rat.Rat) []int {
+	inTree := make([]bool, p.NumNodes())
+	inTree[source] = true
+	var chosen []int
+	covered := func() bool {
+		for _, t := range targets {
+			if !inTree[t] {
+				return false
+			}
+		}
+		return true
+	}
+	for !covered() {
+		best := -1
+		for e := 0; e < p.NumEdges(); e++ {
+			ed := p.Edge(e)
+			if !inTree[ed.From] || inTree[ed.To] {
+				continue
+			}
+			if sendBudget[ed.From].Sign() <= 0 || recvBudget[ed.To].Sign() <= 0 {
+				continue
+			}
+			if best < 0 || guide[best].Less(guide[e]) {
+				best = e
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		chosen = append(chosen, best)
+		inTree[p.Edge(best).To] = true
+	}
+	// Prune non-target leaves (reuse the enumeration's pruning on an
+	// edge mask when small enough; otherwise prune directly).
+	for {
+		removed := false
+		for i := 0; i < len(chosen); i++ {
+			to := p.Edge(chosen[i]).To
+			isTarget := false
+			for _, t := range targets {
+				if t == to {
+					isTarget = true
+				}
+			}
+			if isTarget {
+				continue
+			}
+			leaf := true
+			for _, e := range chosen {
+				if p.Edge(e).From == to {
+					leaf = false
+				}
+			}
+			if leaf {
+				chosen = append(chosen[:i], chosen[i+1:]...)
+				removed = true
+				i--
+			}
+		}
+		if !removed {
+			return chosen
+		}
+	}
+}
+
+// CheckPacking verifies that a packing (exact or greedy) is feasible:
+// every tree reaches all targets and the aggregated port times fit in
+// one time unit per node and direction.
+func (tp *TreePacking) CheckPacking() error {
+	p := tp.P
+	send := make([]rat.Rat, p.NumNodes())
+	recv := make([]rat.Rat, p.NumNodes())
+	total := rat.Zero()
+	for ti, tr := range tp.Trees {
+		if tr.Rate.Sign() <= 0 {
+			return fmt.Errorf("core: tree %d has non-positive rate", ti)
+		}
+		reach := map[int]bool{tp.Source: true}
+		remaining := append([]int(nil), tr.Edges...)
+		for progress := true; progress; {
+			progress = false
+			next := remaining[:0]
+			for _, e := range remaining {
+				ed := p.Edge(e)
+				if reach[ed.From] && !reach[ed.To] {
+					reach[ed.To] = true
+					progress = true
+					continue
+				}
+				next = append(next, e)
+			}
+			remaining = next
+		}
+		for _, t := range tp.Targets {
+			if !reach[t] {
+				return fmt.Errorf("core: tree %d misses target %d", ti, t)
+			}
+		}
+		for _, e := range tr.Edges {
+			ed := p.Edge(e)
+			send[ed.From] = send[ed.From].Add(tr.Rate.Mul(ed.C))
+			recv[ed.To] = recv[ed.To].Add(tr.Rate.Mul(ed.C))
+		}
+		total = total.Add(tr.Rate)
+	}
+	one := rat.One()
+	for v := 0; v < p.NumNodes(); v++ {
+		if send[v].Cmp(one) > 0 {
+			return fmt.Errorf("core: node %s send port overloaded: %v", p.Name(v), send[v])
+		}
+		if recv[v].Cmp(one) > 0 {
+			return fmt.Errorf("core: node %s recv port overloaded: %v", p.Name(v), recv[v])
+		}
+	}
+	if !total.Equal(tp.Throughput) {
+		return fmt.Errorf("core: packing throughput %v != sum of rates %v", tp.Throughput, total)
+	}
+	return nil
+}

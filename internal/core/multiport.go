@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// PortCaps gives each node's number of network cards in the §5.1.2
+// multiport model: Send[i] cards are dedicated to emissions and
+// Recv[i] to receptions (the paper notes that letting one card do
+// both makes reconstruction NP-hard; dedicated directions keep it
+// polynomial — "a linear program can be derived ... and the schedule
+// can be reconstructed (each node in the bipartite graph corresponds
+// to a network card)").
+type PortCaps struct {
+	Send []int
+	Recv []int
+}
+
+// UniformPorts gives every node k send cards and k receive cards.
+func UniformPorts(p *platform.Platform, k int) PortCaps {
+	s := make([]int, p.NumNodes())
+	r := make([]int, p.NumNodes())
+	for i := range s {
+		s[i], r[i] = k, k
+	}
+	return PortCaps{Send: s, Recv: r}
+}
+
+// Validate checks the capacities.
+func (pc PortCaps) Validate(p *platform.Platform) error {
+	if len(pc.Send) != p.NumNodes() || len(pc.Recv) != p.NumNodes() {
+		return fmt.Errorf("core: port caps must cover every node")
+	}
+	for i := range pc.Send {
+		if pc.Send[i] < 1 || pc.Recv[i] < 1 {
+			return fmt.Errorf("core: node %d needs at least one card per direction", i)
+		}
+	}
+	return nil
+}
+
+// SolveMasterSlaveMultiport solves SSMS(G) under the aggregated
+// multiport model: node i may run up to Send[i] simultaneous
+// emissions and Recv[i] simultaneous receptions, each card able to
+// serve *any* neighbor, each edge still carrying at most one transfer
+// at a time (s_e <= 1). Per §5.1.2 the complexity of reconstructing a
+// schedule from this relaxation is open, so the value is exposed as
+// an upper bound only; use SolveMasterSlaveCards for the fixed
+// card-to-card variant whose schedule reconstruction is polynomial.
+func SolveMasterSlaveMultiport(p *platform.Platform, master int, caps PortCaps) (*MasterSlave, error) {
+	if err := caps.Validate(p); err != nil {
+		return nil, err
+	}
+	if master < 0 || master >= p.NumNodes() {
+		return nil, fmt.Errorf("core: master index %d out of range", master)
+	}
+	m := lp.NewModel()
+	one := rat.One()
+
+	alpha := make([]lp.Var, p.NumNodes())
+	hasAlpha := make([]bool, p.NumNodes())
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.CanCompute(i) {
+			alpha[i] = m.VarRange(fmt.Sprintf("alpha[%s]", p.Name(i)), one)
+			hasAlpha[i] = true
+		}
+	}
+	sVar := make([]lp.Var, p.NumEdges())
+	for e := 0; e < p.NumEdges(); e++ {
+		sVar[e] = m.VarRange(fmt.Sprintf("s[e%d]", e), one)
+	}
+	obj := lp.Expr{}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			obj = obj.Plus(alpha[i], p.Weight(i).Val.Inv())
+		}
+	}
+	if len(obj) == 0 {
+		return nil, fmt.Errorf("core: no node can compute")
+	}
+	m.Objective(lp.Maximize, obj)
+
+	// Multiport constraints: aggregated card time per direction.
+	for i := 0; i < p.NumNodes(); i++ {
+		out := lp.Expr{}
+		for _, e := range p.OutEdges(i) {
+			out = out.PlusInt(sVar[e], 1)
+		}
+		if len(out) > 0 {
+			m.Le(fmt.Sprintf("send-cards[%s]", p.Name(i)), out, rat.FromInt(int64(caps.Send[i])))
+		}
+		in := lp.Expr{}
+		for _, e := range p.InEdges(i) {
+			in = in.PlusInt(sVar[e], 1)
+		}
+		if len(in) > 0 {
+			m.Le(fmt.Sprintf("recv-cards[%s]", p.Name(i)), in, rat.FromInt(int64(caps.Recv[i])))
+		}
+	}
+	for _, e := range p.InEdges(master) {
+		m.Eq(fmt.Sprintf("no-recv-master[%d]", e), lp.Expr{}.PlusInt(sVar[e], 1), rat.Zero())
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == master {
+			continue
+		}
+		ex := lp.Expr{}
+		for _, ei := range p.InEdges(i) {
+			ex = ex.Plus(sVar[ei], p.Edge(ei).C.Inv())
+		}
+		if hasAlpha[i] {
+			ex = ex.Plus(alpha[i], p.Weight(i).Val.Inv().Neg())
+		}
+		for _, eo := range p.OutEdges(i) {
+			ex = ex.Plus(sVar[eo], p.Edge(eo).C.Inv().Neg())
+		}
+		if len(ex) == 0 {
+			continue
+		}
+		m.Eq(fmt.Sprintf("conserve[%s]", p.Name(i)), ex, rat.Zero())
+	}
+
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("core: multiport LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: multiport LP %v", sol.Status)
+	}
+	ms := &MasterSlave{
+		P:          p,
+		Master:     master,
+		Model:      SendAndReceive, // per-card semantics; see CheckMultiport
+		Throughput: sol.Objective,
+		Alpha:      make([]rat.Rat, p.NumNodes()),
+		S:          make([]rat.Rat, p.NumEdges()),
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			ms.Alpha[i] = sol.Value(alpha[i])
+		}
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ms.S[e] = sol.Value(sVar[e])
+	}
+	if err := CheckMultiport(ms, caps); err != nil {
+		return nil, fmt.Errorf("core: solver returned invalid multiport solution: %w", err)
+	}
+	return ms, nil
+}
+
+// CheckMultiport re-verifies a multiport solution's constraints.
+func CheckMultiport(ms *MasterSlave, caps PortCaps) error {
+	p := ms.P
+	if err := caps.Validate(p); err != nil {
+		return err
+	}
+	one := rat.One()
+	for e, s := range ms.S {
+		if s.Sign() < 0 || s.Cmp(one) > 0 {
+			return fmt.Errorf("core: s[%d] = %v outside [0,1]", e, s)
+		}
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		out, in := rat.Zero(), rat.Zero()
+		for _, e := range p.OutEdges(i) {
+			out = out.Add(ms.S[e])
+		}
+		for _, e := range p.InEdges(i) {
+			in = in.Add(ms.S[e])
+		}
+		if out.Cmp(rat.FromInt(int64(caps.Send[i]))) > 0 {
+			return fmt.Errorf("core: node %s exceeds %d send cards", p.Name(i), caps.Send[i])
+		}
+		if in.Cmp(rat.FromInt(int64(caps.Recv[i]))) > 0 {
+			return fmt.Errorf("core: node %s exceeds %d recv cards", p.Name(i), caps.Recv[i])
+		}
+	}
+	for _, e := range p.InEdges(ms.Master) {
+		if !ms.S[e].IsZero() {
+			return fmt.Errorf("core: master receives on edge %d", e)
+		}
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if i == ms.Master {
+			continue
+		}
+		in := rat.Zero()
+		for _, e := range p.InEdges(i) {
+			in = in.Add(ms.TasksPerUnit(e))
+		}
+		out := ms.ComputeRate(i)
+		for _, e := range p.OutEdges(i) {
+			out = out.Add(ms.TasksPerUnit(e))
+		}
+		if !in.Equal(out) {
+			return fmt.Errorf("core: conservation violated at %s", p.Name(i))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// Failure injection: every independent verifier must reject tampered
+// solutions. These tests pin the checkers' sensitivity — without
+// them, a checker that silently accepts anything would still make the
+// solver tests pass.
+
+func TestCheckRejectsTamperedMasterSlave(t *testing.T) {
+	p := platform.Figure1()
+	ms, err := SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper := func(name string, mutate func(*MasterSlave)) {
+		t.Helper()
+		c := *ms
+		c.Alpha = append([]rat.Rat(nil), ms.Alpha...)
+		c.S = append([]rat.Rat(nil), ms.S...)
+		mutate(&c)
+		if err := c.Check(); err == nil {
+			t.Errorf("%s: tampered solution accepted", name)
+		}
+	}
+	tamper("alpha out of range", func(c *MasterSlave) {
+		c.Alpha[0] = rat.FromInt(2)
+	})
+	tamper("negative s", func(c *MasterSlave) {
+		c.S[0] = rat.FromInt(-1)
+	})
+	tamper("conservation broken", func(c *MasterSlave) {
+		// Bump one edge's activity: the receiving node now gets more
+		// than it consumes.
+		for e := range c.S {
+			if c.S[e].Sign() > 0 && p.Edge(e).From == c.Master {
+				c.S[e] = c.S[e].Div(rat.FromInt(2))
+				break
+			}
+		}
+	})
+	tamper("throughput inflated", func(c *MasterSlave) {
+		c.Throughput = c.Throughput.Mul(rat.FromInt(2))
+	})
+	tamper("master receives", func(c *MasterSlave) {
+		in := p.InEdges(c.Master)
+		if len(in) == 0 {
+			t.Skip("no incoming edges")
+		}
+		c.S[in[0]] = rat.New(1, 7)
+	})
+}
+
+func TestCheckRejectsTamperedScatter(t *testing.T) {
+	p := platform.Figure1()
+	src := p.NodeByName("P1")
+	targets := []int{p.NodeByName("P4"), p.NodeByName("P6")}
+	sc, err := SolveScatter(p, src, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := func() *Scatter {
+		c := *sc
+		c.S = append([]rat.Rat(nil), sc.S...)
+		c.Send = make([][]rat.Rat, len(sc.Send))
+		for e := range sc.Send {
+			c.Send[e] = append([]rat.Rat(nil), sc.Send[e]...)
+		}
+		return &c
+	}
+	c := clone()
+	c.Throughput = c.Throughput.Add(rat.One())
+	if err := c.Check(); err == nil {
+		t.Error("inflated scatter throughput accepted")
+	}
+	c = clone()
+	for e := range c.Send {
+		if c.Send[e][0].Sign() > 0 {
+			c.Send[e][0] = c.Send[e][0].Mul(rat.FromInt(3))
+			break
+		}
+	}
+	if err := c.Check(); err == nil {
+		t.Error("broken edge coupling accepted")
+	}
+}
+
+func TestCheckRejectsTamperedAllToAll(t *testing.T) {
+	ring := platform.New()
+	for i := 0; i < 3; i++ {
+		ring.AddNode(string(rune('A'+i)), platform.WInt(1))
+	}
+	ring.AddBoth(0, 1, rat.One())
+	ring.AddBoth(1, 2, rat.One())
+	ring.AddBoth(0, 2, rat.One())
+	a2a, err := SolveAllToAll(ring, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2a.Throughput = a2a.Throughput.Mul(rat.FromInt(2))
+	if err := a2a.Check(); err == nil {
+		t.Error("inflated all-to-all throughput accepted")
+	}
+}
+
+func TestCheckMultiportRejectsOverload(t *testing.T) {
+	p := platform.Figure1()
+	caps := UniformPorts(p, 2)
+	ms, err := SolveMasterSlaveMultiport(p, 0, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim the solution fits in a single port: it should not.
+	if err := CheckMultiport(ms, UniformPorts(p, 1)); err == nil {
+		// The optimum may happen to fit one port on some platforms;
+		// force an overload instead.
+		ms.S[p.OutEdges(0)[0]] = rat.One()
+		ms.S[p.OutEdges(0)[1]] = rat.One()
+		if err := CheckMultiport(ms, UniformPorts(p, 1)); err == nil {
+			t.Error("overloaded multiport solution accepted")
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package divisible implements divisible-load scheduling on star
+// platforms — the application the paper cites as an early success of
+// the steady-state strategy ("It was successfully applied to
+// divisible load computations in [8]", §5.2; also listed in §6).
+//
+// A divisible load of W units can be split arbitrarily. The master
+// sends each worker one chunk per round over its link (one-port: the
+// master serves workers sequentially), and computation overlaps
+// communication. Everything is exact rational arithmetic.
+package divisible
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Star describes the divisible-load platform: a master that can
+// optionally compute, and n workers behind dedicated links.
+type Star struct {
+	// MasterW is the master's time per load unit (zero sign = master
+	// does not compute).
+	MasterW rat.Rat
+	// W[i] is worker i's time per load unit; C[i] its link's time per
+	// load unit; L[i] an optional per-message start-up latency.
+	W []rat.Rat
+	C []rat.Rat
+	L []rat.Rat
+}
+
+// Validate checks the instance.
+func (s *Star) Validate() error {
+	if len(s.W) == 0 {
+		return fmt.Errorf("divisible: no workers")
+	}
+	if len(s.C) != len(s.W) || (s.L != nil && len(s.L) != len(s.W)) {
+		return fmt.Errorf("divisible: mismatched lengths")
+	}
+	if s.MasterW.Sign() < 0 {
+		return fmt.Errorf("divisible: negative master weight")
+	}
+	for i := range s.W {
+		if s.W[i].Sign() <= 0 || s.C[i].Sign() <= 0 {
+			return fmt.Errorf("divisible: worker %d needs positive w and c", i)
+		}
+		if s.L != nil && s.L[i].Sign() < 0 {
+			return fmt.Errorf("divisible: negative latency")
+		}
+	}
+	return nil
+}
+
+func (s *Star) latency(i int) rat.Rat {
+	if s.L == nil {
+		return rat.Zero()
+	}
+	return s.L[i]
+}
+
+// OneRound computes the optimal single-round distribution of load W
+// for the given worker activation order: the classical closed form
+// where every participant finishes at the same instant (any slack
+// could be re-distributed, so simultaneous completion is necessary at
+// the optimum). It returns the makespan and the chunk sizes (index 0
+// is the master's own share when it computes).
+//
+// Derivation: with activation order o(1..n), worker o(k) starts
+// receiving when o(k-1)'s transfer ends and finishes at
+// sum_{j<=k} (L_j + c_j x_j) + w_k x_k = M. All x are linear in M, so
+// x_k = a_k M + b_k with
+//
+//	a_k = (1 - sum_{j<k} c_j a_j) / (c_k + w_k)
+//	b_k = -(sum_{j<k} (L_j + c_j b_j) + L_k) / (c_k + w_k)
+//
+// and M solves sum x = W.
+func (s *Star) OneRound(order []int, W rat.Rat) (makespan rat.Rat, chunks []rat.Rat, err error) {
+	if err := s.Validate(); err != nil {
+		return rat.Zero(), nil, err
+	}
+	if W.Sign() <= 0 {
+		return rat.Zero(), nil, fmt.Errorf("divisible: load must be positive")
+	}
+	if len(order) != len(s.W) {
+		return rat.Zero(), nil, fmt.Errorf("divisible: order must list every worker")
+	}
+	seen := make([]bool, len(s.W))
+	for _, i := range order {
+		if i < 0 || i >= len(s.W) || seen[i] {
+			return rat.Zero(), nil, fmt.Errorf("divisible: bad order")
+		}
+		seen[i] = true
+	}
+
+	// x = a*M + b per participant; master first (no communication).
+	var aSum, bSum rat.Rat
+	masterComputes := s.MasterW.Sign() > 0
+	var aM rat.Rat
+	if masterComputes {
+		aM = s.MasterW.Inv() // x_m = M / w_m
+		aSum = aSum.Add(aM)
+	}
+	// Prefix of the master's sending timeline: sum (L_j + c_j x_j).
+	prefA, prefB := rat.Zero(), rat.Zero()
+	aW := make([]rat.Rat, len(order))
+	bW := make([]rat.Rat, len(order))
+	for k, i := range order {
+		den := s.C[i].Add(s.W[i])
+		aW[k] = rat.One().Sub(prefA).Div(den)
+		bW[k] = prefB.Add(s.latency(i)).Neg().Div(den)
+		prefA = prefA.Add(s.C[i].Mul(aW[k]))
+		prefB = prefB.Add(s.latency(i)).Add(s.C[i].Mul(bW[k]))
+		aSum = aSum.Add(aW[k])
+		bSum = bSum.Add(bW[k])
+	}
+	if aSum.Sign() <= 0 {
+		return rat.Zero(), nil, fmt.Errorf("divisible: degenerate instance")
+	}
+	M := W.Sub(bSum).Div(aSum)
+
+	chunks = make([]rat.Rat, len(s.W)+1)
+	if masterComputes {
+		chunks[0] = aM.Mul(M)
+	}
+	for k, i := range order {
+		x := aW[k].Mul(M).Add(bW[k])
+		if x.Sign() < 0 {
+			// With large latencies a far worker may best receive
+			// nothing; the closed form then does not apply. Signal it.
+			return rat.Zero(), nil, fmt.Errorf("divisible: worker %d gets negative chunk (drop it from the order)", i)
+		}
+		chunks[i+1] = x
+	}
+	return M, chunks, nil
+}
+
+// BestOneRound tries every activation order (n <= 8) and returns the
+// best single-round makespan with its order.
+func (s *Star) BestOneRound(W rat.Rat) (rat.Rat, []int, error) {
+	n := len(s.W)
+	if n > 8 {
+		return rat.Zero(), nil, fmt.Errorf("divisible: exhaustive order search limited to 8 workers")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var best rat.Rat
+	var bestOrder []int
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == n {
+			m, _, err := s.OneRound(perm, W)
+			if err != nil {
+				return nil // orders where a worker would get a negative chunk are skipped
+			}
+			if bestOrder == nil || m.Less(best) {
+				best = m
+				bestOrder = append([]int(nil), perm...)
+			}
+			return nil
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return rat.Zero(), nil, err
+	}
+	if bestOrder == nil {
+		return rat.Zero(), nil, fmt.Errorf("divisible: no feasible order")
+	}
+	return best, bestOrder, nil
+}
+
+// SteadyStateRate returns the platform's asymptotic processing rate
+// (load units per time unit): the same fractional-knapsack bound as
+// master-slave tasking — the master's unit of sending time is spent
+// on the cheapest links first, each worker capped at its compute rate
+// — plus the master's own rate. No finite schedule can beat W / rate.
+func (s *Star) SteadyStateRate() (rat.Rat, error) {
+	if err := s.Validate(); err != nil {
+		return rat.Zero(), err
+	}
+	type worker struct{ c, rate rat.Rat }
+	ws := make([]worker, len(s.W))
+	for i := range s.W {
+		ws[i] = worker{c: s.C[i], rate: s.W[i].Inv()}
+	}
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].c.Less(ws[j-1].c); j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	rate := rat.Zero()
+	if s.MasterW.Sign() > 0 {
+		rate = s.MasterW.Inv()
+	}
+	budget := rat.One()
+	for _, w := range ws {
+		if budget.Sign() <= 0 {
+			break
+		}
+		need := w.c.Mul(w.rate)
+		if need.Cmp(budget) <= 0 {
+			rate = rate.Add(w.rate)
+			budget = budget.Sub(need)
+		} else {
+			rate = rate.Add(budget.Div(w.c))
+			budget = rat.Zero()
+		}
+	}
+	return rate, nil
+}
+
+// MultiRound computes the exact makespan of the uniform
+// multi-installment schedule: the load is cut into `rounds` equal
+// waves, each wave split between participants in proportion to their
+// steady-state rates, and the master sends installments round-robin;
+// a worker computes installment j after finishing installment j-1
+// (receive/compute overlap across installments). This is the §5.2
+// strategy: more rounds means earlier overlap (less idle ramp-up) but
+// more per-message latency.
+func (s *Star) MultiRound(W rat.Rat, rounds int) (rat.Rat, error) {
+	if err := s.Validate(); err != nil {
+		return rat.Zero(), err
+	}
+	if rounds < 1 {
+		return rat.Zero(), fmt.Errorf("divisible: rounds must be >= 1")
+	}
+	if W.Sign() <= 0 {
+		return rat.Zero(), fmt.Errorf("divisible: load must be positive")
+	}
+	// Per-wave shares proportional to steady-state activity: worker i
+	// gets x_i with x_i <= rate_i * tau and master port sum c_i x_i
+	// <= tau for the wave duration tau = waveLoad / rate. Using the
+	// knapsack rates directly keeps every wave feasible.
+	rate, err := s.SteadyStateRate()
+	if err != nil {
+		return rat.Zero(), err
+	}
+	waveLoad := W.Div(rat.FromInt(int64(rounds)))
+	tau := waveLoad.Div(rate)
+
+	// Shares per wave (same knapsack walk as SteadyStateRate).
+	share := make([]rat.Rat, len(s.W))
+	masterShare := rat.Zero()
+	if s.MasterW.Sign() > 0 {
+		masterShare = s.MasterW.Inv().Mul(tau)
+	}
+	type worker struct {
+		idx     int
+		c, rate rat.Rat
+	}
+	ws := make([]worker, len(s.W))
+	for i := range s.W {
+		ws[i] = worker{idx: i, c: s.C[i], rate: s.W[i].Inv()}
+	}
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].c.Less(ws[j-1].c); j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+	budget := rat.One()
+	for _, w := range ws {
+		if budget.Sign() <= 0 {
+			break
+		}
+		need := w.c.Mul(w.rate)
+		var x rat.Rat
+		if need.Cmp(budget) <= 0 {
+			x = w.rate.Mul(tau)
+			budget = budget.Sub(need)
+		} else {
+			x = budget.Div(w.c).Mul(tau)
+			budget = rat.Zero()
+		}
+		share[w.idx] = x
+	}
+
+	// Exact timeline. The master sends waves back to back, workers in
+	// cheap-link-first order within a wave; worker i's installment j
+	// computes at max(recvDone, prevComputeDone) + w*x.
+	sendClock := rat.Zero()
+	computeDone := make([]rat.Rat, len(s.W))
+	makespan := rat.Zero()
+	for r := 0; r < rounds; r++ {
+		for _, w := range ws {
+			i := w.idx
+			if share[i].Sign() == 0 {
+				continue
+			}
+			sendClock = sendClock.Add(s.latency(i)).Add(s.C[i].Mul(share[i]))
+			start := rat.Max(sendClock, computeDone[i])
+			computeDone[i] = start.Add(s.W[i].Mul(share[i]))
+			makespan = rat.Max(makespan, computeDone[i])
+		}
+	}
+	if s.MasterW.Sign() > 0 {
+		masterDone := s.MasterW.Mul(masterShare).Mul(rat.FromInt(int64(rounds)))
+		makespan = rat.Max(makespan, masterDone)
+	}
+	return makespan, nil
+}

@@ -1,0 +1,251 @@
+package divisible
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func ri(n int64) rat.Rat    { return rat.FromInt(n) }
+func rr(n, d int64) rat.Rat { return rat.New(n, d) }
+
+func simpleStar() *Star {
+	return &Star{
+		MasterW: ri(2),
+		W:       []rat.Rat{ri(1), ri(3)},
+		C:       []rat.Rat{ri(1), ri(2)},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := simpleStar().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Star{
+		{},
+		{W: []rat.Rat{ri(1)}, C: nil},
+		{W: []rat.Rat{ri(0)}, C: []rat.Rat{ri(1)}},
+		{W: []rat.Rat{ri(1)}, C: []rat.Rat{ri(0)}},
+		{MasterW: ri(-1), W: []rat.Rat{ri(1)}, C: []rat.Rat{ri(1)}},
+		{W: []rat.Rat{ri(1)}, C: []rat.Rat{ri(1)}, L: []rat.Rat{ri(-1)}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// TestOneRoundSimultaneousCompletion verifies the defining optimality
+// property of the closed form: every participant finishes exactly at
+// the makespan.
+func TestOneRoundSimultaneousCompletion(t *testing.T) {
+	s := simpleStar()
+	W := ri(10)
+	M, chunks, err := s.OneRound([]int{0, 1}, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Master: w_m * x_0 == M.
+	if !s.MasterW.Mul(chunks[0]).Equal(M) {
+		t.Fatalf("master finishes at %v != %v", s.MasterW.Mul(chunks[0]), M)
+	}
+	// Worker finish times.
+	clock := rat.Zero()
+	for _, i := range []int{0, 1} {
+		clock = clock.Add(s.C[i].Mul(chunks[i+1]))
+		finish := clock.Add(s.W[i].Mul(chunks[i+1]))
+		if !finish.Equal(M) {
+			t.Fatalf("worker %d finishes at %v != makespan %v", i, finish, M)
+		}
+	}
+	// Chunks cover the whole load.
+	total := rat.Sum(chunks...)
+	if !total.Equal(W) {
+		t.Fatalf("chunks sum to %v != %v", total, W)
+	}
+}
+
+func TestOneRoundLinearInLoad(t *testing.T) {
+	// Without latencies the closed form is homogeneous: M(2W) = 2M(W).
+	s := simpleStar()
+	m1, _, err := s.OneRound([]int{0, 1}, ri(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := s.OneRound([]int{0, 1}, ri(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.Equal(m1.Mul(ri(2))) {
+		t.Fatalf("M not linear: %v vs %v", m1, m2)
+	}
+}
+
+func TestOneRoundOrderErrors(t *testing.T) {
+	s := simpleStar()
+	for _, order := range [][]int{{0}, {0, 0}, {0, 5}} {
+		if _, _, err := s.OneRound(order, ri(1)); err == nil {
+			t.Errorf("order %v: expected error", order)
+		}
+	}
+	if _, _, err := s.OneRound([]int{0, 1}, ri(0)); err == nil {
+		t.Fatal("expected load error")
+	}
+}
+
+// TestBestOrderIsCheapLinkFirst checks the classical result on random
+// instances: some cheapest-link-first order achieves the best
+// single-round makespan.
+func TestBestOrderIsCheapLinkFirst(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(3)
+		s := &Star{MasterW: ri(1 + rng.Int63n(5))}
+		for i := 0; i < n; i++ {
+			s.W = append(s.W, ri(1+rng.Int63n(5)))
+			s.C = append(s.C, ri(1+rng.Int63n(5)))
+		}
+		best, _, err := s.BestOneRound(ri(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cheap-link-first order (stable on ties).
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i := 1; i < n; i++ {
+			for j := i; j > 0 && s.C[order[j]].Less(s.C[order[j-1]]); j-- {
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+		m, _, err := s.OneRound(order, ri(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Equal(best) {
+			t.Fatalf("trial %d: cheap-first %v != best %v (C=%v)", trial, m, best, s.C)
+		}
+	}
+}
+
+func TestSteadyStateRateBoundsOneRound(t *testing.T) {
+	// W / rate is a lower bound on any makespan.
+	s := simpleStar()
+	rate, err := s.SteadyStateRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	W := ri(50)
+	m, _, err := s.OneRound([]int{0, 1}, W)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Less(W.Div(rate)) {
+		t.Fatalf("one round %v beats the steady-state bound %v", m, W.Div(rate))
+	}
+}
+
+func TestMultiRoundConvergesToSteadyState(t *testing.T) {
+	// Without latencies, more rounds always helps and the makespan
+	// tends to W / rate (the §5.2 story with C = 0).
+	s := simpleStar()
+	W := ri(100)
+	rate, _ := s.SteadyStateRate()
+	lb := W.Div(rate)
+	prev := rat.Zero()
+	first := true
+	for _, rounds := range []int{1, 2, 4, 16, 64, 256} {
+		m, err := s.MultiRound(W, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Less(lb) {
+			t.Fatalf("rounds=%d: %v beats lower bound %v", rounds, m, lb)
+		}
+		if !first && m.Cmp(prev) > 0 {
+			t.Fatalf("rounds=%d: makespan increased %v -> %v", rounds, prev, m)
+		}
+		prev, first = m, false
+	}
+	// Within 2% at 256 rounds.
+	gap := prev.Sub(lb).Div(lb)
+	if gap.Cmp(rr(1, 50)) > 0 {
+		t.Fatalf("256 rounds still %v away from the bound", gap)
+	}
+}
+
+func TestMultiRoundLatencyTradeoff(t *testing.T) {
+	// With per-message latency the optimal number of rounds is
+	// interior: makespan(m) decreases then increases — the sqrt
+	// trade-off of §5.2.
+	s := simpleStar()
+	s.L = []rat.Rat{ri(2), ri(2)}
+	W := ri(200)
+	var ms []rat.Rat
+	rounds := []int{1, 2, 4, 8, 16, 64, 256}
+	for _, r := range rounds {
+		m, err := s.MultiRound(W, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+	// Find the argmin; it must be strictly inside the range.
+	best := 0
+	for i := range ms {
+		if ms[i].Less(ms[best]) {
+			best = i
+		}
+	}
+	if best == 0 || best == len(ms)-1 {
+		t.Fatalf("optimum at the boundary (%d rounds): %v", rounds[best], ms)
+	}
+}
+
+func TestOneRoundWithLatencies(t *testing.T) {
+	s := simpleStar()
+	s.L = []rat.Rat{ri(1), ri(1)}
+	mLat, _, err := s.OneRound([]int{0, 1}, ri(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.L = nil
+	mNo, _, err := s.OneRound([]int{0, 1}, ri(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mNo.Less(mLat) {
+		t.Fatalf("latency did not increase the makespan: %v vs %v", mNo, mLat)
+	}
+}
+
+func TestMultiRoundErrors(t *testing.T) {
+	s := simpleStar()
+	if _, err := s.MultiRound(ri(10), 0); err == nil {
+		t.Fatal("expected rounds error")
+	}
+	if _, err := s.MultiRound(ri(0), 1); err == nil {
+		t.Fatal("expected load error")
+	}
+}
+
+func TestMasterlessStar(t *testing.T) {
+	s := &Star{
+		W: []rat.Rat{ri(2)},
+		C: []rat.Rat{ri(1)},
+	}
+	M, chunks, err := s.OneRound([]int{0}, ri(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chunks[0].IsZero() {
+		t.Fatal("master without compute got a chunk")
+	}
+	// 6 units: send 6*1, compute 6*2, finish = 6 + 12 = 18.
+	if !M.Equal(ri(18)) {
+		t.Fatalf("makespan %v, want 18", M)
+	}
+}

@@ -1,0 +1,104 @@
+package divisible
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rat"
+)
+
+// quickStar maps raw bytes to a star instance with 1..5 workers.
+func quickStar(raw []byte) *Star {
+	if len(raw) < 3 {
+		return nil
+	}
+	s := &Star{MasterW: rat.FromInt(int64(raw[0]%5) + 1)}
+	for i := 1; i+1 < len(raw) && len(s.W) < 5; i += 2 {
+		s.W = append(s.W, rat.FromInt(int64(raw[i]%5)+1))
+		s.C = append(s.C, rat.FromInt(int64(raw[i+1]%5)+1))
+	}
+	if len(s.W) == 0 {
+		return nil
+	}
+	return s
+}
+
+// TestQuickOneRoundInvariants: chunks sum to W, every participant
+// finishes exactly at the makespan, and the makespan respects the
+// steady-state lower bound.
+func TestQuickOneRoundInvariants(t *testing.T) {
+	f := func(raw []byte, wRaw uint8) bool {
+		s := quickStar(raw)
+		if s == nil {
+			return true
+		}
+		W := rat.FromInt(int64(wRaw%50) + 1)
+		order := make([]int, len(s.W))
+		for i := range order {
+			order[i] = i
+		}
+		M, chunks, err := s.OneRound(order, W)
+		if err != nil {
+			return false
+		}
+		if !rat.Sum(chunks...).Equal(W) {
+			return false
+		}
+		// Master completion.
+		if !s.MasterW.Mul(chunks[0]).Equal(M) {
+			return false
+		}
+		// Worker completions.
+		clock := rat.Zero()
+		for _, i := range order {
+			clock = clock.Add(s.C[i].Mul(chunks[i+1]))
+			if !clock.Add(s.W[i].Mul(chunks[i+1])).Equal(M) {
+				return false
+			}
+		}
+		// Steady-state bound.
+		rate, err := s.SteadyStateRate()
+		if err != nil {
+			return false
+		}
+		return !M.Less(W.Div(rate))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMultiRoundMonotone: without latencies, doubling the rounds
+// never hurts, and every makespan respects the bound.
+func TestQuickMultiRoundMonotone(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := quickStar(raw)
+		if s == nil {
+			return true
+		}
+		W := rat.FromInt(60)
+		rate, err := s.SteadyStateRate()
+		if err != nil {
+			return false
+		}
+		lb := W.Div(rate)
+		prev := rat.Zero()
+		for ri, rounds := range []int{1, 2, 4, 8} {
+			m, err := s.MultiRound(W, rounds)
+			if err != nil {
+				return false
+			}
+			if m.Less(lb) {
+				return false
+			}
+			if ri > 0 && m.Cmp(prev) > 0 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package forecast is the reproduction's stand-in for the Network
+// Weather Service [18] used by §5.5's dynamic scheduling: a family of
+// time-series predictors plus NWS's key idea — run all predictors in
+// parallel on each series, track their errors, and forecast with
+// whichever has been most accurate so far ("use the past to predict
+// the future").
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Predictor forecasts the next value of a series from its history.
+type Predictor interface {
+	// Update feeds one observation.
+	Update(v float64)
+	// Predict returns the forecast for the next observation.
+	Predict() float64
+	// Name labels the predictor.
+	Name() string
+}
+
+// LastValue predicts the most recent observation.
+type LastValue struct{ last float64 }
+
+// Update implements Predictor.
+func (p *LastValue) Update(v float64) { p.last = v }
+
+// Predict implements Predictor.
+func (p *LastValue) Predict() float64 { return p.last }
+
+// Name implements Predictor.
+func (p *LastValue) Name() string { return "last" }
+
+// RunningMean predicts the mean of all observations.
+type RunningMean struct {
+	sum float64
+	n   int
+}
+
+// Update implements Predictor.
+func (p *RunningMean) Update(v float64) { p.sum += v; p.n++ }
+
+// Predict implements Predictor.
+func (p *RunningMean) Predict() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	return p.sum / float64(p.n)
+}
+
+// Name implements Predictor.
+func (p *RunningMean) Name() string { return "mean" }
+
+// WindowMean predicts the mean of the last K observations.
+type WindowMean struct {
+	k   int
+	buf []float64
+}
+
+// NewWindowMean returns a sliding-window mean of width k.
+func NewWindowMean(k int) *WindowMean {
+	if k < 1 {
+		panic("forecast: window must be >= 1")
+	}
+	return &WindowMean{k: k}
+}
+
+// Update implements Predictor.
+func (p *WindowMean) Update(v float64) {
+	p.buf = append(p.buf, v)
+	if len(p.buf) > p.k {
+		p.buf = p.buf[1:]
+	}
+}
+
+// Predict implements Predictor.
+func (p *WindowMean) Predict() float64 {
+	if len(p.buf) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range p.buf {
+		s += v
+	}
+	return s / float64(len(p.buf))
+}
+
+// Name implements Predictor.
+func (p *WindowMean) Name() string { return fmt.Sprintf("window-mean(%d)", p.k) }
+
+// WindowMedian predicts the median of the last K observations,
+// robust to the load spikes of shared platforms.
+type WindowMedian struct {
+	k   int
+	buf []float64
+}
+
+// NewWindowMedian returns a sliding-window median of width k.
+func NewWindowMedian(k int) *WindowMedian {
+	if k < 1 {
+		panic("forecast: window must be >= 1")
+	}
+	return &WindowMedian{k: k}
+}
+
+// Update implements Predictor.
+func (p *WindowMedian) Update(v float64) {
+	p.buf = append(p.buf, v)
+	if len(p.buf) > p.k {
+		p.buf = p.buf[1:]
+	}
+}
+
+// Predict implements Predictor.
+func (p *WindowMedian) Predict() float64 {
+	if len(p.buf) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), p.buf...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Name implements Predictor.
+func (p *WindowMedian) Name() string { return fmt.Sprintf("window-median(%d)", p.k) }
+
+// ExpSmoothing predicts with exponential smoothing of parameter
+// alpha in (0, 1].
+type ExpSmoothing struct {
+	alpha float64
+	val   float64
+	init  bool
+}
+
+// NewExpSmoothing returns an exponential smoother.
+func NewExpSmoothing(alpha float64) *ExpSmoothing {
+	if alpha <= 0 || alpha > 1 {
+		panic("forecast: alpha must be in (0,1]")
+	}
+	return &ExpSmoothing{alpha: alpha}
+}
+
+// Update implements Predictor.
+func (p *ExpSmoothing) Update(v float64) {
+	if !p.init {
+		p.val, p.init = v, true
+		return
+	}
+	p.val = p.alpha*v + (1-p.alpha)*p.val
+}
+
+// Predict implements Predictor.
+func (p *ExpSmoothing) Predict() float64 { return p.val }
+
+// Name implements Predictor.
+func (p *ExpSmoothing) Name() string { return fmt.Sprintf("exp(%.2f)", p.alpha) }
+
+// Adaptive is the NWS mixture: it runs a battery of predictors and
+// forecasts with the one whose mean squared error has been lowest.
+type Adaptive struct {
+	preds []Predictor
+	sqerr []float64
+	n     int
+}
+
+// NewAdaptive returns the standard battery (last value, running mean,
+// window means/medians, exponential smoothings).
+func NewAdaptive() *Adaptive {
+	preds := []Predictor{
+		&LastValue{},
+		&RunningMean{},
+		NewWindowMean(5),
+		NewWindowMean(20),
+		NewWindowMedian(5),
+		NewWindowMedian(20),
+		NewExpSmoothing(0.2),
+		NewExpSmoothing(0.5),
+	}
+	return &Adaptive{preds: preds, sqerr: make([]float64, len(preds))}
+}
+
+// Update implements Predictor: it first scores every sub-predictor
+// against the new observation, then feeds it to all of them.
+func (a *Adaptive) Update(v float64) {
+	if a.n > 0 {
+		for i, p := range a.preds {
+			d := p.Predict() - v
+			a.sqerr[i] += d * d
+		}
+	}
+	for _, p := range a.preds {
+		p.Update(v)
+	}
+	a.n++
+}
+
+// Predict implements Predictor.
+func (a *Adaptive) Predict() float64 {
+	return a.preds[a.Best()].Predict()
+}
+
+// Best returns the index of the predictor with the lowest accumulated
+// squared error.
+func (a *Adaptive) Best() int {
+	best := 0
+	for i := 1; i < len(a.preds); i++ {
+		if a.sqerr[i] < a.sqerr[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// BestName returns the current best sub-predictor's name.
+func (a *Adaptive) BestName() string { return a.preds[a.Best()].Name() }
+
+// Name implements Predictor.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// RMSE evaluates a predictor on a series: at each step it predicts,
+// observes, and accumulates the squared error (the first prediction,
+// made with no history, is skipped).
+func RMSE(p Predictor, series []float64) float64 {
+	if len(series) < 2 {
+		return 0
+	}
+	sum := 0.0
+	for i, v := range series {
+		if i > 0 {
+			d := p.Predict() - v
+			sum += d * d
+		}
+		p.Update(v)
+	}
+	return math.Sqrt(sum / float64(len(series)-1))
+}

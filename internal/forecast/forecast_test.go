@@ -1,0 +1,178 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLastValue(t *testing.T) {
+	p := &LastValue{}
+	p.Update(3)
+	p.Update(7)
+	if p.Predict() != 7 {
+		t.Fatalf("predict = %v", p.Predict())
+	}
+}
+
+func TestRunningMean(t *testing.T) {
+	p := &RunningMean{}
+	if p.Predict() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		p.Update(v)
+	}
+	if p.Predict() != 4 {
+		t.Fatalf("mean = %v", p.Predict())
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	p := NewWindowMean(2)
+	if p.Predict() != 0 {
+		t.Fatal("empty window not 0")
+	}
+	for _, v := range []float64{10, 2, 4} {
+		p.Update(v)
+	}
+	if p.Predict() != 3 {
+		t.Fatalf("window mean = %v, want 3 (last two)", p.Predict())
+	}
+}
+
+func TestWindowMedian(t *testing.T) {
+	p := NewWindowMedian(3)
+	for _, v := range []float64{1, 100, 2} {
+		p.Update(v)
+	}
+	if p.Predict() != 2 {
+		t.Fatalf("median = %v, want 2", p.Predict())
+	}
+	p.Update(3) // window now {100, 2, 3}
+	if p.Predict() != 3 {
+		t.Fatalf("median = %v, want 3", p.Predict())
+	}
+	q := NewWindowMedian(2)
+	q.Update(1)
+	q.Update(5)
+	if q.Predict() != 3 {
+		t.Fatalf("even median = %v, want 3", q.Predict())
+	}
+}
+
+func TestExpSmoothing(t *testing.T) {
+	p := NewExpSmoothing(0.5)
+	p.Update(4)
+	if p.Predict() != 4 {
+		t.Fatal("first value must initialize")
+	}
+	p.Update(8)
+	if p.Predict() != 6 {
+		t.Fatalf("smoothed = %v, want 6", p.Predict())
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewWindowMean(0) },
+		func() { NewWindowMedian(0) },
+		func() { NewExpSmoothing(0) },
+		func() { NewExpSmoothing(1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdaptivePicksLastOnTrend(t *testing.T) {
+	// On a steadily increasing series, last-value beats the running
+	// mean; the adaptive predictor must converge to it.
+	a := NewAdaptive()
+	for i := 0; i < 200; i++ {
+		a.Update(float64(i))
+	}
+	if a.BestName() != "last" {
+		t.Fatalf("best = %q, want last", a.BestName())
+	}
+	if a.Predict() != 199 {
+		t.Fatalf("predict = %v", a.Predict())
+	}
+}
+
+func TestAdaptivePicksRobustOnSpikes(t *testing.T) {
+	// Stable value with occasional huge spikes: medians win over
+	// last-value.
+	a := NewAdaptive()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 400; i++ {
+		v := 10.0
+		if rng.Intn(10) == 0 {
+			v = 1000
+		}
+		a.Update(v)
+	}
+	name := a.BestName()
+	if name == "last" {
+		t.Fatalf("adaptive picked %q on a spiky series", name)
+	}
+}
+
+func TestAdaptiveBeatsWorstPredictor(t *testing.T) {
+	// The adaptive mixture's RMSE is close to the best individual's
+	// on several regimes.
+	regimes := []func(i int, rng *rand.Rand) float64{
+		func(i int, rng *rand.Rand) float64 { return 5 },                                      // constant
+		func(i int, rng *rand.Rand) float64 { return float64(i) * 0.1 },                       // trend
+		func(i int, rng *rand.Rand) float64 { return 5 + rng.NormFloat64() },                  // noise
+		func(i int, rng *rand.Rand) float64 { return 5 + 3*math.Sin(float64(i)/7) },           // periodic
+		func(i int, rng *rand.Rand) float64 { return 5 + float64(rng.Intn(2))*rng.Float64() }, // bursty
+	}
+	for ri, gen := range regimes {
+		rng := rand.New(rand.NewSource(int64(ri + 1)))
+		series := make([]float64, 300)
+		for i := range series {
+			series[i] = gen(i, rng)
+		}
+		adaptive := RMSE(NewAdaptive(), series)
+		best := math.Inf(1)
+		for _, p := range []Predictor{
+			&LastValue{}, &RunningMean{}, NewWindowMean(5), NewWindowMean(20),
+			NewWindowMedian(5), NewWindowMedian(20), NewExpSmoothing(0.2), NewExpSmoothing(0.5),
+		} {
+			if e := RMSE(p, series); e < best {
+				best = e
+			}
+		}
+		if adaptive > best*1.5+1e-9 {
+			t.Fatalf("regime %d: adaptive RMSE %v far above best individual %v", ri, adaptive, best)
+		}
+	}
+}
+
+func TestRMSEShortSeries(t *testing.T) {
+	if RMSE(&LastValue{}, []float64{1}) != 0 {
+		t.Fatal("short series RMSE must be 0")
+	}
+	// Perfect prediction on a constant series (after the first).
+	if RMSE(&LastValue{}, []float64{4, 4, 4, 4}) != 0 {
+		t.Fatal("constant series should have zero error for last-value")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Predictor{
+		&LastValue{}, &RunningMean{}, NewWindowMean(3), NewWindowMedian(3),
+		NewExpSmoothing(0.3), NewAdaptive(),
+	} {
+		if p.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}

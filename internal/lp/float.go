@@ -1,0 +1,277 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rat"
+)
+
+// FloatSolution is the result of the float64 solver.
+type FloatSolution struct {
+	Status    Status
+	Objective float64
+	values    []float64
+}
+
+// Value returns the (approximate) optimal value of v.
+func (s *FloatSolution) Value(v Var) float64 { return s.values[v] }
+
+// Values returns all variable values, indexed by Var.
+func (s *FloatSolution) Values() []float64 { return s.values }
+
+const (
+	floatEps = 1e-9
+	// blandAfter switches from Dantzig's rule to Bland's rule after
+	// this many consecutive degenerate pivots, preventing cycling.
+	blandAfter = 64
+)
+
+// SolveFloat solves the model with a float64 two-phase simplex
+// (Dantzig pricing with a Bland fallback). It exists for the solver
+// ablation (E14): the exact rational solver is the primary engine of
+// this package, but the float solver shows what an off-the-shelf
+// inexact LP would deliver and how the two compare at scale.
+func (m *Model) SolveFloat() (*FloatSolution, error) {
+	t := m.standardize()
+	a := make([][]float64, len(t.a))
+	for i, row := range t.a {
+		a[i] = make([]float64, len(row))
+		for j, v := range row {
+			a[i][j] = v.Float64()
+		}
+	}
+	b := make([]float64, len(t.b))
+	for i, v := range t.b {
+		b[i] = v.Float64()
+	}
+	ft := &floatTableau{
+		a: a, b: b,
+		basis:  append([]int(nil), t.basis...),
+		banned: make([]bool, len(t.cols)),
+		d:      make([]float64, len(t.cols)),
+		cols:   t.cols,
+	}
+	limit := maxPivotsFactor * (len(a) + len(t.cols) + 1)
+
+	c1 := make([]float64, len(t.cols))
+	hasArt := false
+	for j, col := range t.cols {
+		if col.kind == colArtificial {
+			c1[j] = -1
+			hasArt = true
+		}
+	}
+	if hasArt {
+		ft.priceOut(c1)
+		if err := ft.iterate(limit); err != nil {
+			return nil, fmt.Errorf("float phase 1: %w", err)
+		}
+		if math.Abs(ft.objective(c1)) > 1e-6 {
+			return &FloatSolution{Status: Infeasible}, nil
+		}
+		ft.banArtificials()
+	}
+
+	c2 := make([]float64, len(t.cols))
+	for j, col := range t.cols {
+		if col.kind != colStruct {
+			continue
+		}
+		c := m.obj[col.vr].Float64()
+		if col.neg {
+			c = -c
+		}
+		if m.sense == Minimize {
+			c = -c
+		}
+		c2[j] = c
+	}
+	ft.priceOut(c2)
+	if err := ft.iterate(limit); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &FloatSolution{Status: Unbounded}, nil
+		}
+		return nil, fmt.Errorf("float phase 2: %w", err)
+	}
+
+	values := make([]float64, m.NumVars())
+	for i, bj := range ft.basis {
+		col := t.cols[bj]
+		if col.kind != colStruct {
+			continue
+		}
+		if col.neg {
+			values[col.vr] -= ft.b[i]
+		} else {
+			values[col.vr] += ft.b[i]
+		}
+	}
+	obj := 0.0
+	for v, c := range m.obj {
+		obj += c.Float64() * values[v]
+	}
+	return &FloatSolution{Status: Optimal, Objective: obj, values: values}, nil
+}
+
+type floatTableau struct {
+	a      [][]float64
+	b      []float64
+	basis  []int
+	banned []bool
+	d      []float64
+	cols   []column
+
+	degenerate int // consecutive degenerate pivots (triggers Bland)
+}
+
+func (t *floatTableau) priceOut(c []float64) {
+	copy(t.d, c)
+	for i, bj := range t.basis {
+		cb := c[bj]
+		if cb == 0 {
+			continue
+		}
+		for j := range t.d {
+			t.d[j] -= cb * t.a[i][j]
+		}
+	}
+}
+
+func (t *floatTableau) objective(c []float64) float64 {
+	z := 0.0
+	for i, bj := range t.basis {
+		z += c[bj] * t.b[i]
+	}
+	return z
+}
+
+func (t *floatTableau) iterate(limit int) error {
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return ErrIterationLimit
+		}
+		enter := -1
+		if t.degenerate < blandAfter {
+			// Dantzig: most positive reduced cost.
+			best := floatEps
+			for j := range t.d {
+				if !t.banned[j] && t.d[j] > best {
+					best, enter = t.d[j], j
+				}
+			}
+		} else {
+			// Bland fallback: first eligible column.
+			for j := range t.d {
+				if !t.banned[j] && t.d[j] > floatEps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := range t.a {
+			aie := t.a[i][enter]
+			if aie <= floatEps {
+				continue
+			}
+			ratio := t.b[i] / aie
+			if ratio < best-floatEps ||
+				(math.Abs(ratio-best) <= floatEps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				best, leave = ratio, i
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		if best <= floatEps {
+			t.degenerate++
+		} else {
+			t.degenerate = 0
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+func (t *floatTableau) pivot(r, e int) {
+	inv := 1 / t.a[r][e]
+	row := t.a[r]
+	for j := range row {
+		row[j] *= inv
+	}
+	t.b[r] *= inv
+	for i := range t.a {
+		if i == r {
+			continue
+		}
+		f := t.a[i][e]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= f * row[j]
+		}
+		t.b[i] -= f * t.b[r]
+		if t.b[i] < 0 && t.b[i] > -floatEps {
+			t.b[i] = 0
+		}
+	}
+	f := t.d[e]
+	if f != 0 {
+		for j := range t.d {
+			t.d[j] -= f * row[j]
+		}
+	}
+	t.basis[r] = e
+}
+
+func (t *floatTableau) banArtificials() {
+	for j, col := range t.cols {
+		if col.kind == colArtificial {
+			t.banned[j] = true
+		}
+	}
+	for i := 0; i < len(t.a); i++ {
+		bj := t.basis[i]
+		if t.cols[bj].kind != colArtificial {
+			continue
+		}
+		pivoted := false
+		for j := range t.cols {
+			if t.banned[j] || t.cols[j].kind == colArtificial {
+				continue
+			}
+			if math.Abs(t.a[i][j]) > floatEps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			last := len(t.a) - 1
+			t.a[i], t.a[last] = t.a[last], t.a[i]
+			t.b[i], t.b[last] = t.b[last], t.b[i]
+			t.basis[i], t.basis[last] = t.basis[last], t.basis[i]
+			t.a = t.a[:last]
+			t.b = t.b[:last]
+			t.basis = t.basis[:last]
+			i--
+		}
+	}
+}
+
+// RatValues converts a float solution to rationals with bounded
+// denominators, for feeding approximate solves into exact machinery.
+func (s *FloatSolution) RatValues(maxDen int64) []rat.Rat {
+	out := make([]rat.Rat, len(s.values))
+	for i, v := range s.values {
+		out[i] = rat.ApproxFloat(v, maxDen)
+	}
+	return out
+}

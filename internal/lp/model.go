@@ -1,0 +1,262 @@
+// Package lp implements linear programming for steady-state
+// scheduling: a model builder, an exact two-phase primal simplex over
+// rationals (Bland's rule, guaranteed to terminate, no tolerances),
+// and a float64 simplex used for scale/ablation comparisons.
+//
+// The steady-state framework of Beaumont et al. requires *rational*
+// optima — the schedule period is the lcm of the solution's
+// denominators — which is why the exact solver is the primary engine.
+package lp
+
+import (
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// Sense selects the optimization direction.
+type Sense int
+
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+const (
+	LE Op = iota // <=
+	GE           // >=
+	EQ           // ==
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Var identifies a decision variable within its Model.
+type Var int
+
+// Term is coefficient times variable.
+type Term struct {
+	Var  Var
+	Coef rat.Rat
+}
+
+// Expr is a linear expression Σ coef·var.
+type Expr []Term
+
+// Plus appends a term and returns the extended expression.
+func (e Expr) Plus(v Var, c rat.Rat) Expr { return append(e, Term{v, c}) }
+
+// PlusInt appends a term with an integer coefficient.
+func (e Expr) PlusInt(v Var, c int64) Expr { return e.Plus(v, rat.FromInt(c)) }
+
+// Constraint is expr op rhs.
+type Constraint struct {
+	Name string
+	Expr Expr
+	Op   Op
+	RHS  rat.Rat
+}
+
+// Model is a linear program under construction. All variables are
+// non-negative unless marked free; upper bounds become rows.
+type Model struct {
+	names []string
+	free  []bool
+	upper []rat.Rat
+	hasUp []bool
+
+	obj   map[Var]rat.Rat
+	sense Sense
+	cons  []Constraint
+}
+
+// NewModel returns an empty maximization model.
+func NewModel() *Model {
+	return &Model{obj: make(map[Var]rat.Rat)}
+}
+
+// Var adds a non-negative variable and returns its handle.
+func (m *Model) Var(name string) Var {
+	m.names = append(m.names, name)
+	m.free = append(m.free, false)
+	m.upper = append(m.upper, rat.Zero())
+	m.hasUp = append(m.hasUp, false)
+	return Var(len(m.names) - 1)
+}
+
+// VarRange adds a variable with 0 <= x <= up.
+func (m *Model) VarRange(name string, up rat.Rat) Var {
+	v := m.Var(name)
+	m.SetUpper(v, up)
+	return v
+}
+
+// SetUpper sets (or replaces) an upper bound x <= up.
+func (m *Model) SetUpper(v Var, up rat.Rat) {
+	m.upper[v] = up
+	m.hasUp[v] = true
+}
+
+// SetFree marks a variable as unrestricted in sign.
+func (m *Model) SetFree(v Var) { m.free[v] = true }
+
+// Name returns the variable's name.
+func (m *Model) Name(v Var) string { return m.names[v] }
+
+// NumVars returns the number of declared variables.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumCons returns the number of added constraints.
+func (m *Model) NumCons() int { return len(m.cons) }
+
+// Objective sets the objective sense and expression (replacing any
+// previous objective).
+func (m *Model) Objective(sense Sense, e Expr) {
+	m.sense = sense
+	m.obj = make(map[Var]rat.Rat, len(e))
+	for _, t := range e {
+		m.obj[t.Var] = m.obj[t.Var].Add(t.Coef)
+	}
+}
+
+// ObjCoef adds c to the objective coefficient of v.
+func (m *Model) ObjCoef(v Var, c rat.Rat) {
+	m.obj[v] = m.obj[v].Add(c)
+}
+
+// Constrain adds expr op rhs with a diagnostic name.
+func (m *Model) Constrain(name string, e Expr, op Op, rhs rat.Rat) {
+	m.cons = append(m.cons, Constraint{Name: name, Expr: e, Op: op, RHS: rhs})
+}
+
+// Le adds expr <= rhs.
+func (m *Model) Le(name string, e Expr, rhs rat.Rat) { m.Constrain(name, e, LE, rhs) }
+
+// Ge adds expr >= rhs.
+func (m *Model) Ge(name string, e Expr, rhs rat.Rat) { m.Constrain(name, e, GE, rhs) }
+
+// Eq adds expr == rhs.
+func (m *Model) Eq(name string, e Expr, rhs rat.Rat) { m.Constrain(name, e, EQ, rhs) }
+
+// Status describes the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Solution is the result of an exact solve.
+type Solution struct {
+	Status    Status
+	Objective rat.Rat
+	values    []rat.Rat
+	duals     []rat.Rat // one per constraint, sign convention of the LE/GE/EQ row
+	model     *Model
+}
+
+// Value returns the optimal value of v.
+func (s *Solution) Value(v Var) rat.Rat { return s.values[v] }
+
+// Values returns all variable values, indexed by Var.
+func (s *Solution) Values() []rat.Rat { return s.values }
+
+// Dual returns the dual multiplier of constraint i (in the order the
+// constraints were added).
+func (s *Solution) Dual(i int) rat.Rat { return s.duals[i] }
+
+// evalExpr computes expr at the given point.
+func evalExpr(e Expr, x []rat.Rat) rat.Rat {
+	v := rat.Zero()
+	for _, t := range e {
+		v = v.Add(t.Coef.Mul(x[t.Var]))
+	}
+	return v
+}
+
+// CheckFeasible verifies that x satisfies every constraint and bound
+// of the model exactly; it returns a descriptive error otherwise.
+func (m *Model) CheckFeasible(x []rat.Rat) error {
+	if len(x) != len(m.names) {
+		return fmt.Errorf("lp: point has %d values, model has %d vars", len(x), len(m.names))
+	}
+	for v := range m.names {
+		if !m.free[v] && x[v].Sign() < 0 {
+			return fmt.Errorf("lp: var %s = %v violates x >= 0", m.names[v], x[v])
+		}
+		if m.hasUp[v] && x[v].Cmp(m.upper[v]) > 0 {
+			return fmt.Errorf("lp: var %s = %v violates upper bound %v", m.names[v], x[v], m.upper[v])
+		}
+	}
+	for i, c := range m.cons {
+		lhs := evalExpr(c.Expr, x)
+		ok := false
+		switch c.Op {
+		case LE:
+			ok = lhs.Cmp(c.RHS) <= 0
+		case GE:
+			ok = lhs.Cmp(c.RHS) >= 0
+		case EQ:
+			ok = lhs.Equal(c.RHS)
+		}
+		if !ok {
+			return fmt.Errorf("lp: constraint %d (%s): %v %s %v violated",
+				i, c.Name, lhs, c.Op, c.RHS)
+		}
+	}
+	return nil
+}
+
+// ObjectiveAt evaluates the objective at x.
+func (m *Model) ObjectiveAt(x []rat.Rat) rat.Rat {
+	v := rat.Zero()
+	for vr, c := range m.obj {
+		v = v.Add(c.Mul(x[vr]))
+	}
+	return v
+}
+
+// String renders the model in an LP-file-like format for debugging.
+func (m *Model) String() string {
+	s := "max "
+	if m.sense == Minimize {
+		s = "min "
+	}
+	for v, c := range m.obj {
+		s += fmt.Sprintf("%v*%s ", c, m.names[v])
+	}
+	s += "\n"
+	for _, c := range m.cons {
+		s += "  " + c.Name + ": "
+		for _, t := range c.Expr {
+			s += fmt.Sprintf("%v*%s ", t.Coef, m.names[t.Var])
+		}
+		s += fmt.Sprintf("%s %v\n", c.Op, c.RHS)
+	}
+	return s
+}

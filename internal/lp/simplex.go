@@ -1,0 +1,426 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rat"
+)
+
+// ErrIterationLimit is returned when the pivot budget is exhausted.
+// With Bland's rule over exact rationals this indicates a genuinely
+// enormous problem rather than cycling.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+// maxPivotsFactor bounds pivots at factor*(rows+cols), a generous
+// budget for the platform-sized programs of this package.
+const maxPivotsFactor = 200
+
+// colKind distinguishes tableau columns for extraction and duals.
+type colKind int8
+
+const (
+	colStruct  colKind = iota
+	colSlack           // +1 coefficient in its row (LE rows)
+	colSurplus         // -1 coefficient in its row (GE rows)
+	colArtificial
+)
+
+// column describes one tableau column.
+type column struct {
+	kind colKind
+	vr   Var  // for colStruct: the model variable
+	neg  bool // for colStruct: the negative part of a free variable
+	row  int  // for slack/surplus/artificial: the owning row
+}
+
+// stdRow is a standardized constraint row.
+type stdRow struct {
+	coef    []rat.Rat // over structural columns
+	op      Op
+	rhs     rat.Rat
+	conIdx  int  // index into model.cons, or -1 for an upper-bound row
+	flipped bool // row was negated to make rhs >= 0
+	origin  int  // row index at tableau construction (before removals)
+}
+
+// tableau is a dense simplex tableau in canonical (basis = identity)
+// form with an incrementally maintained reduced-cost vector.
+type tableau struct {
+	a      [][]rat.Rat // m x n
+	b      []rat.Rat   // m
+	basis  []int       // m
+	banned []bool      // n: artificial columns excluded in phase 2
+	d      []rat.Rat   // n reduced costs (c_j - c_B B^-1 A_j)
+	cols   []column
+	rows   []stdRow // parallel to a (after any redundant-row removal)
+}
+
+// Solve runs the exact two-phase primal simplex with Bland's rule and
+// returns an exact rational optimum (or Infeasible/Unbounded status).
+func (m *Model) Solve() (*Solution, error) {
+	t := m.standardize()
+	limit := maxPivotsFactor * (len(t.a) + len(t.cols) + 1)
+
+	// Phase 1: maximize -(sum of artificials).
+	c1 := make([]rat.Rat, len(t.cols))
+	hasArt := false
+	for j, col := range t.cols {
+		if col.kind == colArtificial {
+			c1[j] = rat.FromInt(-1)
+			hasArt = true
+		}
+	}
+	if hasArt {
+		t.priceOut(c1)
+		if err := t.iterate(limit); err != nil {
+			return nil, fmt.Errorf("phase 1: %w", err)
+		}
+		if t.objective(c1).Sign() != 0 {
+			return &Solution{Status: Infeasible, model: m}, nil
+		}
+		t.banArtificials()
+	}
+
+	// Phase 2: real objective (negated for minimization).
+	c2 := make([]rat.Rat, len(t.cols))
+	for j, col := range t.cols {
+		if col.kind != colStruct {
+			continue
+		}
+		c := m.obj[col.vr]
+		if col.neg {
+			c = c.Neg()
+		}
+		if m.sense == Minimize {
+			c = c.Neg()
+		}
+		c2[j] = c
+	}
+	t.priceOut(c2)
+	if err := t.iterate(limit); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded, model: m}, nil
+		}
+		return nil, fmt.Errorf("phase 2: %w", err)
+	}
+
+	// Extract primal values.
+	values := make([]rat.Rat, m.NumVars())
+	for i, bj := range t.basis {
+		col := t.cols[bj]
+		if col.kind != colStruct {
+			continue
+		}
+		if col.neg {
+			values[col.vr] = values[col.vr].Sub(t.b[i])
+		} else {
+			values[col.vr] = values[col.vr].Add(t.b[i])
+		}
+	}
+	obj := m.ObjectiveAt(values)
+
+	// Extract duals: y_i from the reduced cost of the column that was
+	// the identity column of row i (slack: y=-d, surplus: y=+d,
+	// artificial: y=-d). Flip back rows that were negated.
+	duals := make([]rat.Rat, m.NumCons())
+	for j, col := range t.cols {
+		var y rat.Rat
+		switch col.kind {
+		case colSlack, colArtificial:
+			y = t.d[j].Neg()
+		case colSurplus:
+			y = t.d[j]
+		default:
+			continue
+		}
+		r := t.rowByOrigin(col.row)
+		if r == nil || r.conIdx < 0 {
+			continue
+		}
+		if r.flipped {
+			y = y.Neg()
+		}
+		if m.sense == Minimize {
+			y = y.Neg()
+		}
+		duals[r.conIdx] = y
+	}
+
+	return &Solution{
+		Status:    Optimal,
+		Objective: obj,
+		values:    values,
+		duals:     duals,
+		model:     m,
+	}, nil
+}
+
+// rowByOrigin finds the surviving row whose identity column was
+// created for original (pre-removal) row index orig.
+func (t *tableau) rowByOrigin(orig int) *stdRow {
+	if orig < len(t.rows) && t.rows[orig].origin == orig {
+		return &t.rows[orig]
+	}
+	for i := range t.rows {
+		if t.rows[i].origin == orig {
+			return &t.rows[i]
+		}
+	}
+	return nil
+}
+
+// standardize converts the model to equational form with rhs >= 0 and
+// an all-identity starting basis of slacks/artificials.
+func (m *Model) standardize() *tableau {
+	// Structural columns.
+	var cols []column
+	structOf := make([]int, m.NumVars()) // var -> first (positive) column
+	for v := 0; v < m.NumVars(); v++ {
+		structOf[v] = len(cols)
+		cols = append(cols, column{kind: colStruct, vr: Var(v)})
+		if m.free[v] {
+			cols = append(cols, column{kind: colStruct, vr: Var(v), neg: true})
+		}
+	}
+	nStruct := len(cols)
+
+	// Rows: constraints then upper bounds.
+	var rows []stdRow
+	addRow := func(coefVar map[Var]rat.Rat, op Op, rhs rat.Rat, conIdx int) {
+		coef := make([]rat.Rat, nStruct)
+		for v, c := range coefVar {
+			j := structOf[v]
+			coef[j] = coef[j].Add(c)
+			if m.free[v] {
+				coef[j+1] = coef[j+1].Sub(c)
+			}
+		}
+		flipped := false
+		if rhs.Sign() < 0 {
+			flipped = true
+			rhs = rhs.Neg()
+			for j := range coef {
+				coef[j] = coef[j].Neg()
+			}
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		rows = append(rows, stdRow{coef: coef, op: op, rhs: rhs, conIdx: conIdx, flipped: flipped})
+	}
+	for i, c := range m.cons {
+		cv := make(map[Var]rat.Rat, len(c.Expr))
+		for _, term := range c.Expr {
+			cv[term.Var] = cv[term.Var].Add(term.Coef)
+		}
+		addRow(cv, c.Op, c.RHS, i)
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		if m.hasUp[v] {
+			addRow(map[Var]rat.Rat{Var(v): rat.One()}, LE, m.upper[v], -1)
+		}
+	}
+
+	// Slack/surplus/artificial columns and the initial basis.
+	mRows := len(rows)
+	t := &tableau{
+		a:     make([][]rat.Rat, mRows),
+		b:     make([]rat.Rat, mRows),
+		basis: make([]int, mRows),
+	}
+	for i := range rows {
+		rows[i].origin = i
+	}
+	for i, r := range rows {
+		switch r.op {
+		case LE:
+			cols = append(cols, column{kind: colSlack, row: i})
+		case GE:
+			cols = append(cols, column{kind: colSurplus, row: i})
+			cols = append(cols, column{kind: colArtificial, row: i})
+		case EQ:
+			cols = append(cols, column{kind: colArtificial, row: i})
+		}
+	}
+	n := len(cols)
+	for i, r := range rows {
+		row := make([]rat.Rat, n)
+		copy(row, r.coef)
+		t.a[i] = row
+		t.b[i] = r.rhs
+	}
+	for j, col := range cols {
+		switch col.kind {
+		case colSlack:
+			t.a[col.row][j] = rat.One()
+			t.basis[col.row] = j
+		case colSurplus:
+			t.a[col.row][j] = rat.FromInt(-1)
+		case colArtificial:
+			t.a[col.row][j] = rat.One()
+			t.basis[col.row] = j
+		}
+	}
+	t.cols = cols
+	t.rows = rows
+	t.banned = make([]bool, n)
+	t.d = make([]rat.Rat, n)
+	return t
+}
+
+// priceOut initializes the reduced costs d_j = c_j - c_B B^-1 A_j for
+// the current basis and cost vector c.
+func (t *tableau) priceOut(c []rat.Rat) {
+	for j := range t.d {
+		t.d[j] = c[j]
+	}
+	for i, bj := range t.basis {
+		cb := c[bj]
+		if cb.IsZero() {
+			continue
+		}
+		for j := range t.d {
+			if t.a[i][j].IsZero() {
+				continue
+			}
+			t.d[j] = t.d[j].Sub(cb.Mul(t.a[i][j]))
+		}
+	}
+}
+
+// objective returns c_B . b for the current basis.
+func (t *tableau) objective(c []rat.Rat) rat.Rat {
+	z := rat.Zero()
+	for i, bj := range t.basis {
+		z = z.Add(c[bj].Mul(t.b[i]))
+	}
+	return z
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// iterate runs Bland-rule pivots until optimality (all d_j <= 0 over
+// unbanned columns) or unboundedness.
+func (t *tableau) iterate(limit int) error {
+	for iter := 0; ; iter++ {
+		if iter > limit {
+			return ErrIterationLimit
+		}
+		// Entering: smallest-index unbanned column with d > 0.
+		enter := -1
+		for j := range t.d {
+			if !t.banned[j] && t.d[j].Sign() > 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		// Leaving: min ratio b_i / a_ie over a_ie > 0; ties by
+		// smallest basic variable index (Bland).
+		leave := -1
+		var best rat.Rat
+		for i := range t.a {
+			aie := t.a[i][enter]
+			if aie.Sign() <= 0 {
+				continue
+			}
+			ratio := t.b[i].Div(aie)
+			if leave < 0 || ratio.Less(best) ||
+				(ratio.Equal(best) && t.basis[i] < t.basis[leave]) {
+				leave, best = i, ratio
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot performs a full tableau pivot on (r, e), keeping b, a and the
+// reduced costs canonical for the new basis.
+func (t *tableau) pivot(r, e int) {
+	piv := t.a[r][e]
+	inv := piv.Inv()
+	row := t.a[r]
+	for j := range row {
+		if !row[j].IsZero() {
+			row[j] = row[j].Mul(inv)
+		}
+	}
+	t.b[r] = t.b[r].Mul(inv)
+	for i := range t.a {
+		if i == r {
+			continue
+		}
+		f := t.a[i][e]
+		if f.IsZero() {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			if !row[j].IsZero() {
+				ai[j] = ai[j].Sub(f.Mul(row[j]))
+			}
+		}
+		t.b[i] = t.b[i].Sub(f.Mul(t.b[r]))
+	}
+	f := t.d[e]
+	if !f.IsZero() {
+		for j := range t.d {
+			if !row[j].IsZero() {
+				t.d[j] = t.d[j].Sub(f.Mul(row[j]))
+			}
+		}
+	}
+	t.basis[r] = e
+}
+
+// banArtificials excludes artificial columns after phase 1, pivoting
+// out any artificial that is still (degenerately) basic and dropping
+// rows that turn out to be redundant.
+func (t *tableau) banArtificials() {
+	for j, col := range t.cols {
+		if col.kind == colArtificial {
+			t.banned[j] = true
+		}
+	}
+	for i := 0; i < len(t.a); i++ {
+		bj := t.basis[i]
+		if t.cols[bj].kind != colArtificial {
+			continue
+		}
+		// Degenerate artificial basic at value 0: pivot it out on any
+		// unbanned nonzero coefficient (rhs is 0, so any sign is safe).
+		pivoted := false
+		for j := range t.cols {
+			if t.banned[j] || t.cols[j].kind == colArtificial {
+				continue
+			}
+			if !t.a[i][j].IsZero() {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: remove it.
+			last := len(t.a) - 1
+			t.a[i], t.a[last] = t.a[last], t.a[i]
+			t.b[i], t.b[last] = t.b[last], t.b[i]
+			t.basis[i], t.basis[last] = t.basis[last], t.basis[i]
+			t.rows[i], t.rows[last] = t.rows[last], t.rows[i]
+			t.a = t.a[:last]
+			t.b = t.b[:last]
+			t.basis = t.basis[:last]
+			t.rows = t.rows[:last]
+			i--
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rat"
+)
+
+// Figure1 builds the example platform of the paper's Figure 1: six
+// nodes P1..P6 with edges P1-P2, P1-P3, P2-P4, P2-P5, P3-P6, P4-P5,
+// P5-P6 (each added in both directions here, since the figure's links
+// carry no arrowheads and §2 says links are oriented — a bidirectional
+// link is two opposite edges).
+//
+// The paper's figure shows symbolic labels only; the concrete rational
+// values below are this reproduction's fixed instance (documented in
+// DESIGN.md).
+func Figure1() *Platform {
+	p := New()
+	p1 := p.AddNode("P1", WInt(3))
+	p2 := p.AddNode("P2", WInt(2))
+	p3 := p.AddNode("P3", WInt(3))
+	p4 := p.AddNode("P4", WInt(1))
+	p5 := p.AddNode("P5", WInt(4))
+	p6 := p.AddNode("P6", WInt(2))
+	p.AddBoth(p1, p2, rat.FromInt(1)) // c12
+	p.AddBoth(p1, p3, rat.FromInt(2)) // c13
+	p.AddBoth(p2, p4, rat.FromInt(1)) // c24
+	p.AddBoth(p2, p5, rat.FromInt(2)) // c25
+	p.AddBoth(p3, p6, rat.FromInt(3)) // c36
+	p.AddBoth(p4, p5, rat.FromInt(2)) // c45
+	p.AddBoth(p5, p6, rat.FromInt(1)) // c56
+	return p
+}
+
+// Figure2 builds the multicast counterexample platform of the paper's
+// Figure 2: seven nodes P0..P6, source P0, targets {P5, P6}. All edge
+// costs are 1 except c(P3->P4) = 2. The edge set is inferred from the
+// flows of Figure 3: P0->P1, P0->P2, P1->P5, P1->P3, P2->P3, P2->P6,
+// P3->P4, P4->P5, P4->P6.
+func Figure2() *Platform {
+	p := New()
+	ids := make([]int, 7)
+	for i := range ids {
+		// Computation weights are irrelevant for the multicast
+		// problem; use 1.
+		ids[i] = p.AddNode(fmt.Sprintf("P%d", i), WInt(1))
+	}
+	one := rat.FromInt(1)
+	p.AddEdge(ids[0], ids[1], one)
+	p.AddEdge(ids[0], ids[2], one)
+	p.AddEdge(ids[1], ids[5], one)
+	p.AddEdge(ids[1], ids[3], one)
+	p.AddEdge(ids[2], ids[3], one)
+	p.AddEdge(ids[2], ids[6], one)
+	p.AddEdge(ids[3], ids[4], rat.FromInt(2))
+	p.AddEdge(ids[4], ids[5], one)
+	p.AddEdge(ids[4], ids[6], one)
+	return p
+}
+
+// Figure2Targets returns the multicast target set of Figure 2.
+func Figure2Targets(p *Platform) []int {
+	return []int{p.NodeByName("P5"), p.NodeByName("P6")}
+}
+
+// Star builds a single-level master/worker platform: master P0 linked
+// to n workers with the given weights and link costs. The classic
+// bandwidth-centric scenario of [3].
+func Star(masterW Weight, workerW []Weight, link []rat.Rat) *Platform {
+	if len(workerW) != len(link) {
+		panic("platform: Star: mismatched lengths")
+	}
+	p := New()
+	m := p.AddNode("P0", masterW)
+	for i := range workerW {
+		w := p.AddNode(fmt.Sprintf("P%d", i+1), workerW[i])
+		p.AddEdge(m, w, link[i])
+	}
+	return p
+}
+
+// Tree builds a complete k-ary tree of the given depth with random
+// weights/costs in [1, maxW] and [1, maxC]. Edges point away from the
+// root (node 0) and back, modelling a hierarchical grid.
+func Tree(rng *rand.Rand, fanout, depth int, maxW, maxC int64) *Platform {
+	p := New()
+	root := p.AddNode("N0", WInt(1+rng.Int63n(maxW)))
+	frontier := []int{root}
+	next := 1
+	for d := 0; d < depth; d++ {
+		var newFrontier []int
+		for _, u := range frontier {
+			for k := 0; k < fanout; k++ {
+				v := p.AddNode(fmt.Sprintf("N%d", next), WInt(1+rng.Int63n(maxW)))
+				next++
+				c := rat.FromInt(1 + rng.Int63n(maxC))
+				p.AddBoth(u, v, c)
+				newFrontier = append(newFrontier, v)
+			}
+		}
+		frontier = newFrontier
+	}
+	return p
+}
+
+// RandomConnected builds a random strongly-connected platform: a
+// random ring through all n nodes (guaranteeing strong connectivity)
+// plus extra random bidirectional links. Weights are in [1,maxW],
+// costs in [1,maxC]; a proportion forwardOnly of nodes (never node 0)
+// get w = +inf.
+func RandomConnected(rng *rand.Rand, n, extra int, maxW, maxC int64, forwardOnly float64) *Platform {
+	p := New()
+	for i := 0; i < n; i++ {
+		w := WInt(1 + rng.Int63n(maxW))
+		if i > 0 && rng.Float64() < forwardOnly {
+			w = WInf()
+		}
+		p.AddNode(fmt.Sprintf("N%d", i), w)
+	}
+	perm := rng.Perm(n)
+	for i := 0; i < n; i++ {
+		u, v := perm[i], perm[(i+1)%n]
+		p.AddEdge(u, v, rat.FromInt(1+rng.Int63n(maxC)))
+	}
+	for k := 0; k < extra; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || p.FindEdge(u, v) >= 0 {
+			continue
+		}
+		p.AddEdge(u, v, rat.FromInt(1+rng.Int63n(maxC)))
+	}
+	return p
+}
+
+// Grid builds an r x c torus-free mesh with bidirectional links,
+// random weights/costs.
+func Grid(rng *rand.Rand, rows, cols int, maxW, maxC int64) *Platform {
+	p := New()
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			p.AddNode(fmt.Sprintf("N%d_%d", r, c), WInt(1+rng.Int63n(maxW)))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				p.AddBoth(id(r, c), id(r, c+1), rat.FromInt(1+rng.Int63n(maxC)))
+			}
+			if r+1 < rows {
+				p.AddBoth(id(r, c), id(r+1, c), rat.FromInt(1+rng.Int63n(maxC)))
+			}
+		}
+	}
+	return p
+}
+
+// Clique builds a complete bidirectional graph on n nodes.
+func Clique(rng *rand.Rand, n int, maxW, maxC int64) *Platform {
+	p := New()
+	for i := 0; i < n; i++ {
+		p.AddNode(fmt.Sprintf("N%d", i), WInt(1+rng.Int63n(maxW)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			p.AddBoth(i, j, rat.FromInt(1+rng.Int63n(maxC)))
+		}
+	}
+	return p
+}
+
+// Ring builds a bidirectional ring on n nodes.
+func Ring(rng *rand.Rand, n int, maxW, maxC int64) *Platform {
+	p := New()
+	for i := 0; i < n; i++ {
+		p.AddNode(fmt.Sprintf("N%d", i), WInt(1+rng.Int63n(maxW)))
+	}
+	for i := 0; i < n; i++ {
+		p.AddBoth(i, (i+1)%n, rat.FromInt(1+rng.Int63n(maxC)))
+	}
+	return p
+}

@@ -1,0 +1,81 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/rat"
+)
+
+// jsonPlatform is the serialized form used by the cmd tools.
+type jsonPlatform struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name string `json:"name"`
+	W    string `json:"w"` // rational or "inf"
+}
+
+type jsonEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	C    string `json:"c"`
+}
+
+// WriteJSON serializes the platform.
+func (p *Platform) WriteJSON(w io.Writer) error {
+	jp := jsonPlatform{}
+	for i := 0; i < p.NumNodes(); i++ {
+		jp.Nodes = append(jp.Nodes, jsonNode{Name: p.Name(i), W: p.Weight(i).String()})
+	}
+	for _, e := range p.Edges() {
+		jp.Edges = append(jp.Edges, jsonEdge{
+			From: p.Name(e.From), To: p.Name(e.To), C: e.C.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadJSON deserializes a platform written by WriteJSON.
+func ReadJSON(r io.Reader) (*Platform, error) {
+	var jp jsonPlatform
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("platform: decode: %w", err)
+	}
+	p := New()
+	idx := make(map[string]int, len(jp.Nodes))
+	for _, n := range jp.Nodes {
+		var w Weight
+		if n.W == "inf" {
+			w = WInf()
+		} else {
+			v, err := rat.Parse(n.W)
+			if err != nil {
+				return nil, fmt.Errorf("platform: node %s: %w", n.Name, err)
+			}
+			w = W(v)
+		}
+		idx[n.Name] = p.AddNode(n.Name, w)
+	}
+	for _, e := range jp.Edges {
+		from, okF := idx[e.From]
+		to, okT := idx[e.To]
+		if !okF || !okT {
+			return nil, fmt.Errorf("platform: edge %s->%s references unknown node", e.From, e.To)
+		}
+		c, err := rat.Parse(e.C)
+		if err != nil {
+			return nil, fmt.Errorf("platform: edge %s->%s: %w", e.From, e.To, err)
+		}
+		p.AddEdge(from, to, c)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,324 @@
+// Package platform implements the target architectural model of §2 of
+// the paper: a node-weighted, edge-weighted directed graph
+// G = (V, E, w, c). Node P_i needs w_i time-steps per computational
+// unit (w_i = +inf means a pure forwarder); edge e_ij needs c_ij
+// time-steps per data unit. The operation mode is full-overlap,
+// single-port for incoming and for outgoing communications.
+package platform
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/rat"
+)
+
+// Weight is a node computation weight: time per task. Inf marks a
+// node with no computing power that can still forward data.
+type Weight struct {
+	Val rat.Rat
+	Inf bool
+}
+
+// W returns a finite weight.
+func W(val rat.Rat) Weight { return Weight{Val: val} }
+
+// WInt returns a finite integer weight.
+func WInt(v int64) Weight { return Weight{Val: rat.FromInt(v)} }
+
+// WInf returns the infinite (forwarder-only) weight.
+func WInf() Weight { return Weight{Inf: true} }
+
+func (w Weight) String() string {
+	if w.Inf {
+		return "inf"
+	}
+	return w.Val.String()
+}
+
+// Edge is a directed communication link with cost C time-steps per
+// data unit (C > 0).
+type Edge struct {
+	From, To int
+	C        rat.Rat
+}
+
+// Platform is the heterogeneous target graph. Construct with New,
+// AddNode and AddEdge; it is then immutable by convention.
+type Platform struct {
+	names []string
+	w     []Weight
+	edges []Edge
+	out   [][]int // node -> outgoing edge indices
+	in    [][]int // node -> incoming edge indices
+}
+
+// New returns an empty platform.
+func New() *Platform { return &Platform{} }
+
+// AddNode adds a node and returns its index.
+func (p *Platform) AddNode(name string, w Weight) int {
+	if !w.Inf && w.Val.Sign() <= 0 {
+		panic(fmt.Sprintf("platform: node %s: weight must be positive (w=0 would allow infinite compute rate)", name))
+	}
+	p.names = append(p.names, name)
+	p.w = append(p.w, w)
+	p.out = append(p.out, nil)
+	p.in = append(p.in, nil)
+	return len(p.names) - 1
+}
+
+// AddEdge adds a directed edge from -> to with cost c and returns its
+// index. Costs must be positive rationals (an absent edge stands for
+// c = +inf).
+func (p *Platform) AddEdge(from, to int, c rat.Rat) int {
+	if from < 0 || from >= len(p.names) || to < 0 || to >= len(p.names) {
+		panic("platform: edge endpoint out of range")
+	}
+	if from == to {
+		panic("platform: self loop")
+	}
+	if c.Sign() <= 0 {
+		panic("platform: edge cost must be positive")
+	}
+	idx := len(p.edges)
+	p.edges = append(p.edges, Edge{From: from, To: to, C: c})
+	p.out[from] = append(p.out[from], idx)
+	p.in[to] = append(p.in[to], idx)
+	return idx
+}
+
+// AddBoth adds edges in both directions with the same cost.
+func (p *Platform) AddBoth(a, b int, c rat.Rat) (ab, ba int) {
+	return p.AddEdge(a, b, c), p.AddEdge(b, a, c)
+}
+
+// NumNodes returns |V|.
+func (p *Platform) NumNodes() int { return len(p.names) }
+
+// NumEdges returns |E|.
+func (p *Platform) NumEdges() int { return len(p.edges) }
+
+// Name returns node i's name.
+func (p *Platform) Name(i int) string { return p.names[i] }
+
+// NodeByName returns the index of the named node, or -1.
+func (p *Platform) NodeByName(name string) int {
+	for i, n := range p.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Weight returns node i's computation weight.
+func (p *Platform) Weight(i int) Weight { return p.w[i] }
+
+// CanCompute reports whether node i has finite computing power.
+func (p *Platform) CanCompute(i int) bool { return !p.w[i].Inf }
+
+// Edge returns edge e.
+func (p *Platform) Edge(e int) Edge { return p.edges[e] }
+
+// Edges returns all edges (shared slice; do not mutate).
+func (p *Platform) Edges() []Edge { return p.edges }
+
+// OutEdges returns the indices of edges leaving node i.
+func (p *Platform) OutEdges(i int) []int { return p.out[i] }
+
+// InEdges returns the indices of edges entering node i.
+func (p *Platform) InEdges(i int) []int { return p.in[i] }
+
+// FindEdge returns the first edge from -> to, or -1.
+func (p *Platform) FindEdge(from, to int) int {
+	for _, e := range p.out[from] {
+		if p.edges[e].To == to {
+			return e
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy.
+func (p *Platform) Clone() *Platform {
+	q := New()
+	for i, n := range p.names {
+		q.AddNode(n, p.w[i])
+	}
+	for _, e := range p.edges {
+		q.AddEdge(e.From, e.To, e.C)
+	}
+	return q
+}
+
+// Reverse returns the platform with every edge direction flipped
+// (used for reduce = broadcast on the reversed graph).
+func (p *Platform) Reverse() *Platform {
+	q := New()
+	for i, n := range p.names {
+		q.AddNode(n, p.w[i])
+	}
+	for _, e := range p.edges {
+		q.AddEdge(e.To, e.From, e.C)
+	}
+	return q
+}
+
+// Validate checks structural invariants (parallel edges are allowed;
+// the model's +inf node weights are allowed).
+func (p *Platform) Validate() error {
+	if len(p.names) == 0 {
+		return fmt.Errorf("platform: empty")
+	}
+	seen := make(map[string]bool, len(p.names))
+	for _, n := range p.names {
+		if seen[n] {
+			return fmt.Errorf("platform: duplicate node name %q", n)
+		}
+		seen[n] = true
+	}
+	for i, e := range p.edges {
+		if e.C.Sign() <= 0 {
+			return fmt.Errorf("platform: edge %d has non-positive cost", i)
+		}
+	}
+	return nil
+}
+
+// ReachableFrom returns the set of nodes reachable from src
+// (including src) following edge directions.
+func (p *Platform) ReachableFrom(src int) []bool {
+	seen := make([]bool, p.NumNodes())
+	stack := []int{src}
+	seen[src] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range p.out[u] {
+			v := p.edges[e].To
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// DepthFrom returns, for each node, the minimum number of hops from
+// src (-1 if unreachable). The maximum finite value bounds the number
+// of warm-up periods needed to reach steady state (§4.2).
+func (p *Platform) DepthFrom(src int) []int {
+	depth := make([]int, p.NumNodes())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range p.out[u] {
+			v := p.edges[e].To
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return depth
+}
+
+// MaxDepthFrom returns the largest finite depth from src.
+func (p *Platform) MaxDepthFrom(src int) int {
+	max := 0
+	for _, d := range p.DepthFrom(src) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ShortestPath returns the minimum-total-cost path from src to dst as
+// a list of edge indices (nil if unreachable), using Dijkstra over
+// rational edge costs.
+func (p *Platform) ShortestPath(src, dst int) []int {
+	n := p.NumNodes()
+	dist := make([]rat.Rat, n)
+	fixed := make([]bool, n)
+	has := make([]bool, n)
+	from := make([]int, n) // edge used to reach node
+	for i := range from {
+		from[i] = -1
+	}
+	has[src] = true
+	for {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !has[v] || fixed[v] {
+				continue
+			}
+			if u < 0 || dist[v].Less(dist[u]) {
+				u = v
+			}
+		}
+		if u < 0 {
+			break
+		}
+		fixed[u] = true
+		if u == dst {
+			break
+		}
+		for _, e := range p.out[u] {
+			v := p.edges[e].To
+			nd := dist[u].Add(p.edges[e].C)
+			if !has[v] || nd.Less(dist[v]) {
+				has[v], dist[v], from[v] = true, nd, e
+			}
+		}
+	}
+	if !fixed[dst] {
+		return nil
+	}
+	var path []int
+	for v := dst; v != src; {
+		e := from[v]
+		path = append(path, e)
+		v = p.edges[e].From
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// String gives a compact human-readable rendering.
+func (p *Platform) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "platform %d nodes %d edges\n", p.NumNodes(), p.NumEdges())
+	for i, n := range p.names {
+		fmt.Fprintf(&b, "  %s w=%s\n", n, p.w[i])
+	}
+	for _, e := range p.edges {
+		fmt.Fprintf(&b, "  %s -> %s c=%s\n", p.names[e.From], p.names[e.To], e.C)
+	}
+	return b.String()
+}
+
+// DOT renders the platform in Graphviz format (for inspecting the
+// Figure 1 / Figure 2 style diagrams).
+func (p *Platform) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph platform {\n")
+	for i, n := range p.names {
+		fmt.Fprintf(&b, "  %q [label=\"%s\\nw=%s\"];\n", n, n, p.w[i])
+	}
+	for _, e := range p.edges {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n",
+			p.names[e.From], p.names[e.To], e.C)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

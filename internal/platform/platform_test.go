@@ -1,0 +1,326 @@
+package platform
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+func TestAddNodeEdgeBasics(t *testing.T) {
+	p := New()
+	a := p.AddNode("A", WInt(2))
+	b := p.AddNode("B", WInf())
+	e := p.AddEdge(a, b, rat.New(3, 2))
+	if p.NumNodes() != 2 || p.NumEdges() != 1 {
+		t.Fatalf("sizes: %d nodes %d edges", p.NumNodes(), p.NumEdges())
+	}
+	if p.Edge(e).From != a || p.Edge(e).To != b {
+		t.Fatal("edge endpoints wrong")
+	}
+	if !p.CanCompute(a) || p.CanCompute(b) {
+		t.Fatal("CanCompute wrong")
+	}
+	if p.FindEdge(a, b) != e || p.FindEdge(b, a) != -1 {
+		t.Fatal("FindEdge wrong")
+	}
+	if p.NodeByName("B") != b || p.NodeByName("Z") != -1 {
+		t.Fatal("NodeByName wrong")
+	}
+	if len(p.OutEdges(a)) != 1 || len(p.InEdges(b)) != 1 {
+		t.Fatal("adjacency wrong")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("zero weight", func() {
+		New().AddNode("A", WInt(0))
+	})
+	assertPanics("self loop", func() {
+		p := New()
+		a := p.AddNode("A", WInt(1))
+		p.AddEdge(a, a, rat.One())
+	})
+	assertPanics("non-positive cost", func() {
+		p := New()
+		a := p.AddNode("A", WInt(1))
+		b := p.AddNode("B", WInt(1))
+		p.AddEdge(a, b, rat.Zero())
+	})
+	assertPanics("endpoint out of range", func() {
+		p := New()
+		a := p.AddNode("A", WInt(1))
+		p.AddEdge(a, 7, rat.One())
+	})
+}
+
+func TestValidateDuplicateNames(t *testing.T) {
+	p := New()
+	p.AddNode("A", WInt(1))
+	p.AddNode("A", WInt(1))
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+	if err := New().Validate(); err == nil {
+		t.Fatal("expected empty-platform error")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	p := Figure1()
+	if p.NumNodes() != 6 {
+		t.Fatalf("nodes = %d", p.NumNodes())
+	}
+	if p.NumEdges() != 14 { // 7 bidirectional links
+		t.Fatalf("edges = %d", p.NumEdges())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Connectivity from P1.
+	for i, ok := range p.ReachableFrom(p.NodeByName("P1")) {
+		if !ok {
+			t.Fatalf("node %s unreachable", p.Name(i))
+		}
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	p := Figure2()
+	if p.NumNodes() != 7 || p.NumEdges() != 9 {
+		t.Fatalf("shape: %d nodes %d edges", p.NumNodes(), p.NumEdges())
+	}
+	// The single cost-2 edge is P3 -> P4.
+	e := p.FindEdge(p.NodeByName("P3"), p.NodeByName("P4"))
+	if e < 0 || !p.Edge(e).C.Equal(rat.FromInt(2)) {
+		t.Fatal("P3->P4 cost-2 edge missing")
+	}
+	// Every other edge has cost 1.
+	for i, ed := range p.Edges() {
+		if i == e {
+			continue
+		}
+		if !ed.C.IsOne() {
+			t.Fatalf("edge %d has cost %v, want 1", i, ed.C)
+		}
+	}
+	tg := Figure2Targets(p)
+	if len(tg) != 2 || p.Name(tg[0]) != "P5" || p.Name(tg[1]) != "P6" {
+		t.Fatal("targets wrong")
+	}
+	// Both targets reachable from the source.
+	reach := p.ReachableFrom(p.NodeByName("P0"))
+	if !reach[tg[0]] || !reach[tg[1]] {
+		t.Fatal("targets unreachable")
+	}
+}
+
+func TestDepthFrom(t *testing.T) {
+	p := Figure2()
+	d := p.DepthFrom(p.NodeByName("P0"))
+	want := map[string]int{"P0": 0, "P1": 1, "P2": 1, "P3": 2, "P5": 2, "P6": 2, "P4": 3}
+	for name, wd := range want {
+		if d[p.NodeByName(name)] != wd {
+			t.Errorf("depth(%s) = %d, want %d", name, d[p.NodeByName(name)], wd)
+		}
+	}
+	if p.MaxDepthFrom(p.NodeByName("P0")) != 3 {
+		t.Fatal("max depth wrong")
+	}
+	// P0 is unreachable from P5 (all edges point away from P0).
+	d5 := p.DepthFrom(p.NodeByName("P5"))
+	if d5[p.NodeByName("P0")] != -1 {
+		t.Fatal("P0 should be unreachable from P5")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	p := Figure2()
+	src, dst := p.NodeByName("P0"), p.NodeByName("P4")
+	path := p.ShortestPath(src, dst)
+	if len(path) != 3 {
+		t.Fatalf("path length = %d, want 3 hops", len(path))
+	}
+	total := rat.Zero()
+	at := src
+	for _, e := range path {
+		if p.Edge(e).From != at {
+			t.Fatal("path not contiguous")
+		}
+		at = p.Edge(e).To
+		total = total.Add(p.Edge(e).C)
+	}
+	if at != dst {
+		t.Fatal("path does not end at dst")
+	}
+	if !total.Equal(rat.FromInt(4)) { // 1 + 1 + 2
+		t.Fatalf("path cost = %v, want 4", total)
+	}
+	if p.ShortestPath(p.NodeByName("P5"), src) != nil {
+		t.Fatal("expected nil path for unreachable pair")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	p := Figure2()
+	r := p.Reverse()
+	if r.NumEdges() != p.NumEdges() {
+		t.Fatal("edge count changed")
+	}
+	for i, e := range p.Edges() {
+		re := r.Edge(i)
+		if re.From != e.To || re.To != e.From || !re.C.Equal(e.C) {
+			t.Fatal("edge not reversed")
+		}
+	}
+	// In the reversed graph P0 is reachable from P5.
+	if r.DepthFrom(r.NodeByName("P5"))[r.NodeByName("P0")] < 0 {
+		t.Fatal("reverse reachability wrong")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Figure1()
+	q := p.Clone()
+	q.AddNode("X", WInt(1))
+	if p.NumNodes() == q.NumNodes() {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cases := []struct {
+		name string
+		p    *Platform
+	}{
+		{"star", Star(WInt(2), []Weight{WInt(1), WInt(3), WInf()}, []rat.Rat{rat.One(), rat.FromInt(2), rat.One()})},
+		{"tree", Tree(rng, 2, 3, 5, 5)},
+		{"random", RandomConnected(rng, 12, 10, 5, 5, 0.2)},
+		{"grid", Grid(rng, 3, 4, 5, 5)},
+		{"clique", Clique(rng, 5, 5, 5)},
+		{"ring", Ring(rng, 6, 5, 5)},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+	// RandomConnected is strongly connected by construction.
+	rc := RandomConnected(rng, 15, 5, 4, 4, 0.3)
+	for src := 0; src < rc.NumNodes(); src++ {
+		for i, ok := range rc.ReachableFrom(src) {
+			if !ok {
+				t.Fatalf("random platform not strongly connected: %d unreachable from %d", i, src)
+			}
+		}
+	}
+	// Star: workers have no outgoing edges; master has no incoming.
+	star := cases[0].p
+	if len(star.InEdges(0)) != 0 {
+		t.Fatal("star master has incoming edges")
+	}
+	for i := 1; i < star.NumNodes(); i++ {
+		if len(star.OutEdges(i)) != 0 {
+			t.Fatal("star worker has outgoing edges")
+		}
+	}
+}
+
+func TestTreeShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := Tree(rng, 3, 2, 4, 4)
+	if p.NumNodes() != 1+3+9 {
+		t.Fatalf("nodes = %d, want 13", p.NumNodes())
+	}
+	if p.NumEdges() != 2*(3+9) {
+		t.Fatalf("edges = %d", p.NumEdges())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, p := range []*Platform{Figure1(), Figure2()} {
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		q, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumNodes() != p.NumNodes() || q.NumEdges() != p.NumEdges() {
+			t.Fatal("round trip changed shape")
+		}
+		for i := 0; i < p.NumNodes(); i++ {
+			if q.Name(i) != p.Name(i) || q.Weight(i).Inf != p.Weight(i).Inf {
+				t.Fatal("round trip changed node")
+			}
+			if !q.Weight(i).Inf && !q.Weight(i).Val.Equal(p.Weight(i).Val) {
+				t.Fatal("round trip changed weight")
+			}
+		}
+		for i, e := range p.Edges() {
+			qe := q.Edge(i)
+			if qe.From != e.From || qe.To != e.To || !qe.C.Equal(e.C) {
+				t.Fatal("round trip changed edge")
+			}
+		}
+	}
+}
+
+func TestJSONInfWeight(t *testing.T) {
+	p := New()
+	p.AddNode("F", WInf())
+	p.AddNode("C", WInt(2))
+	p.AddEdge(0, 1, rat.New(1, 2))
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Weight(0).Inf {
+		t.Fatal("inf weight lost")
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"nodes":[{"name":"A","w":"x"}],"edges":[]}`,
+		`{"nodes":[{"name":"A","w":"1"}],"edges":[{"from":"A","to":"Z","c":"1"}]}`,
+		`{"nodes":[{"name":"A","w":"1"},{"name":"B","w":"1"}],"edges":[{"from":"A","to":"B","c":"bogus"}]}`,
+	}
+	for i, s := range bad {
+		if _, err := ReadJSON(strings.NewReader(s)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestStringAndDOT(t *testing.T) {
+	p := Figure1()
+	if s := p.String(); !strings.Contains(s, "P1") {
+		t.Fatal("String missing node")
+	}
+	d := p.DOT()
+	if !strings.Contains(d, "digraph") || !strings.Contains(d, "P6") {
+		t.Fatal("DOT output malformed")
+	}
+}

@@ -1,0 +1,473 @@
+// Package rat implements exact rational arithmetic for steady-state
+// scheduling. Values are immutable; every operation returns a new Rat.
+//
+// The representation is hybrid: a fast path keeps numerator and
+// denominator in int64 and promotes to math/big on overflow, so the
+// common case (small platform constants, early simplex pivots) stays
+// allocation-free while deep pivot chains remain exact.
+package rat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Rat is an immutable exact rational number.
+//
+// The zero value is 0. When b is nil the value is n/d with d > 0 and
+// gcd(|n|, d) == 1 (d == 0 is interpreted as the zero value 0/1).
+// When b is non-nil it holds the canonical value and n, d are unused.
+type Rat struct {
+	n, d int64
+	b    *big.Rat
+}
+
+// Zero returns 0.
+func Zero() Rat { return Rat{} }
+
+// One returns 1.
+func One() Rat { return Rat{n: 1, d: 1} }
+
+// FromInt returns v as a rational.
+func FromInt(v int64) Rat { return Rat{n: v, d: 1} }
+
+// New returns num/den. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	if den < 0 {
+		// Guard against MinInt64 negation overflow.
+		if num == math.MinInt64 || den == math.MinInt64 {
+			b := new(big.Rat).SetFrac(big.NewInt(num), big.NewInt(den))
+			return fromBig(b)
+		}
+		num, den = -num, -den
+	}
+	return normSmall(num, den)
+}
+
+// FromBig returns a Rat holding the value of b (which is copied).
+func FromBig(b *big.Rat) Rat {
+	return fromBig(new(big.Rat).Set(b))
+}
+
+// fromBig adopts b (no copy) and demotes to the small form when possible.
+func fromBig(b *big.Rat) Rat {
+	if b.Num().IsInt64() && b.Denom().IsInt64() {
+		return Rat{n: b.Num().Int64(), d: b.Denom().Int64()}
+	}
+	return Rat{b: b}
+}
+
+// normSmall reduces num/den (den > 0) to lowest terms.
+func normSmall(num, den int64) Rat {
+	if num == 0 {
+		return Rat{}
+	}
+	g := gcd64(abs64(num), den)
+	return Rat{n: num / g, d: den / g}
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// den returns the denominator of the small form, mapping the zero
+// value's 0 to 1.
+func (x Rat) den() int64 {
+	if x.d == 0 {
+		return 1
+	}
+	return x.d
+}
+
+// Big returns the value as a newly allocated big.Rat.
+func (x Rat) Big() *big.Rat {
+	if x.b != nil {
+		return new(big.Rat).Set(x.b)
+	}
+	return big.NewRat(x.n, x.den())
+}
+
+// bigRef returns a big.Rat view without copying when already big.
+func (x Rat) bigRef() *big.Rat {
+	if x.b != nil {
+		return x.b
+	}
+	return big.NewRat(x.n, x.den())
+}
+
+// Num returns the numerator as a big.Int.
+func (x Rat) Num() *big.Int {
+	if x.b != nil {
+		return new(big.Int).Set(x.b.Num())
+	}
+	return big.NewInt(x.n)
+}
+
+// Den returns the denominator (always positive) as a big.Int.
+func (x Rat) Den() *big.Int {
+	if x.b != nil {
+		return new(big.Int).Set(x.b.Denom())
+	}
+	return big.NewInt(x.den())
+}
+
+// Small reports the value as int64 numerator/denominator when it fits.
+func (x Rat) Small() (num, den int64, ok bool) {
+	if x.b != nil {
+		return 0, 0, false
+	}
+	return x.n, x.den(), true
+}
+
+// mulOvf multiplies with overflow detection.
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	r := a * b
+	if r/a != b || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64) {
+		return 0, false
+	}
+	return r, true
+}
+
+// addOvf adds with overflow detection.
+func addOvf(a, b int64) (int64, bool) {
+	r := a + b
+	if (a > 0 && b > 0 && r < 0) || (a < 0 && b < 0 && r >= 0) {
+		return 0, false
+	}
+	return r, true
+}
+
+// Add returns x + y.
+func (x Rat) Add(y Rat) Rat {
+	if x.b == nil && y.b == nil {
+		xd, yd := x.den(), y.den()
+		// Reduce cross terms by g = gcd(xd, yd) to delay overflow.
+		g := gcd64(xd, yd)
+		xdg, ydg := xd/g, yd/g
+		if n1, ok := mulOvf(x.n, ydg); ok {
+			if n2, ok := mulOvf(y.n, xdg); ok {
+				if num, ok := addOvf(n1, n2); ok {
+					if den, ok := mulOvf(xdg, yd); ok {
+						return normSmall(num, den)
+					}
+				}
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(x.bigRef(), y.bigRef()))
+}
+
+// Sub returns x - y.
+func (x Rat) Sub(y Rat) Rat { return x.Add(y.Neg()) }
+
+// Neg returns -x.
+func (x Rat) Neg() Rat {
+	if x.b == nil {
+		if x.n == math.MinInt64 {
+			return fromBig(new(big.Rat).Neg(x.bigRef()))
+		}
+		return Rat{n: -x.n, d: x.d}
+	}
+	return fromBig(new(big.Rat).Neg(x.b))
+}
+
+// Mul returns x * y.
+func (x Rat) Mul(y Rat) Rat {
+	if x.b == nil && y.b == nil {
+		xd, yd := x.den(), y.den()
+		// Cross-reduce before multiplying to delay overflow.
+		g1 := gcd64(abs64(x.n), yd)
+		g2 := gcd64(abs64(y.n), xd)
+		xn, yden := x.n/g1, yd/g1
+		yn, xden := y.n/g2, xd/g2
+		if num, ok := mulOvf(xn, yn); ok {
+			if den, ok := mulOvf(xden, yden); ok {
+				return normSmall(num, den)
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Mul(x.bigRef(), y.bigRef()))
+}
+
+// Div returns x / y. It panics if y == 0.
+func (x Rat) Div(y Rat) Rat {
+	return x.Mul(y.Inv())
+}
+
+// Inv returns 1/x. It panics if x == 0.
+func (x Rat) Inv() Rat {
+	if x.IsZero() {
+		panic("rat: division by zero")
+	}
+	if x.b == nil {
+		n, d := x.n, x.den()
+		if n < 0 {
+			if n == math.MinInt64 {
+				return fromBig(new(big.Rat).Inv(x.bigRef()))
+			}
+			return Rat{n: -d, d: -n}
+		}
+		return Rat{n: d, d: n}
+	}
+	return fromBig(new(big.Rat).Inv(x.b))
+}
+
+// Abs returns |x|.
+func (x Rat) Abs() Rat {
+	if x.Sign() < 0 {
+		return x.Neg()
+	}
+	return x
+}
+
+// Sign returns -1, 0 or +1.
+func (x Rat) Sign() int {
+	if x.b != nil {
+		return x.b.Sign()
+	}
+	switch {
+	case x.n > 0:
+		return 1
+	case x.n < 0:
+		return -1
+	}
+	return 0
+}
+
+// IsZero reports whether x == 0.
+func (x Rat) IsZero() bool { return x.Sign() == 0 }
+
+// IsOne reports whether x == 1.
+func (x Rat) IsOne() bool {
+	if x.b != nil {
+		return x.b.Cmp(oneBig) == 0
+	}
+	return x.n == 1 && x.den() == 1
+}
+
+var oneBig = big.NewRat(1, 1)
+
+// Cmp compares x and y, returning -1, 0 or +1.
+func (x Rat) Cmp(y Rat) int {
+	d := x.Sub(y)
+	return d.Sign()
+}
+
+// Equal reports x == y.
+func (x Rat) Equal(y Rat) bool { return x.Cmp(y) == 0 }
+
+// Less reports x < y.
+func (x Rat) Less(y Rat) bool { return x.Cmp(y) < 0 }
+
+// LessEq reports x <= y.
+func (x Rat) LessEq(y Rat) bool { return x.Cmp(y) <= 0 }
+
+// Min returns the smaller of x and y.
+func Min(x, y Rat) Rat {
+	if x.Cmp(y) <= 0 {
+		return x
+	}
+	return y
+}
+
+// Max returns the larger of x and y.
+func Max(x, y Rat) Rat {
+	if x.Cmp(y) >= 0 {
+		return x
+	}
+	return y
+}
+
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs ...Rat) Rat {
+	s := Zero()
+	for _, x := range xs {
+		s = s.Add(x)
+	}
+	return s
+}
+
+// Float64 returns the nearest float64 value.
+func (x Rat) Float64() float64 {
+	f, _ := x.bigRef().Float64()
+	return f
+}
+
+// IsInt reports whether x is an integer.
+func (x Rat) IsInt() bool {
+	if x.b != nil {
+		return x.b.IsInt()
+	}
+	return x.den() == 1
+}
+
+// Floor returns the largest integer <= x, as a big.Int.
+func (x Rat) Floor() *big.Int {
+	num, den := x.Num(), x.Den()
+	q, m := new(big.Int).QuoRem(num, den, new(big.Int))
+	if m.Sign() < 0 {
+		q.Sub(q, big.NewInt(1))
+	}
+	return q
+}
+
+// FloorInt64 returns Floor as an int64 (ok=false on overflow).
+func (x Rat) FloorInt64() (int64, bool) {
+	f := x.Floor()
+	if !f.IsInt64() {
+		return 0, false
+	}
+	return f.Int64(), true
+}
+
+// String formats x as "n" or "n/d".
+func (x Rat) String() string {
+	if x.b != nil {
+		if x.b.IsInt() {
+			return x.b.Num().String()
+		}
+		return x.b.String()
+	}
+	if x.den() == 1 {
+		return fmt.Sprintf("%d", x.n)
+	}
+	return fmt.Sprintf("%d/%d", x.n, x.den())
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (x Rat) MarshalText() ([]byte, error) { return []byte(x.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler, accepting the
+// formats produced by String as well as big.Rat's "n/d".
+func (x *Rat) UnmarshalText(text []byte) error {
+	r, err := Parse(string(text))
+	if err != nil {
+		return err
+	}
+	*x = r
+	return nil
+}
+
+// Parse parses "n", "n/d" or a decimal like "1.5".
+func Parse(s string) (Rat, error) {
+	b, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return fromBig(b), nil
+}
+
+// MustParse is Parse that panics on error; intended for constants.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ApproxFloat returns the best rational approximation of f with
+// denominator at most maxDen, using continued fractions. It is used to
+// feed measured (floating-point) resource speeds into the exact LP.
+// It panics if f is NaN or infinite or maxDen < 1.
+func ApproxFloat(f float64, maxDen int64) Rat {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic("rat: cannot approximate non-finite float")
+	}
+	if maxDen < 1 {
+		panic("rat: maxDen must be >= 1")
+	}
+	neg := f < 0
+	if neg {
+		f = -f
+	}
+	// Continued fraction expansion with convergents p/q.
+	var (
+		p0, q0 int64 = 0, 1
+		p1, q1 int64 = 1, 0
+		x            = f
+	)
+	for i := 0; i < 64; i++ {
+		a := int64(math.Floor(x))
+		p2, ok1 := mulOvf(a, p1)
+		q2, ok2 := mulOvf(a, q1)
+		if !ok1 || !ok2 {
+			break
+		}
+		p2, ok1 = addOvf(p2, p0)
+		q2, ok2 = addOvf(q2, q0)
+		if !ok1 || !ok2 {
+			break
+		}
+		if q2 > maxDen {
+			break
+		}
+		p0, q0, p1, q1 = p1, q1, p2, q2
+		frac := x - math.Floor(x)
+		if frac < 1e-15 {
+			break
+		}
+		x = 1 / frac
+	}
+	if q1 == 0 {
+		p1, q1 = 0, 1
+	}
+	if neg {
+		p1 = -p1
+	}
+	return New(p1, q1)
+}
+
+// DenLCM returns the least common multiple of the denominators of xs
+// (1 for an empty slice). It is the period constructor of §4.1: any
+// x in xs times the result is an integer.
+func DenLCM(xs ...Rat) *big.Int {
+	l := big.NewInt(1)
+	g := new(big.Int)
+	t := new(big.Int)
+	for _, x := range xs {
+		d := x.Den()
+		g.GCD(nil, nil, l, d)
+		t.Div(d, g)
+		l.Mul(l, t)
+	}
+	return l
+}
+
+// ScaleInt returns x*s as a big.Int when the product is integral.
+func ScaleInt(x Rat, s *big.Int) (*big.Int, bool) {
+	num := x.Num()
+	num.Mul(num, s)
+	den := x.Den()
+	q, m := new(big.Int).QuoRem(num, den, new(big.Int))
+	if m.Sign() != 0 {
+		return nil, false
+	}
+	return q, true
+}
+
+// MulBigInt returns x * s exactly.
+func (x Rat) MulBigInt(s *big.Int) Rat {
+	b := new(big.Rat).SetInt(s)
+	return fromBig(b.Mul(b, x.bigRef()))
+}

@@ -1,0 +1,353 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ref mirrors a Rat into a pure big.Rat for reference computation.
+func ref(x Rat) *big.Rat { return x.Big() }
+
+// arb builds a Rat (sometimes deliberately overflow-prone) from raw ints.
+func arb(n, d int64) Rat {
+	if d == 0 {
+		d = 1
+	}
+	return New(n, d)
+}
+
+func TestZeroValue(t *testing.T) {
+	var z Rat
+	if !z.IsZero() {
+		t.Fatalf("zero value not zero: %v", z)
+	}
+	if got := z.Add(One()); !got.IsOne() {
+		t.Fatalf("0+1 = %v", got)
+	}
+	if z.String() != "0" {
+		t.Fatalf("zero String = %q", z.String())
+	}
+	if !z.IsInt() {
+		t.Fatal("zero not integer")
+	}
+}
+
+func TestNewNormalization(t *testing.T) {
+	cases := []struct {
+		n, d int64
+		want string
+	}{
+		{6, 4, "3/2"},
+		{-6, 4, "-3/2"},
+		{6, -4, "-3/2"},
+		{-6, -4, "3/2"},
+		{0, 7, "0"},
+		{7, 7, "1"},
+		{7, 1, "7"},
+		{math.MinInt64, -1, "9223372036854775808"},
+	}
+	for _, c := range cases {
+		if got := New(c.n, c.d).String(); got != c.want {
+			t.Errorf("New(%d,%d) = %s, want %s", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestNewPanicsOnZeroDen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1, 0)
+}
+
+func TestInvPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Zero().Inv()
+}
+
+func TestArithmeticMatchesBigRat(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := arb(an, ad), arb(bn, bd)
+		ra, rb := ref(a), ref(b)
+
+		if got, want := ref(a.Add(b)), new(big.Rat).Add(ra, rb); got.Cmp(want) != 0 {
+			t.Logf("add mismatch %v + %v: got %v want %v", a, b, got, want)
+			return false
+		}
+		if got, want := ref(a.Sub(b)), new(big.Rat).Sub(ra, rb); got.Cmp(want) != 0 {
+			return false
+		}
+		if got, want := ref(a.Mul(b)), new(big.Rat).Mul(ra, rb); got.Cmp(want) != 0 {
+			return false
+		}
+		if !b.IsZero() {
+			if got, want := ref(a.Div(b)), new(big.Rat).Quo(ra, rb); got.Cmp(want) != 0 {
+				return false
+			}
+		}
+		if got, want := ref(a.Neg()), new(big.Rat).Neg(ra); got.Cmp(want) != 0 {
+			return false
+		}
+		if a.Cmp(b) != ra.Cmp(rb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverflowPromotion(t *testing.T) {
+	big1 := New(math.MaxInt64, 3)
+	big2 := New(math.MaxInt64-4, 5)
+	prod := big1.Mul(big2)
+	want := new(big.Rat).Mul(big1.Big(), big2.Big())
+	if prod.Big().Cmp(want) != 0 {
+		t.Fatalf("promoted mul wrong: %v vs %v", prod, want)
+	}
+	sum := big1.Add(big2)
+	wantS := new(big.Rat).Add(big1.Big(), big2.Big())
+	if sum.Big().Cmp(wantS) != 0 {
+		t.Fatalf("promoted add wrong: %v vs %v", sum, wantS)
+	}
+	// Deep chain stays exact and demotes when it can.
+	x := New(1, 3)
+	for i := 0; i < 200; i++ {
+		x = x.Mul(New(7, 5)).Add(New(1, 9))
+	}
+	y := big.NewRat(1, 3)
+	for i := 0; i < 200; i++ {
+		y.Mul(y, big.NewRat(7, 5))
+		y.Add(y, big.NewRat(1, 9))
+	}
+	if x.Big().Cmp(y) != 0 {
+		t.Fatal("long chain diverged from big.Rat reference")
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := func(an, ad, bn, bd, cn, cd int64) bool {
+		a, b, c := arb(an, ad), arb(bn, bd), arb(cn, cd)
+		// Associativity and commutativity.
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			return false
+		}
+		if !a.Add(b).Equal(b.Add(a)) || !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		// Distributivity.
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		// Inverses.
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		if !a.IsZero() && !a.Div(a).IsOne() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := arb(an, ad), arb(bn, bd)
+		switch a.Cmp(b) {
+		case -1:
+			return a.Less(b) && a.LessEq(b) && !a.Equal(b) && Max(a, b).Equal(b) && Min(a, b).Equal(a)
+		case 0:
+			return !a.Less(b) && a.LessEq(b) && a.Equal(b)
+		case 1:
+			return !a.Less(b) && !a.LessEq(b) && Max(a, b).Equal(a) && Min(a, b).Equal(b)
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	f := func(an, ad int64) bool {
+		a := arb(an, ad)
+		back, err := Parse(a.String())
+		return err == nil && back.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDecimal(t *testing.T) {
+	got := MustParse("1.5")
+	if !got.Equal(New(3, 2)) {
+		t.Fatalf("1.5 parsed as %v", got)
+	}
+	if _, err := Parse("x/y"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestMarshalTextRoundTrip(t *testing.T) {
+	a := New(-22, 7)
+	txt, err := a.MarshalText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Rat
+	if err := b.UnmarshalText(txt); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("round trip %v -> %v", a, b)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	cases := []struct {
+		x    Rat
+		want int64
+	}{
+		{New(7, 2), 3},
+		{New(-7, 2), -4},
+		{New(4, 2), 2},
+		{Zero(), 0},
+		{New(-4, 2), -2},
+	}
+	for _, c := range cases {
+		got, ok := c.x.FloorInt64()
+		if !ok || got != c.want {
+			t.Errorf("Floor(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestApproxFloat(t *testing.T) {
+	cases := []struct {
+		f      float64
+		maxDen int64
+		want   Rat
+	}{
+		{0.5, 100, New(1, 2)},
+		{0.333333333333, 10, New(1, 3)},
+		{1.25, 1000, New(5, 4)},
+		{-2.75, 8, New(-11, 4)},
+		{3, 1, FromInt(3)},
+	}
+	for _, c := range cases {
+		got := ApproxFloat(c.f, c.maxDen)
+		if !got.Equal(c.want) {
+			t.Errorf("ApproxFloat(%v,%d) = %v, want %v", c.f, c.maxDen, got, c.want)
+		}
+	}
+}
+
+func TestApproxFloatQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		f := rng.Float64()*20 - 10
+		r := ApproxFloat(f, 1_000_000)
+		if d := math.Abs(r.Float64() - f); d > 1e-6 {
+			t.Fatalf("ApproxFloat(%v) = %v off by %v", f, r, d)
+		}
+		if den := r.Den(); den.Cmp(big.NewInt(1_000_000)) > 0 {
+			t.Fatalf("denominator bound violated: %v", den)
+		}
+	}
+}
+
+func TestDenLCM(t *testing.T) {
+	l := DenLCM(New(1, 6), New(3, 4), New(5, 9))
+	if l.Cmp(big.NewInt(36)) != 0 {
+		t.Fatalf("lcm(6,4,9) = %v, want 36", l)
+	}
+	if DenLCM().Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("empty lcm should be 1")
+	}
+	// Property: every input times the LCM is integral.
+	f := func(an, ad, bn, bd int64) bool {
+		a, b := arb(an, ad), arb(bn, bd)
+		l := DenLCM(a, b)
+		_, okA := ScaleInt(a, l)
+		_, okB := ScaleInt(b, l)
+		return okA && okB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	v, ok := ScaleInt(New(3, 4), big.NewInt(8))
+	if !ok || v.Int64() != 6 {
+		t.Fatalf("3/4 * 8 = %v (ok=%v)", v, ok)
+	}
+	if _, ok := ScaleInt(New(3, 4), big.NewInt(2)); ok {
+		t.Fatal("3/4*2 should not be integral")
+	}
+}
+
+func TestMulBigInt(t *testing.T) {
+	x := New(3, 7).MulBigInt(big.NewInt(14))
+	if !x.Equal(FromInt(6)) {
+		t.Fatalf("3/7*14 = %v", x)
+	}
+}
+
+func TestSumAbsSign(t *testing.T) {
+	s := Sum(New(1, 2), New(1, 3), New(1, 6))
+	if !s.IsOne() {
+		t.Fatalf("sum = %v", s)
+	}
+	if Sum().Sign() != 0 {
+		t.Fatal("empty sum nonzero")
+	}
+	if New(-3, 2).Abs().Cmp(New(3, 2)) != 0 {
+		t.Fatal("abs wrong")
+	}
+}
+
+func TestFloat64(t *testing.T) {
+	if New(1, 2).Float64() != 0.5 {
+		t.Fatal("float conversion wrong")
+	}
+}
+
+func BenchmarkAddSmall(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkMulSmall(b *testing.B) {
+	x, y := New(355, 113), New(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkMulPromoted(b *testing.B) {
+	x := New(math.MaxInt64, 3)
+	y := New(math.MaxInt64-4, 5)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}

@@ -1,0 +1,89 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+func TestReconstructCardsStar(t *testing.T) {
+	ws := make([]platform.Weight, 4)
+	cs := make([]rat.Rat, 4)
+	for i := range ws {
+		ws[i] = platform.WInt(1)
+		cs[i] = rat.One()
+	}
+	p := platform.Star(platform.WInt(1000), ws, cs)
+	caps := core.UniformPorts(p, 2)
+	sol, err := core.SolveMasterSlaveCards(p, 0, core.RoundRobinCards(p, caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := ReconstructCards(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per.Throughput.Equal(sol.Throughput) {
+		t.Fatalf("throughput changed: %v vs %v", per.Throughput, sol.Throughput)
+	}
+	// With two cards, some slot must carry two simultaneous transfers
+	// from the master (which the single-port Check would reject).
+	sawParallel := false
+	for _, s := range per.Slots {
+		fromMaster := 0
+		for _, e := range s.Edges {
+			if p.Edge(e).From == 0 {
+				fromMaster++
+			}
+		}
+		if fromMaster == 2 {
+			sawParallel = true
+		}
+		if fromMaster > 2 {
+			t.Fatalf("slot uses %d > 2 master cards", fromMaster)
+		}
+	}
+	if !sawParallel {
+		t.Fatal("no slot exploits the second card")
+	}
+}
+
+func TestReconstructCardsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		p := platform.RandomConnected(rng, 4+rng.Intn(4), rng.Intn(6), 4, 4, 0.1)
+		caps := core.UniformPorts(p, 1+rng.Intn(3))
+		sol, err := core.SolveMasterSlaveCards(p, 0, core.RoundRobinCards(p, caps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		per, err := ReconstructCards(sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, p)
+		}
+		if err := per.CheckCards(sol.Assign); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestReconstructCardsK1MatchesSinglePort(t *testing.T) {
+	p := platform.Figure1()
+	caps := core.UniformPorts(p, 1)
+	sol, err := core.SolveMasterSlaveCards(p, 0, core.RoundRobinCards(p, caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := ReconstructCards(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one card per direction the card schedule is a valid
+	// single-port schedule too.
+	if err := per.Check(); err != nil {
+		t.Fatalf("k=1 card schedule fails single-port check: %v", err)
+	}
+}

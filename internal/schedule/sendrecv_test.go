@@ -1,0 +1,92 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+func TestEvaluateSendRecvFigure1(t *testing.T) {
+	p := platform.Figure1()
+	master := p.NodeByName("P1")
+	msBase, err := core.SolveMasterSlave(p, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msSR, err := core.SolveMasterSlavePort(p, master, core.SendOrReceive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shared-port bound never exceeds the two-port bound.
+	if msBase.Throughput.Less(msSR.Throughput) {
+		t.Fatalf("send-or-receive bound %v beats base %v", msSR.Throughput, msBase.Throughput)
+	}
+	ev, err := EvaluateSendRecv(msSR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Achieved.Cmp(ev.Bound) > 0 {
+		t.Fatalf("achieved %v beats bound %v", ev.Achieved, ev.Bound)
+	}
+	// Greedy guarantee: at most a factor 2 loss.
+	if ev.Achieved.Mul(rat.FromInt(2)).Less(ev.Bound) {
+		t.Fatalf("achieved %v below half the bound %v", ev.Achieved, ev.Bound)
+	}
+	t.Logf("Figure 1 send-or-receive: bound %v, achieved %v (%d slots)",
+		ev.Bound, ev.Achieved, ev.Slots)
+}
+
+func TestEvaluateSendRecvRejectsBaseModel(t *testing.T) {
+	p := platform.Figure1()
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvaluateSendRecv(ms); err == nil {
+		t.Fatal("expected model error")
+	}
+}
+
+func TestEvaluateSendRecvRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 8; trial++ {
+		p := platform.RandomConnected(rng, 4+rng.Intn(4), rng.Intn(5), 4, 4, 0.1)
+		ms, err := core.SolveMasterSlavePort(p, 0, core.SendOrReceive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := EvaluateSendRecv(ms)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if ev.Achieved.Sign() <= 0 || ev.Achieved.Cmp(ev.Bound) > 0 {
+			t.Fatalf("trial %d: achieved %v outside (0, %v]", trial, ev.Achieved, ev.Bound)
+		}
+		if ev.Achieved.Mul(rat.FromInt(2)).Less(ev.Bound) {
+			t.Fatalf("trial %d: worse than 2-approximation", trial)
+		}
+	}
+}
+
+func TestSendRecvStarNoLoss(t *testing.T) {
+	// On a star all communications share the master vertex, so the
+	// greedy decomposition is forced to serialize exactly as the LP
+	// assumed: no stretch, achieved == bound.
+	p := platform.Star(platform.WInt(3),
+		[]platform.Weight{platform.WInt(1), platform.WInt(2)},
+		[]rat.Rat{rat.FromInt(1), rat.FromInt(2)})
+	ms, err := core.SolveMasterSlavePort(p, 0, core.SendOrReceive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := EvaluateSendRecv(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Achieved.Equal(ev.Bound) {
+		t.Fatalf("star should lose nothing: achieved %v, bound %v", ev.Achieved, ev.Bound)
+	}
+}

@@ -1,0 +1,128 @@
+package schedule
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// Failure injection for the schedule verifiers (the counterpart of
+// core's tamper tests): Check must reject corrupted periods.
+
+func clonePeriodic(per *Periodic) *Periodic {
+	c := *per
+	c.EdgeTasks = make([]*big.Int, len(per.EdgeTasks))
+	for i, n := range per.EdgeTasks {
+		c.EdgeTasks[i] = new(big.Int).Set(n)
+	}
+	c.ComputeTasks = make([]*big.Int, len(per.ComputeTasks))
+	for i, n := range per.ComputeTasks {
+		c.ComputeTasks[i] = new(big.Int).Set(n)
+	}
+	c.TasksPerPeriod = new(big.Int).Set(per.TasksPerPeriod)
+	c.Slots = append([]Slot(nil), per.Slots...)
+	return &c
+}
+
+func TestPeriodicCheckRejectsTampering(t *testing.T) {
+	p := platform.Figure1()
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := Reconstruct(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := clonePeriodic(per)
+	c.EdgeTasks[0] = new(big.Int).Add(c.EdgeTasks[0], big.NewInt(1))
+	if err := c.Check(); err == nil {
+		t.Error("edge count tampering accepted")
+	}
+
+	c = clonePeriodic(per)
+	c.TasksPerPeriod.Add(c.TasksPerPeriod, big.NewInt(5))
+	if err := c.Check(); err == nil {
+		t.Error("tasks-per-period tampering accepted")
+	}
+
+	c = clonePeriodic(per)
+	if len(c.Slots) > 0 {
+		// Duplicate a slot: per-edge time now exceeds n_e * c_e.
+		c.Slots = append(c.Slots, c.Slots[0])
+		if err := c.Check(); err == nil {
+			t.Error("duplicated slot accepted")
+		}
+	}
+
+	c = clonePeriodic(per)
+	// A slot whose edges share a sender violates one-port.
+	var twoOut []int
+	for v := 0; v < p.NumNodes(); v++ {
+		if len(p.OutEdges(v)) >= 2 {
+			twoOut = p.OutEdges(v)[:2]
+			break
+		}
+	}
+	if twoOut != nil {
+		c.Slots = []Slot{{Dur: rat.One(), Edges: twoOut}}
+		if err := c.Check(); err == nil {
+			t.Error("one-port violation accepted")
+		}
+	}
+
+	c = clonePeriodic(per)
+	// A forwarder that computes.
+	for i := 0; i < p.NumNodes(); i++ {
+		if !p.CanCompute(i) {
+			c.ComputeTasks[i] = big.NewInt(1)
+			if err := c.Check(); err == nil {
+				t.Error("forwarder compute accepted")
+			}
+			break
+		}
+	}
+}
+
+func TestScatterPeriodicCheckRejectsTampering(t *testing.T) {
+	p := platform.Figure1()
+	src := p.NodeByName("P1")
+	targets := []int{p.NodeByName("P4"), p.NodeByName("P5")}
+	sc, err := core.SolveScatter(p, src, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ReconstructScatter(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate a message count: conservation or delivery must fire.
+	for e := range sp.Msgs {
+		if sp.Msgs[e][0].Sign() > 0 {
+			sp.Msgs[e][0].Add(sp.Msgs[e][0], big.NewInt(1))
+			break
+		}
+	}
+	if err := sp.Check(); err == nil {
+		t.Error("tampered scatter schedule accepted")
+	}
+}
+
+func TestReconstructRefusesInvalidSolution(t *testing.T) {
+	p := platform.Figure1()
+	ms, err := core.SolveMasterSlave(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *ms
+	bad.Alpha = append([]rat.Rat(nil), ms.Alpha...)
+	bad.S = append([]rat.Rat(nil), ms.S...)
+	bad.Throughput = bad.Throughput.Mul(rat.FromInt(3))
+	if _, err := Reconstruct(&bad); err == nil {
+		t.Fatal("Reconstruct accepted an invalid solution")
+	}
+}

@@ -1,0 +1,370 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/platform"
+)
+
+// Policy decides, each time a node's send port becomes free, which
+// pending child request to serve next. Implementations live in
+// internal/baseline (the makespan-oriented heuristics the paper
+// motivates against) and internal/adaptive (LP-guided quotas).
+type Policy interface {
+	// Pick returns the index into pending (a slice of child node ids
+	// with outstanding requests at node `from`) to serve, or -1 to
+	// keep the port idle.
+	Pick(from int, pending []int, st *OnlineState) int
+	// Name labels the policy in experiment output.
+	Name() string
+}
+
+// OnlineState exposes read-only simulation state to policies.
+type OnlineState struct {
+	P *platform.Platform
+	// Now is the current simulated time.
+	Now float64
+	// Buffer[i] is the number of task files buffered at node i.
+	Buffer []int
+	// Done[i] is the number of tasks node i has completed.
+	Done []int
+	// SentTo[e] counts task files sent over edge e so far.
+	SentTo []int
+}
+
+// OnlineConfig configures an online master-slave run.
+type OnlineConfig struct {
+	Platform *platform.Platform
+	// Tree maps each non-master node to the platform edge from its
+	// parent (a spanning in-tree rooted at the master). Baselines run
+	// on tree overlays, matching the ENV view of §5.3.
+	Tree []int
+	// Master is the root holding all tasks.
+	Master int
+	// Tasks is the number of tasks to process (0 = run to Horizon).
+	Tasks int
+	// Horizon stops the simulation at this time (0 = until Tasks done).
+	Horizon float64
+	// Policy picks the next request to serve.
+	Policy Policy
+	// NodeLoad and EdgeLoad optionally slow resources over time
+	// (nil entries = constant 1).
+	NodeLoad []*Trace
+	EdgeLoad []*Trace
+	// RequestThreshold: a child re-requests work whenever its buffer
+	// falls below this many tasks (default 2, the classic
+	// double-buffering of demand-driven master-slave).
+	RequestThreshold int
+	// EpochLength, if > 0, invokes OnEpoch every EpochLength time
+	// units with per-resource observed performance (for §5.5
+	// adaptive re-planning).
+	EpochLength float64
+	OnEpoch     func(now float64, obs *EpochObservation)
+}
+
+// EpochObservation reports measured resource performance during the
+// last epoch: the adaptive scheduler's NWS-like sensor input.
+type EpochObservation struct {
+	// NodeBusy[i] is the fraction of the epoch node i spent computing.
+	NodeBusy []float64
+	// NodeRate[i] is tasks completed per time unit at node i.
+	NodeRate []float64
+	// EdgeRate[e] is task files per time unit carried by edge e.
+	EdgeRate []float64
+	// EffectiveW[i] is the observed seconds per task while busy
+	// (w_i * average multiplier); 0 when no task completed.
+	EffectiveW []float64
+	// EffectiveC[e] is the observed seconds per file while busy.
+	EffectiveC []float64
+}
+
+// OnlineResult reports an online run.
+type OnlineResult struct {
+	Makespan float64
+	Done     int
+	PerNode  []int
+	PerEdge  []int
+}
+
+// event is a scheduled callback.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// RunOnlineMasterSlave simulates demand-driven master-slave tasking
+// on a tree overlay under the one-port model: every node computes
+// continuously from its buffer, children request work when low, and
+// each node's send port serves one request at a time in policy order.
+func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
+	p := cfg.Platform
+	n := p.NumNodes()
+	if cfg.Master < 0 || cfg.Master >= n {
+		return nil, fmt.Errorf("sim: bad master")
+	}
+	if len(cfg.Tree) != n {
+		return nil, fmt.Errorf("sim: tree must have one entry per node")
+	}
+	if cfg.Tasks <= 0 && cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: need Tasks or Horizon")
+	}
+	threshold := cfg.RequestThreshold
+	if threshold <= 0 {
+		threshold = 2
+	}
+
+	children := make([][]int, n) // node -> child node ids
+	parentEdge := cfg.Tree
+	for v := 0; v < n; v++ {
+		if v == cfg.Master {
+			continue
+		}
+		e := parentEdge[v]
+		if e < 0 || e >= p.NumEdges() || p.Edge(e).To != v {
+			return nil, fmt.Errorf("sim: tree edge %d does not enter node %d", e, v)
+		}
+		children[p.Edge(e).From] = append(children[p.Edge(e).From], v)
+	}
+
+	st := &OnlineState{
+		P:      p,
+		Buffer: make([]int, n),
+		Done:   make([]int, n),
+		SentTo: make([]int, p.NumEdges()),
+	}
+	var (
+		h         eventHeap
+		seq       int64
+		now       float64
+		remaining = cfg.Tasks // tasks left to hand out at the master
+		doneTotal int
+		computing = make([]bool, n)
+		sending   = make([]bool, n)
+		pending   = make([][]int, n) // node -> child ids waiting
+		requested = make([]bool, n)  // child has an outstanding request
+		busyCpu   = make([]float64, n)
+		busyEdge  = make([]float64, p.NumEdges())
+		epochDone = make([]int, n)
+		epochSent = make([]int, p.NumEdges())
+	)
+	push := func(t float64, fn func()) {
+		seq++
+		heap.Push(&h, &event{t: t, seq: seq, fn: fn})
+	}
+
+	nodeLoad := func(i int) *Trace {
+		if cfg.NodeLoad == nil {
+			return nil
+		}
+		return cfg.NodeLoad[i]
+	}
+	edgeLoad := func(e int) *Trace {
+		if cfg.EdgeLoad == nil {
+			return nil
+		}
+		return cfg.EdgeLoad[e]
+	}
+
+	var tryCompute func(i int)
+	var trySend func(i int)
+	var request func(child int)
+
+	// takeTask withdraws one task at node i (master draws from the
+	// initial collection when Tasks is bounded; unbounded otherwise).
+	takeTask := func(i int) bool {
+		if i == cfg.Master {
+			if cfg.Tasks > 0 {
+				if remaining == 0 {
+					return false
+				}
+				remaining--
+				return true
+			}
+			return true
+		}
+		if st.Buffer[i] == 0 {
+			return false
+		}
+		st.Buffer[i]--
+		return true
+	}
+
+	tryCompute = func(i int) {
+		if computing[i] || !p.CanCompute(i) {
+			return
+		}
+		if !takeTask(i) {
+			return
+		}
+		computing[i] = true
+		dur := p.Weight(i).Val.Float64() * nodeLoad(i).At(now)
+		start := now
+		push(now+dur, func() {
+			computing[i] = false
+			st.Done[i]++
+			epochDone[i]++
+			doneTotal++
+			busyCpu[i] += now - start
+			tryCompute(i)
+			request(i)
+		})
+	}
+
+	request = func(child int) {
+		if child == cfg.Master || requested[child] {
+			return
+		}
+		if st.Buffer[child] >= threshold {
+			return
+		}
+		parent := p.Edge(parentEdge[child]).From
+		requested[child] = true
+		pending[parent] = append(pending[parent], child)
+		trySend(parent)
+	}
+
+	trySend = func(i int) {
+		if sending[i] || len(pending[i]) == 0 {
+			return
+		}
+		st.Now = now
+		pick := cfg.Policy.Pick(i, pending[i], st)
+		if pick < 0 || pick >= len(pending[i]) {
+			return
+		}
+		child := pending[i][pick]
+		if !takeTask(i) {
+			// No task to forward right now: keep the request pending;
+			// trySend fires again when a task arrives at this node.
+			return
+		}
+		pending[i] = append(pending[i][:pick:pick], pending[i][pick+1:]...)
+		e := parentEdge[child]
+		sending[i] = true
+		dur := p.Edge(e).C.Float64() * edgeLoad(e).At(now)
+		start := now
+		push(now+dur, func() {
+			sending[i] = false
+			busyEdge[e] += now - start
+			st.SentTo[e]++
+			epochSent[e]++
+			st.Buffer[child]++
+			requested[child] = false
+			tryCompute(child)
+			trySend(child)
+			request(child) // re-request if still below threshold
+			trySend(i)
+		})
+	}
+
+	// Epoch ticks.
+	if cfg.EpochLength > 0 && cfg.OnEpoch != nil {
+		var tick func()
+		tick = func() {
+			obs := &EpochObservation{
+				NodeBusy:   make([]float64, n),
+				NodeRate:   make([]float64, n),
+				EdgeRate:   make([]float64, p.NumEdges()),
+				EffectiveW: make([]float64, n),
+				EffectiveC: make([]float64, p.NumEdges()),
+			}
+			for i := 0; i < n; i++ {
+				obs.NodeBusy[i] = busyCpu[i] / cfg.EpochLength
+				obs.NodeRate[i] = float64(epochDone[i]) / cfg.EpochLength
+				if epochDone[i] > 0 {
+					obs.EffectiveW[i] = busyCpu[i] / float64(epochDone[i])
+				}
+				busyCpu[i] = 0
+				epochDone[i] = 0
+			}
+			for e := 0; e < p.NumEdges(); e++ {
+				obs.EdgeRate[e] = float64(epochSent[e]) / cfg.EpochLength
+				if epochSent[e] > 0 {
+					obs.EffectiveC[e] = busyEdge[e] / float64(epochSent[e])
+				}
+				busyEdge[e] = 0
+				epochSent[e] = 0
+			}
+			cfg.OnEpoch(now, obs)
+			push(now+cfg.EpochLength, tick)
+		}
+		push(cfg.EpochLength, tick)
+	}
+
+	// Boot: master computes; every leaf-to-root chain starts
+	// requesting.
+	tryCompute(cfg.Master)
+	for v := 0; v < n; v++ {
+		if v != cfg.Master {
+			request(v)
+		}
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(*event)
+		if cfg.Horizon > 0 && ev.t > cfg.Horizon {
+			now = cfg.Horizon
+			break
+		}
+		now = ev.t
+		st.Now = now
+		ev.fn()
+		if cfg.Tasks > 0 && doneTotal >= cfg.Tasks {
+			break
+		}
+		if math.IsInf(now, 0) {
+			return nil, fmt.Errorf("sim: time diverged")
+		}
+	}
+
+	res := &OnlineResult{
+		Makespan: now,
+		Done:     doneTotal,
+		PerNode:  append([]int(nil), st.Done...),
+		PerEdge:  append([]int(nil), st.SentTo...),
+	}
+	return res, nil
+}
+
+// ShortestPathTree returns, for each node, the entering edge of a
+// shortest-path spanning tree rooted at master (-1 for the master
+// itself), the overlay on which online policies run.
+func ShortestPathTree(p *platform.Platform, master int) ([]int, error) {
+	tree := make([]int, p.NumNodes())
+	for v := range tree {
+		tree[v] = -1
+	}
+	for v := 0; v < p.NumNodes(); v++ {
+		if v == master {
+			continue
+		}
+		path := p.ShortestPath(master, v)
+		if path == nil {
+			return nil, fmt.Errorf("sim: node %d unreachable from master", v)
+		}
+		tree[v] = path[len(path)-1]
+	}
+	return tree, nil
+}

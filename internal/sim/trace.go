@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Trace is a piecewise-constant multiplier applied to a resource's
+// base cost (>1 = slower). It models the load variations that §5.5's
+// dynamic scheduling responds to; an NWS-like monitor observes it
+// only through measurements.
+type Trace struct {
+	times []float64 // breakpoints, strictly increasing, starting at 0
+	mult  []float64 // multiplier on [times[i], times[i+1])
+}
+
+// ConstantTrace returns a trace with a fixed multiplier.
+func ConstantTrace(m float64) *Trace {
+	return &Trace{times: []float64{0}, mult: []float64{m}}
+}
+
+// StepTrace returns a trace that switches multipliers at the given
+// breakpoints: mult[i] applies from times[i] (times[0] must be 0).
+func StepTrace(times, mult []float64) *Trace {
+	if len(times) != len(mult) || len(times) == 0 || times[0] != 0 {
+		panic("sim: malformed step trace")
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			panic("sim: trace breakpoints must increase")
+		}
+	}
+	return &Trace{times: append([]float64(nil), times...), mult: append([]float64(nil), mult...)}
+}
+
+// RandomWalkTrace builds a load trace that re-draws a multiplier in
+// [lo, hi] every step time units (a coarse model of ambient load).
+func RandomWalkTrace(rng *rand.Rand, horizon, step, lo, hi float64) *Trace {
+	var times, mult []float64
+	m := lo + rng.Float64()*(hi-lo)
+	for t := 0.0; t < horizon; t += step {
+		times = append(times, t)
+		mult = append(mult, m)
+		// Random walk with reflection.
+		m += (rng.Float64() - 0.5) * (hi - lo) * 0.4
+		if m < lo {
+			m = 2*lo - m
+		}
+		if m > hi {
+			m = 2*hi - m
+		}
+	}
+	return &Trace{times: times, mult: mult}
+}
+
+// At returns the multiplier in effect at time t.
+func (tr *Trace) At(t float64) float64 {
+	if tr == nil {
+		return 1
+	}
+	i := sort.SearchFloat64s(tr.times, t)
+	// SearchFloat64s returns the first index with times[i] >= t; the
+	// active segment is the one before, unless t hits a breakpoint.
+	if i < len(tr.times) && tr.times[i] == t {
+		return tr.mult[i]
+	}
+	if i == 0 {
+		return tr.mult[0]
+	}
+	return tr.mult[i-1]
+}
+
+// Mean returns the average multiplier over [0, horizon].
+func (tr *Trace) Mean(horizon float64) float64 {
+	if tr == nil {
+		return 1
+	}
+	total := 0.0
+	for i := range tr.times {
+		start := tr.times[i]
+		if start >= horizon {
+			break
+		}
+		end := horizon
+		if i+1 < len(tr.times) && tr.times[i+1] < horizon {
+			end = tr.times[i+1]
+		}
+		total += tr.mult[i] * (end - start)
+	}
+	return total / horizon
+}
