@@ -10,6 +10,8 @@
 package repro
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"math/big"
 	"math/rand"
@@ -20,6 +22,8 @@ import (
 	"repro/internal/platform"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
 )
 
 // benchExperiment times a full experiment regeneration.
@@ -139,6 +143,52 @@ func BenchmarkMakespan100kTasks(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Batch-engine benchmarks: 12 jobs over 6 distinct platforms through
+// the pkg/steady/batch worker pool. Cold restarts the engine every
+// iteration (every distinct platform solves its LP); Warm reuses one
+// engine, so after the first iteration every job is a cache hit —
+// the spread between the two is the cache's leverage.
+
+func batchJobs(b *testing.B) []batch.Job {
+	b.Helper()
+	solver, err := steady.New(steady.Spec{Problem: "masterslave"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var jobs []batch.Job
+	for i := 0; i < 12; i++ {
+		jobs = append(jobs, batch.Job{
+			ID:       fmt.Sprintf("j%d", i),
+			Platform: randomPlatform(8 + 2*(i%6)),
+			Solver:   solver,
+		})
+	}
+	return jobs
+}
+
+func runBatchBench(b *testing.B, eng func() *batch.Engine) {
+	jobs := batchJobs(b)
+	ctx := context.Background()
+	shared := eng()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := shared
+		if e == nil {
+			e = batch.New(4)
+		}
+		for _, o := range e.Run(ctx, jobs) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatchEngineCold(b *testing.B) { runBatchBench(b, func() *batch.Engine { return nil }) }
+func BenchmarkBatchEngineWarm(b *testing.B) {
+	runBatchBench(b, func() *batch.Engine { return batch.New(4) })
 }
 
 func BenchmarkTreePackingFigure2(b *testing.B) {

@@ -1,27 +1,48 @@
-// Command experiments regenerates the paper's figures and claims.
+// Command experiments regenerates the paper's figures and claims
+// through the pkg/steady facade, and runs concurrent batch sweeps
+// over random platform families with pkg/steady/batch.
 //
 // Usage:
 //
 //	experiments            # run everything
 //	experiments E3 E5      # run selected experiments
 //	experiments -list      # list experiment ids
+//	experiments -batch -n 16 -workers 8 -format csv   # batch sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	batchMode := flag.Bool("batch", false, "run a concurrent batch sweep instead of the experiment suite")
+	n := flag.Int("n", 16, "batch: number of platforms in the sweep")
+	workers := flag.Int("workers", 0, "batch: worker-pool size (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "batch: random platform seed")
+	format := flag.String("format", "csv", "batch: output format, csv|json")
+	problem := flag.String("problem", "masterslave", "batch: problem to sweep")
 	flag.Parse()
 
-	reg := experiments.Registry()
+	if *batchMode {
+		if err := runBatch(*n, *workers, *seed, *format, *problem); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	suite := steady.Experiments()
 	if *list {
-		for _, e := range reg {
+		for _, e := range suite {
 			fmt.Printf("%-5s %s\n", e.ID, e.Desc)
 		}
 		return
@@ -31,7 +52,7 @@ func main() {
 		want[a] = true
 	}
 	ran := 0
-	for _, e := range reg {
+	for _, e := range suite {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
@@ -47,4 +68,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %v (try -list)\n", flag.Args())
 		os.Exit(2)
 	}
+}
+
+// runBatch sweeps the chosen problem over a family of random
+// connected platforms, solving them concurrently through the batch
+// engine and streaming records to stdout as they complete. Platform
+// sizes cycle over a small set, so the sweep contains duplicate
+// platforms and exercises the engine's LP-solution cache.
+func runBatch(n, workers int, seed int64, format, problem string) error {
+	solver, err := steady.New(steady.Spec{Problem: problem})
+	if err != nil {
+		return err
+	}
+
+	sizes := []int{6, 8, 10, 12}
+	jobs := make([]batch.Job, n)
+	for i := range jobs {
+		size := sizes[i%len(sizes)]
+		// Seeding by (seed, size) makes platforms repeat across the
+		// sweep: repeats are served from the cache.
+		rng := rand.New(rand.NewSource(seed + int64(size)))
+		jobs[i] = batch.Job{
+			ID:       fmt.Sprintf("job%02d-n%d", i, size),
+			Platform: platform.RandomConnected(rng, size, size, 5, 5, 0.15),
+			Solver:   solver,
+		}
+	}
+
+	var sink batch.Sink
+	switch format {
+	case "csv":
+		sink = batch.CSVSink(os.Stdout)
+	case "json":
+		sink = batch.JSONSink(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (csv|json)", format)
+	}
+
+	eng := batch.New(workers)
+	if err := eng.Stream(context.Background(), jobs, sink); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "batch: %d jobs, %d LP solves, %d cache hits, %d workers\n",
+		len(jobs), st.Solves, st.CacheHits, eng.Workers())
+	return nil
 }

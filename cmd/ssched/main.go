@@ -1,6 +1,7 @@
 // Command ssched solves steady-state scheduling problems on a
 // platform description and prints the LP solution and, where the
-// theory allows it (§4), the reconstructed periodic schedule.
+// theory allows it (§4), the reconstructed periodic schedule. It is a
+// thin shell over the pkg/steady facade.
 //
 // Usage:
 //
@@ -16,15 +17,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/platform"
-	"repro/internal/schedule"
+	"repro/pkg/steady"
 )
 
 func main() {
@@ -56,73 +57,59 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	nodeByName := func(name string, fallback int) (int, error) {
-		if name == "" {
-			return fallback, nil
-		}
-		id := p.NodeByName(name)
-		if id < 0 {
-			return 0, fmt.Errorf("unknown node %q", name)
-		}
-		return id, nil
+	model := steady.SendAndReceive
+	if *sendrecv {
+		model = steady.SendOrReceive
 	}
-	parseTargets := func() ([]int, error) {
+	ctx := context.Background()
+
+	// One helper per facade call: build the solver for this problem
+	// family and run it on the loaded platform.
+	solve := func(spec steady.Spec) (*steady.Result, error) {
+		solver, err := steady.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		return solver.Solve(ctx, p)
+	}
+	splitTargets := func() ([]string, error) {
 		if *targets == "" {
 			return nil, fmt.Errorf("-targets required for %s", *problem)
 		}
-		var out []int
-		for _, name := range strings.Split(*targets, ",") {
-			id := p.NodeByName(strings.TrimSpace(name))
-			if id < 0 {
-				return nil, fmt.Errorf("unknown target %q", name)
-			}
-			out = append(out, id)
-		}
-		return out, nil
-	}
-
-	pm := core.SendAndReceive
-	if *sendrecv {
-		pm = core.SendOrReceive
+		return strings.Split(*targets, ","), nil
 	}
 
 	switch *problem {
 	case "masterslave":
-		m, err := nodeByName(*master, 0)
-		if err != nil {
-			return err
-		}
-		ms, err := core.SolveMasterSlavePort(p, m, pm)
+		res, err := solve(steady.Spec{Problem: "masterslave", Root: *master, Model: model})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "ntask(G) = %v = %.6f tasks/time-unit (%s model)\n",
-			ms.Throughput, ms.Throughput.Float64(), pm)
-		for i := 0; i < p.NumNodes(); i++ {
-			fmt.Fprintf(w, "  alpha[%s] = %v\n", p.Name(i), ms.Alpha[i])
+			res.Throughput, res.ThroughputFloat(), res.Model)
+		for _, n := range res.Nodes {
+			fmt.Fprintf(w, "  alpha[%s] = %v\n", n.Name, n.Alpha)
 		}
-		for e := 0; e < p.NumEdges(); e++ {
-			if ms.S[e].Sign() > 0 {
-				ed := p.Edge(e)
-				fmt.Fprintf(w, "  s[%s->%s] = %v\n", p.Name(ed.From), p.Name(ed.To), ms.S[e])
+		for _, l := range res.Links {
+			if l.Busy.Sign() > 0 {
+				fmt.Fprintf(w, "  s[%s->%s] = %v\n", l.From, l.To, l.Busy)
 			}
 		}
-		if pm == core.SendAndReceive {
-			per, err := schedule.Reconstruct(ms)
+		if model == steady.SendAndReceive {
+			sch, err := res.Reconstruct()
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "schedule: %v\n", per)
-			for i, s := range per.Slots {
+			fmt.Fprintf(w, "schedule: %s\n", sch.Summary)
+			for i, s := range sch.Slots {
 				fmt.Fprintf(w, "  slot %d (dur %v):", i, s.Dur)
-				for _, e := range s.Edges {
-					ed := p.Edge(e)
-					fmt.Fprintf(w, " %s->%s", p.Name(ed.From), p.Name(ed.To))
+				for _, l := range s.Links {
+					fmt.Fprintf(w, " %s->%s", l[0], l[1])
 				}
 				fmt.Fprintln(w)
 			}
 		} else {
-			ev, err := schedule.EvaluateSendRecv(ms)
+			ev, err := res.EvaluateGreedy()
 			if err != nil {
 				return err
 			}
@@ -130,74 +117,58 @@ func run(args []string, w io.Writer) error {
 				ev.Achieved, ev.Bound, ev.Slots)
 		}
 	case "scatter":
-		s, err := nodeByName(*source, 0)
+		tg, err := splitTargets()
 		if err != nil {
 			return err
 		}
-		tg, err := parseTargets()
+		res, err := solve(steady.Spec{Problem: "scatter", Root: *source, Targets: tg, Model: model})
 		if err != nil {
 			return err
 		}
-		sc, err := core.SolveScatterPort(p, s, tg, pm)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "TP = %v = %.6f scatters/time-unit\n", sc.Throughput, sc.Throughput.Float64())
-		if pm == core.SendAndReceive {
-			sp, err := schedule.ReconstructScatter(sc)
+		fmt.Fprintf(w, "TP = %v = %.6f scatters/time-unit\n", res.Throughput, res.ThroughputFloat())
+		if model == steady.SendAndReceive {
+			sch, err := res.Reconstruct()
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "schedule: %v\n", sp)
+			fmt.Fprintf(w, "schedule: %s\n", sch.Summary)
 		}
 	case "multicast":
-		s, err := nodeByName(*source, 0)
+		tg, err := splitTargets()
 		if err != nil {
 			return err
 		}
-		tg, err := parseTargets()
+		sum, err := solve(steady.Spec{Problem: "multicast-sum", Root: *source, Targets: tg})
 		if err != nil {
 			return err
 		}
-		sum, err := core.SolveMulticastSum(p, s, tg)
-		if err != nil {
-			return err
-		}
-		bound, err := core.SolveMulticastBound(p, s, tg)
+		bound, err := solve(steady.Spec{Problem: "multicast", Root: *source, Targets: tg})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "sum-LP (achievable)  TP = %v\n", sum.Throughput)
 		fmt.Fprintf(w, "max-LP (upper bound) TP = %v\n", bound.Throughput)
 		if p.NumEdges() <= 24 {
-			pack, err := core.SolveTreePacking(p, s, tg)
+			pack, err := solve(steady.Spec{Problem: "multicast-trees", Root: *source, Targets: tg})
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "exact tree packing   TP = %v (%d trees)\n", pack.Throughput, pack.NumTrees)
+			fmt.Fprintf(w, "exact tree packing   TP = %v (%d trees)\n", pack.Throughput, pack.Trees)
 		} else {
 			fmt.Fprintf(w, "exact tree packing skipped (platform too large; the problem is NP-hard)\n")
 		}
 	case "broadcast":
-		s, err := nodeByName(*source, 0)
+		res, err := solve(steady.Spec{Problem: "broadcast", Root: *source})
 		if err != nil {
 			return err
 		}
-		b, err := core.SolveBroadcastBound(p, s)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "broadcast TP = %v (achievable per [5])\n", b.Throughput)
+		fmt.Fprintf(w, "broadcast TP = %v (achievable per [5])\n", res.Throughput)
 	case "reduce":
-		r, err := nodeByName(*root, 0)
+		res, err := solve(steady.Spec{Problem: "reduce", Root: *root})
 		if err != nil {
 			return err
 		}
-		red, err := core.SolveReduceBound(p, r)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "reduce TP = %v\n", red.Throughput)
+		fmt.Fprintf(w, "reduce TP = %v\n", res.Throughput)
 	default:
 		return fmt.Errorf("unknown problem %q", *problem)
 	}

@@ -1,0 +1,37 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/rat"
+)
+
+// ExampleModel builds and solves a two-variable LP with the exact
+// rational simplex:
+//
+//	maximize   x + y
+//	subject to 0 <= x <= 2, 0 <= y <= 3
+//	           2x + y <= 4
+//
+// The optimum sits at the vertex (1/2, 3) with objective 7/2 —
+// returned exactly, with no floating-point tolerance.
+func ExampleModel() {
+	m := lp.NewModel()
+	x := m.VarRange("x", rat.FromInt(2))
+	y := m.VarRange("y", rat.FromInt(3))
+	m.Objective(lp.Maximize, lp.Expr{}.PlusInt(x, 1).PlusInt(y, 1))
+	m.Le("cap", lp.Expr{}.PlusInt(x, 2).PlusInt(y, 1), rat.FromInt(4))
+
+	sol, err := m.Solve()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("status   :", sol.Status)
+	fmt.Println("objective:", sol.Objective)
+	fmt.Println("x =", sol.Value(x), " y =", sol.Value(y))
+	// Output:
+	// status   : optimal
+	// objective: 7/2
+	// x = 1/2  y = 3
+}

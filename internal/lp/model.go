@@ -6,6 +6,14 @@
 // The steady-state framework of Beaumont et al. requires *rational*
 // optima — the schedule period is the lcm of the solution's
 // denominators — which is why the exact solver is the primary engine.
+//
+// Build a Model with NewModel, declare variables with Var/VarRange
+// (variables are non-negative by default; SetFree lifts that),
+// constraints with Le/Ge/Eq, and call Solve for an exact Solution or
+// SolveFloat for the float64 comparison solver. See ExampleModel for
+// a complete program. internal/core builds the paper's LPs directly
+// on this package; applications should normally consume them through
+// the pkg/steady facade instead.
 package lp
 
 import (

@@ -1,0 +1,304 @@
+// Package batch solves many steady-state problems concurrently on
+// top of the pkg/steady facade.
+//
+// An Engine runs a worker pool with bounded parallelism and
+// deduplicates work through an LP-solution cache keyed by
+// (steady.Fingerprint(platform), solver.Name()): submitting the same
+// platform/solver pair twice — even concurrently — solves the LP
+// once. This is the substrate for parameter sweeps (cmd/experiments
+// -batch) and for any future service front-end: steady-state LPs are
+// pure functions of their platform, so their results are safely
+// shareable.
+//
+//	eng := batch.New(8)
+//	outcomes := eng.Run(ctx, jobs)
+//	batch.WriteCSV(os.Stdout, outcomes)
+//
+// Results can also be streamed as they complete with Engine.Stream
+// and the JSONSink/CSVSink adapters.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/platform"
+	"repro/pkg/steady"
+)
+
+// Job pairs a platform with the solver to run on it.
+type Job struct {
+	// ID is an optional caller-chosen label carried through to the
+	// Outcome and the JSON/CSV records.
+	ID       string
+	Platform *platform.Platform
+	Solver   steady.Solver
+}
+
+// Outcome is the terminal state of one job.
+type Outcome struct {
+	// JobID echoes Job.ID.
+	JobID string
+	// Solver is the solver name, Key the cache key the job resolved
+	// to (platform fingerprint + solver name).
+	Solver string
+	Key    string
+	// Result is the solved problem; nil when Err is set.
+	Result *steady.Result
+	Err    error
+	// CacheHit reports that the job reused a result another job
+	// solved (or was already solving) rather than running its own LP.
+	CacheHit bool
+	// Elapsed is the wall time from job pickup to completion; for a
+	// cache hit on an in-flight key it includes the wait.
+	Elapsed time.Duration
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	// Solves is the number of LPs actually solved (cache misses).
+	Solves int64
+	// CacheHits is the number of jobs served from the cache.
+	CacheHits int64
+}
+
+// entry is one cache slot. done is closed once res/err are final, so
+// concurrent duplicates block on it instead of re-solving.
+type entry struct {
+	done chan struct{}
+	res  *steady.Result
+	err  error
+}
+
+// Engine is a concurrent batch solver with an LP-solution cache. The
+// zero value is not usable; construct with New. An Engine may be
+// reused across Run/Stream calls and retains its cache, so repeated
+// sweeps over overlapping platform families get warmer and warmer.
+// The cache is bounded (DefaultCacheBound entries unless NewBounded
+// says otherwise); when full, a completed entry is evicted per
+// insertion, so a long-lived engine's memory stays bounded too.
+type Engine struct {
+	workers int
+	bound   int
+
+	mu    sync.Mutex
+	cache map[string]*entry
+	stats Stats
+}
+
+// DefaultCacheBound is the cache capacity used by New, in entries.
+// Each entry retains the solved platform and its full exact solution,
+// so the bound caps the engine's memory, not just map size.
+const DefaultCacheBound = 4096
+
+// New returns an Engine running at most workers concurrent solves,
+// with the default cache bound. workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine { return NewBounded(workers, DefaultCacheBound) }
+
+// NewBounded is New with an explicit cache capacity; cacheBound <= 0
+// means unbounded.
+func NewBounded(workers, cacheBound int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, bound: cacheBound, cache: map[string]*entry{}}
+}
+
+// Workers returns the engine's parallelism bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run solves all jobs with bounded parallelism and returns their
+// outcomes in job order. A canceled context marks the remaining jobs
+// with ctx.Err() rather than abandoning them silently.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Outcome {
+	out := make([]Outcome, len(jobs))
+	e.execute(ctx, jobs, func(i int, o Outcome) error {
+		out[i] = o
+		return nil
+	})
+	return out
+}
+
+// Sink receives outcomes as they complete. Calls are serialized by
+// the engine, so a Sink may write to a shared stream without its own
+// locking. A non-nil error stops the run: in-flight jobs finish, the
+// remaining ones are dropped, and the error is returned from Stream.
+type Sink func(Outcome) error
+
+// Stream solves all jobs with bounded parallelism, delivering each
+// outcome to sink in completion order (not job order).
+func (e *Engine) Stream(ctx context.Context, jobs []Job, sink Sink) error {
+	return e.execute(ctx, jobs, func(_ int, o Outcome) error {
+		return sink(o)
+	})
+}
+
+func (e *Engine) execute(ctx context.Context, jobs []Job, emit func(int, Outcome) error) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	var (
+		emitMu  sync.Mutex
+		emitErr error
+		stopped bool
+		work    = make(chan int)
+		wg      sync.WaitGroup
+		deliver = func(i int, o Outcome) bool {
+			emitMu.Lock()
+			defer emitMu.Unlock()
+			if stopped {
+				return false
+			}
+			if err := emit(i, o); err != nil {
+				emitErr = err
+				stopped = true
+				return false
+			}
+			return true
+		}
+	)
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				deliver(i, e.solve(ctx, jobs[i]))
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		emitMu.Lock()
+		dead := stopped
+		emitMu.Unlock()
+		if dead {
+			break feed
+		}
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			// Mark everything not yet handed to a worker as canceled.
+			for j := i; j < len(jobs); j++ {
+				deliver(j, Outcome{JobID: jobs[j].ID, Solver: solverName(jobs[j]), Err: ctx.Err()})
+			}
+			break feed
+		}
+	}
+	close(work)
+	wg.Wait()
+	return emitErr
+}
+
+func solverName(j Job) string {
+	if j.Solver == nil {
+		return ""
+	}
+	return j.Solver.Name()
+}
+
+// solve resolves one job against the cache, running the LP only for
+// the first job to claim its key. Errors are cached alongside
+// results: an infeasible or malformed instance fails once, not once
+// per duplicate.
+func (e *Engine) solve(ctx context.Context, job Job) Outcome {
+	start := time.Now()
+	o := Outcome{JobID: job.ID, Solver: solverName(job)}
+	if job.Solver == nil || job.Platform == nil {
+		o.Err = fmt.Errorf("batch: job %q needs a platform and a solver", job.ID)
+		o.Elapsed = time.Since(start)
+		return o
+	}
+	o.Key = steady.Fingerprint(job.Platform) + "|" + o.Solver
+
+	for {
+		e.mu.Lock()
+		ent, hit := e.cache[o.Key]
+		if !hit {
+			ent = &entry{done: make(chan struct{})}
+			e.evictLocked()
+			e.cache[o.Key] = ent
+			e.stats.Solves++
+		}
+		e.mu.Unlock()
+
+		if !hit {
+			ent.res, ent.err = job.Solver.Solve(ctx, job.Platform)
+			if canceled(ent.err) {
+				// A canceled solve says nothing about the instance:
+				// evict the key so a later run on a reused engine
+				// solves it for real.
+				e.mu.Lock()
+				delete(e.cache, o.Key)
+				e.stats.Solves--
+				e.mu.Unlock()
+			}
+			close(ent.done)
+			o.Result, o.Err = ent.res, ent.err
+			o.Elapsed = time.Since(start)
+			return o
+		}
+
+		select {
+		case <-ent.done:
+			if canceled(ent.err) {
+				// The solve this job was waiting on ran under another
+				// caller's context and was canceled there — that says
+				// nothing about this job. Its key has been evicted,
+				// so claim it ourselves unless our own ctx is gone.
+				if err := ctx.Err(); err != nil {
+					o.Err = err
+					o.Elapsed = time.Since(start)
+					return o
+				}
+				continue
+			}
+			e.mu.Lock()
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			o.Result, o.Err, o.CacheHit = ent.res, ent.err, true
+		case <-ctx.Done():
+			o.Err = ctx.Err()
+		}
+		o.Elapsed = time.Since(start)
+		return o
+	}
+}
+
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// evictLocked makes room for one insertion under e.mu: at the bound,
+// it drops one completed entry (map order, effectively random).
+// In-flight entries are never evicted — their waiters hold them.
+func (e *Engine) evictLocked() {
+	if e.bound <= 0 || len(e.cache) < e.bound {
+		return
+	}
+	for k, old := range e.cache {
+		select {
+		case <-old.done:
+			delete(e.cache, k)
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package steady
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Fingerprint returns a canonical content hash of the platform: two
+// platforms built with the same node names, weights, and edges (in
+// the same order) share a fingerprint, regardless of how they were
+// constructed. The batch engine keys its LP-solution cache on
+// (Fingerprint, Solver.Name), so the hash covers every input the
+// solvers read: node names, node weights, and directed edges with
+// their costs. Weights and costs hash via their normalized rational
+// rendering, so equal rationals hash equally.
+//
+// Node order is significant: the built-in solvers address nodes by
+// index (Spec.Root == "" means node 0), so platforms that differ only
+// by node permutation are distinct solve inputs.
+func Fingerprint(p *platform.Platform) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "steady/v1 %d %d\n", p.NumNodes(), p.NumEdges())
+	for i := 0; i < p.NumNodes(); i++ {
+		fmt.Fprintf(h, "n %s %s\n", p.Name(i), p.Weight(i))
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ed := p.Edge(e)
+		fmt.Fprintf(h, "e %d %d %s\n", ed.From, ed.To, ed.C)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

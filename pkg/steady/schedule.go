@@ -1,0 +1,127 @@
+package steady
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rat"
+	"repro/internal/schedule"
+)
+
+// Slot is one time slice of a reconstructed periodic schedule: the
+// listed links are simultaneously busy for Dur time and form a
+// matching on (sender, receiver) pairs.
+type Slot struct {
+	Dur rat.Rat
+	// Links are the (from, to) node-name pairs active in the slot.
+	Links [][2]string
+}
+
+// Schedule is the facade view of a reconstructed periodic schedule
+// (§4 of the paper): a compact, polynomial-size description of one
+// period that achieves the LP throughput asymptotically.
+type Schedule struct {
+	// Summary is the one-line rendering of the underlying schedule
+	// (period, per-period work, slot count).
+	Summary string
+	// Slots is the communication orchestration; the durations sum to
+	// at most one period.
+	Slots []Slot
+	// Throughput is the schedule's steady-state rate, equal to the LP
+	// optimum.
+	Throughput rat.Rat
+}
+
+// GreedyEvaluation quantifies §5.1.1: under the send-OR-receive port
+// model reconstruction requires edge-coloring an arbitrary graph
+// (NP-hard), so only a greedy decomposition is evaluated, reporting
+// how much of the LP bound it achieves.
+type GreedyEvaluation struct {
+	// Bound is the LP optimum under the shared-port model.
+	Bound rat.Rat
+	// Achieved is the throughput of the greedy schedule (<= Bound).
+	Achieved rat.Rat
+	// Slots is the number of matchings in the greedy decomposition.
+	Slots int
+}
+
+// Reconstruct turns the result into a concrete periodic schedule
+// following the §4.1 construction. It is available for masterslave
+// and scatter results under the base send-and-receive model; the
+// multicast max-operator bound is deliberately not reconstructible
+// (its unachievability is the point of §4.3), and the send-or-receive
+// model only admits the greedy evaluation (see EvaluateGreedy).
+func (r *Result) Reconstruct() (*Schedule, error) {
+	if r.Model != SendAndReceive {
+		return nil, fmt.Errorf("steady: no exact reconstruction under the %s model; use EvaluateGreedy", r.Model)
+	}
+	switch sol := r.raw.(type) {
+	case *core.MasterSlave:
+		per, err := schedule.Reconstruct(sol)
+		if err != nil {
+			return nil, err
+		}
+		return &Schedule{
+			Summary:    per.String(),
+			Slots:      facadeSlots(r, per.Slots),
+			Throughput: per.Throughput,
+		}, nil
+	case *core.Scatter:
+		if r.Problem != "scatter" && r.Problem != "multicast-sum" {
+			return nil, fmt.Errorf("steady: %s results have bound semantics and no schedule", r.Problem)
+		}
+		sp, err := schedule.ReconstructScatter(sol)
+		if err != nil {
+			return nil, err
+		}
+		return &Schedule{
+			Summary:    sp.String(),
+			Slots:      facadeSlots(r, sp.Slots),
+			Throughput: sp.Throughput,
+		}, nil
+	case *core.TreePacking:
+		mp, err := schedule.ReconstructTreePacking(sol)
+		if err != nil {
+			return nil, err
+		}
+		return &Schedule{
+			Summary:    mp.String(),
+			Slots:      facadeSlots(r, mp.Slots),
+			Throughput: mp.Throughput,
+		}, nil
+	default:
+		return nil, fmt.Errorf("steady: %s results are not reconstructible", r.Problem)
+	}
+}
+
+// EvaluateGreedy reconstructs a schedule for a send-or-receive
+// masterslave result with the greedy general-graph coloring and
+// reports achieved versus bound throughput (the E9 gap).
+func (r *Result) EvaluateGreedy() (*GreedyEvaluation, error) {
+	ms, ok := r.raw.(*core.MasterSlave)
+	if !ok {
+		return nil, fmt.Errorf("steady: greedy evaluation applies to masterslave results only")
+	}
+	if r.Model != SendOrReceive {
+		return nil, fmt.Errorf("steady: greedy evaluation applies to the send-or-receive model; use Reconstruct")
+	}
+	ev, err := schedule.EvaluateSendRecv(ms)
+	if err != nil {
+		return nil, err
+	}
+	return &GreedyEvaluation{Bound: ev.Bound, Achieved: ev.Achieved, Slots: ev.Slots}, nil
+}
+
+func facadeSlots(r *Result, slots []schedule.Slot) []Slot {
+	p := r.Platform
+	out := make([]Slot, len(slots))
+	for i, s := range slots {
+		out[i].Dur = s.Dur
+		out[i].Links = make([][2]string, len(s.Edges))
+		for j, e := range s.Edges {
+			ed := p.Edge(e)
+			out[i].Links[j] = [2]string{p.Name(ed.From), p.Name(ed.To)}
+		}
+	}
+	return out
+}

@@ -1,0 +1,485 @@
+// Package steady is the public facade over the repository's
+// steady-state scheduling solvers (internal/core, internal/schedule,
+// internal/lp) for the linear programs of Beaumont, Legrand, Marchal
+// and Robert, "Assessing the impact and limits of steady-state
+// scheduling for mixed task and data parallelism on heterogeneous
+// platforms" (IPDPS 2004).
+//
+// The facade presents every steady-state problem of §3–§5 of the
+// paper through one uniform interface:
+//
+//	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+//	result, err := solver.Solve(ctx, platform.Figure1())
+//
+// A Solver is a reusable, platform-independent description of a
+// problem instance (which problem, which root/source node, which
+// targets, which port model); Solve applies it to a concrete
+// platform graph and returns a Result carrying the optimal
+// steady-state throughput together with the per-node and per-link
+// activity variables, all as exact rationals (see internal/rat — the
+// schedule period is the lcm of the solution's denominators, so
+// floating point is never used on the solve path).
+//
+// Built-in problems, registered at init time:
+//
+//	masterslave      §3.1 SSMS(G): independent equal-sized tasks
+//	scatter          §3.2 SSPS(G): pipelined personalized messages
+//	multicast        §3.3 max-operator relaxation (upper bound)
+//	multicast-sum    §3.3 sum-LP (achievable lower bound)
+//	multicast-trees  §4.3 exact Steiner-arborescence packing
+//	broadcast        §3.3 bound with all reachable nodes as targets
+//	reduce           §4.2 reduce = broadcast on the reversed graph
+//
+// masterslave and scatter also accept the send-OR-receive port model
+// of §5.1.1 via Spec.Model. Additional problems can be added with
+// Register; pkg/steady/batch builds a concurrent, caching batch
+// engine on top of this interface.
+package steady
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/rat"
+)
+
+// PortModel selects the communication model: the paper's base model
+// (§2, separate send and receive ports, full overlap) or the
+// restricted shared-port model of §5.1.1.
+type PortModel int
+
+const (
+	// SendAndReceive is the base model: at most one emission and one
+	// reception at a time, overlapping with computation.
+	SendAndReceive PortModel = iota
+	// SendOrReceive shares a single port for emissions and receptions
+	// (§5.1.1); schedule reconstruction becomes NP-hard, so only a
+	// greedy evaluation is available (see Result.EvaluateGreedy).
+	SendOrReceive
+)
+
+func (m PortModel) String() string {
+	if m == SendOrReceive {
+		return "send-or-receive"
+	}
+	return "send-and-receive"
+}
+
+func (m PortModel) core() core.PortModel {
+	if m == SendOrReceive {
+		return core.SendOrReceive
+	}
+	return core.SendAndReceive
+}
+
+// Spec describes a problem instance independently of any platform.
+// Node references are by name and resolved against the platform at
+// Solve time, so one Solver can be applied to a whole family of
+// platforms (as the batch engine does).
+type Spec struct {
+	// Problem is a registered problem name (see Problems).
+	Problem string
+	// Root is the master (masterslave), source (scatter, multicast,
+	// broadcast) or reduction root (reduce). Empty means the
+	// platform's first node.
+	Root string
+	// Targets are the target node names for scatter and the multicast
+	// variants. Ignored by the other problems.
+	Targets []string
+	// Model is the port model; only masterslave and scatter support
+	// SendOrReceive.
+	Model PortModel
+}
+
+// name renders the spec as a compact canonical string: the problem
+// name plus any non-default parameters in a fixed order. It is used
+// as Solver.Name and therefore as part of the batch engine's cache
+// key, so it must encode every parameter that affects the solution —
+// node names are escaped so that names containing the separator
+// characters cannot make two distinct specs render identically.
+func (s Spec) name() string {
+	var parts []string
+	if s.Root != "" {
+		parts = append(parts, "root="+escapeName(s.Root))
+	}
+	if len(s.Targets) > 0 {
+		esc := make([]string, len(s.Targets))
+		for i, t := range s.Targets {
+			esc[i] = escapeName(t)
+		}
+		parts = append(parts, "targets="+strings.Join(esc, "+"))
+	}
+	if s.Model != SendAndReceive {
+		parts = append(parts, "model="+s.Model.String())
+	}
+	if len(parts) == 0 {
+		return s.Problem
+	}
+	return s.Problem + "[" + strings.Join(parts, ",") + "]"
+}
+
+// specReserved are the separator characters of Spec.name's encoding.
+const specReserved = "[]=,+%"
+
+// escapeName percent-encodes the separator characters in a node name
+// so the rendered spec name is unambiguous. Ordinary names (P1, w03)
+// pass through unchanged.
+func escapeName(s string) string {
+	if !strings.ContainsAny(s, specReserved) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; strings.IndexByte(specReserved, c) >= 0 {
+			fmt.Fprintf(&b, "%%%02X", c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// NodeActivity is one node's share of the steady-state solution.
+type NodeActivity struct {
+	// Name is the platform node name.
+	Name string
+	// Alpha is the fraction of each time-unit the node computes.
+	Alpha rat.Rat
+	// Rate is the node's tasks per time-unit, alpha/w (zero for
+	// forwarder-only nodes).
+	Rate rat.Rat
+}
+
+// LinkActivity is one directed link's share of the steady-state
+// solution. Platforms may carry parallel links, so entries are an
+// ordered slice (platform edge order), not a map.
+type LinkActivity struct {
+	From, To string
+	// Busy is the fraction of each time-unit the link transfers data.
+	Busy rat.Rat
+}
+
+// Result is a solved steady-state problem on a concrete platform.
+// All quantities are exact rationals; Check on the underlying
+// internal solution has already re-verified the paper's equations
+// (one-port constraints, conservation laws) before the Result is
+// returned, so a non-nil Result is certified feasible.
+type Result struct {
+	// Solver is the Name() of the solver that produced the result.
+	Solver string
+	// Problem is the registered problem name.
+	Problem string
+	// Model is the port model the result was computed under.
+	Model PortModel
+	// Platform is the solved platform (immutable by convention).
+	Platform *platform.Platform
+	// Fingerprint is the canonical content hash of Platform (see
+	// Fingerprint); together with Solver it identifies the result.
+	Fingerprint string
+	// Throughput is the problem's objective: ntask(G) for
+	// masterslave, TP for the distribution problems. For "multicast"
+	// (max-operator) it is an upper bound, possibly unachievable.
+	Throughput rat.Rat
+	// Nodes holds per-node compute activity (masterslave only; nil
+	// for the distribution problems, whose LPs have no alpha).
+	Nodes []NodeActivity
+	// Links holds per-link busy fractions in platform edge order.
+	Links []LinkActivity
+	// Trees is, for multicast-trees only, the number of candidate
+	// Steiner arborescences enumerated by the exact packing.
+	Trees int
+
+	raw any // underlying internal/core solution, for reconstruction
+}
+
+// ThroughputFloat returns the objective as the nearest float64, for
+// display; exact comparisons must use Throughput.
+func (r *Result) ThroughputFloat() float64 { return r.Throughput.Float64() }
+
+// Solver is a reusable steady-state problem that can be applied to
+// any platform. Implementations must be safe for concurrent use by
+// multiple goroutines: the batch engine calls Solve from its worker
+// pool.
+type Solver interface {
+	// Name identifies the solver instance, including its parameters;
+	// it is part of the batch engine's cache key.
+	Name() string
+	// Solve runs the problem on p and returns the certified result.
+	// Solve honors ctx cancellation; the platform is not mutated.
+	Solve(ctx context.Context, p *platform.Platform) (*Result, error)
+}
+
+// Factory builds a Solver from a Spec; it validates the spec (e.g.
+// scatter requires targets) but resolves node names only at Solve
+// time.
+type Factory func(Spec) (Solver, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register makes a problem available to New. It panics on a
+// duplicate or empty name, mirroring database/sql.Register.
+func Register(problem string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if problem == "" || f == nil {
+		panic("steady: Register with empty problem or nil factory")
+	}
+	if _, dup := registry[problem]; dup {
+		panic("steady: Register called twice for problem " + problem)
+	}
+	registry[problem] = f
+}
+
+// Problems returns the registered problem names, sorted.
+func Problems() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds a Solver for the given spec from the registry.
+func New(spec Spec) (Solver, error) {
+	regMu.RLock()
+	f, ok := registry[spec.Problem]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("steady: unknown problem %q (have %s)",
+			spec.Problem, strings.Join(Problems(), ", "))
+	}
+	return f(spec)
+}
+
+// builtin is the Solver for all built-in problems: a spec plus a
+// solve function over resolved node indices.
+type builtin struct {
+	spec Spec
+	run  func(p *platform.Platform, root int, targets []int, spec Spec) (*Result, error)
+}
+
+func (b *builtin) Name() string { return b.spec.name() }
+
+func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, error) {
+	if p == nil {
+		return nil, fmt.Errorf("steady: nil platform")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	root, err := resolveNode(p, b.spec.Root)
+	if err != nil {
+		return nil, err
+	}
+	targets, err := resolveTargets(p, b.spec.Targets)
+	if err != nil {
+		return nil, err
+	}
+	// The exact simplex is synchronous; run it aside so cancellation
+	// returns promptly. An abandoned solve finishes in the background
+	// and is discarded (the platform is never mutated).
+	type reply struct {
+		res *Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		res, err := b.run(p, root, targets, b.spec)
+		ch <- reply{res, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case out := <-ch:
+		if out.err != nil {
+			return nil, out.err
+		}
+		out.res.Solver = b.spec.name()
+		out.res.Problem = b.spec.Problem
+		out.res.Model = b.spec.Model
+		out.res.Platform = p
+		out.res.Fingerprint = Fingerprint(p)
+		return out.res, nil
+	}
+}
+
+// resolveNode maps a node name to its index; empty means node 0.
+func resolveNode(p *platform.Platform, name string) (int, error) {
+	if name == "" {
+		return 0, nil
+	}
+	id := p.NodeByName(name)
+	if id < 0 {
+		return 0, fmt.Errorf("steady: unknown node %q", name)
+	}
+	return id, nil
+}
+
+func resolveTargets(p *platform.Platform, names []string) ([]int, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]int, 0, len(names))
+	for _, name := range names {
+		id := p.NodeByName(strings.TrimSpace(name))
+		if id < 0 {
+			return nil, fmt.Errorf("steady: unknown target %q", name)
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func nodeActivities(p *platform.Platform, alpha []rat.Rat) []NodeActivity {
+	out := make([]NodeActivity, p.NumNodes())
+	for i := range out {
+		out[i] = NodeActivity{Name: p.Name(i), Alpha: alpha[i]}
+		if w := p.Weight(i); !w.Inf {
+			out[i].Rate = alpha[i].Div(w.Val)
+		}
+	}
+	return out
+}
+
+func linkActivities(p *platform.Platform, s []rat.Rat) []LinkActivity {
+	out := make([]LinkActivity, p.NumEdges())
+	for e := range out {
+		ed := p.Edge(e)
+		out[e] = LinkActivity{From: p.Name(ed.From), To: p.Name(ed.To), Busy: s[e]}
+	}
+	return out
+}
+
+// needTargets validates at New time that the spec names targets.
+func needTargets(spec Spec) error {
+	if len(spec.Targets) == 0 {
+		return fmt.Errorf("steady: %s requires targets", spec.Problem)
+	}
+	return nil
+}
+
+// baseModelOnly rejects the send-or-receive model for problems whose
+// LPs are only formulated under the base model.
+func baseModelOnly(spec Spec) error {
+	if spec.Model != SendAndReceive {
+		return fmt.Errorf("steady: %s supports only the send-and-receive model", spec.Problem)
+	}
+	return nil
+}
+
+func fromScatter(sc *core.Scatter) *Result {
+	return &Result{
+		Throughput: sc.Throughput,
+		Links:      linkActivities(sc.P, sc.S),
+		raw:        sc,
+	}
+}
+
+func init() {
+	Register("masterslave", func(spec Spec) (Solver, error) {
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, spec Spec) (*Result, error) {
+			ms, err := core.SolveMasterSlavePort(p, root, spec.Model.core())
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				Throughput: ms.Throughput,
+				Nodes:      nodeActivities(p, ms.Alpha),
+				Links:      linkActivities(p, ms.S),
+				raw:        ms,
+			}, nil
+		}}, nil
+	})
+	Register("scatter", func(spec Spec) (Solver, error) {
+		if err := needTargets(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, spec Spec) (*Result, error) {
+			sc, err := core.SolveScatterPort(p, root, targets, spec.Model.core())
+			if err != nil {
+				return nil, err
+			}
+			return fromScatter(sc), nil
+		}}, nil
+	})
+	Register("multicast", func(spec Spec) (Solver, error) {
+		if err := needTargets(spec); err != nil {
+			return nil, err
+		}
+		if err := baseModelOnly(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
+			sc, err := core.SolveMulticastBound(p, root, targets)
+			if err != nil {
+				return nil, err
+			}
+			return fromScatter(sc), nil
+		}}, nil
+	})
+	Register("multicast-sum", func(spec Spec) (Solver, error) {
+		if err := needTargets(spec); err != nil {
+			return nil, err
+		}
+		if err := baseModelOnly(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
+			sc, err := core.SolveMulticastSum(p, root, targets)
+			if err != nil {
+				return nil, err
+			}
+			return fromScatter(sc), nil
+		}}, nil
+	})
+	Register("multicast-trees", func(spec Spec) (Solver, error) {
+		if err := needTargets(spec); err != nil {
+			return nil, err
+		}
+		if err := baseModelOnly(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
+			pack, err := core.SolveTreePacking(p, root, targets)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Throughput: pack.Throughput, Trees: pack.NumTrees, raw: pack}, nil
+		}}, nil
+	})
+	Register("broadcast", func(spec Spec) (Solver, error) {
+		if err := baseModelOnly(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec) (*Result, error) {
+			sc, err := core.SolveBroadcastBound(p, root)
+			if err != nil {
+				return nil, err
+			}
+			return fromScatter(sc), nil
+		}}, nil
+	})
+	Register("reduce", func(spec Spec) (Solver, error) {
+		if err := baseModelOnly(spec); err != nil {
+			return nil, err
+		}
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec) (*Result, error) {
+			sc, err := core.SolveReduceBound(p, root)
+			if err != nil {
+				return nil, err
+			}
+			return fromScatter(sc), nil
+		}}, nil
+	})
+}

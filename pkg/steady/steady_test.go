@@ -1,0 +1,210 @@
+package steady_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rat"
+	"repro/pkg/steady"
+)
+
+func mustSolve(t *testing.T, spec steady.Spec, p *platform.Platform) *steady.Result {
+	t.Helper()
+	solver, err := steady.New(spec)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", spec, err)
+	}
+	res, err := solver.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatalf("%s: %v", solver.Name(), err)
+	}
+	return res
+}
+
+// TestMasterSlaveFigure1 pins the facade to the paper's §3.1 result:
+// ntask(G) = 4/3 on the Figure 1 platform with master P1.
+func TestMasterSlaveFigure1(t *testing.T) {
+	p := platform.Figure1()
+	res := mustSolve(t, steady.Spec{Problem: "masterslave", Root: "P1"}, p)
+	if want := rat.New(4, 3); !res.Throughput.Equal(want) {
+		t.Fatalf("throughput = %v, want %v", res.Throughput, want)
+	}
+	if len(res.Nodes) != p.NumNodes() || len(res.Links) != p.NumEdges() {
+		t.Fatalf("activity sizes %d/%d, want %d/%d",
+			len(res.Nodes), len(res.Links), p.NumNodes(), p.NumEdges())
+	}
+	// The per-node rates must sum back to the throughput (the
+	// exact-rational invariant, re-checked through the facade view).
+	sum := rat.Zero()
+	for _, n := range res.Nodes {
+		sum = sum.Add(n.Rate)
+	}
+	if !sum.Equal(res.Throughput) {
+		t.Fatalf("sum of node rates %v != throughput %v", sum, res.Throughput)
+	}
+	if res.Fingerprint != steady.Fingerprint(p) {
+		t.Fatalf("result fingerprint mismatch")
+	}
+	sch, err := res.Reconstruct()
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if !sch.Throughput.Equal(res.Throughput) {
+		t.Fatalf("schedule throughput %v != LP %v", sch.Throughput, res.Throughput)
+	}
+	if len(sch.Slots) == 0 {
+		t.Fatalf("no communication slots")
+	}
+}
+
+// TestMulticastFamilyFigure2 pins the three multicast solvers to the
+// Figure 2/3 counterexample: sum-LP 1/2 < tree packing 3/4 < bound 1.
+func TestMulticastFamilyFigure2(t *testing.T) {
+	p := platform.Figure2()
+	spec := steady.Spec{Root: "P0", Targets: []string{"P5", "P6"}}
+	for _, tc := range []struct {
+		problem string
+		want    rat.Rat
+	}{
+		{"multicast-sum", rat.New(1, 2)},
+		{"multicast-trees", rat.New(3, 4)},
+		{"multicast", rat.One()},
+	} {
+		spec.Problem = tc.problem
+		res := mustSolve(t, spec, p)
+		if !res.Throughput.Equal(tc.want) {
+			t.Errorf("%s: TP = %v, want %v", tc.problem, res.Throughput, tc.want)
+		}
+	}
+}
+
+func TestBroadcastAndReduceFigure2(t *testing.T) {
+	p := platform.Figure2()
+	b := mustSolve(t, steady.Spec{Problem: "broadcast", Root: "P0"}, p)
+	if want := rat.New(1, 2); !b.Throughput.Equal(want) {
+		t.Fatalf("broadcast TP = %v, want %v", b.Throughput, want)
+	}
+	// Reduce runs on the reversed graph, so root it at a node with
+	// incoming edges (Figure 2's P0 is a pure source).
+	r := mustSolve(t, steady.Spec{Problem: "reduce", Root: "P1"}, platform.Figure1())
+	if r.Throughput.Sign() <= 0 {
+		t.Fatalf("reduce TP = %v, want > 0", r.Throughput)
+	}
+}
+
+func TestScatterReconstruct(t *testing.T) {
+	p := platform.Figure1()
+	res := mustSolve(t, steady.Spec{Problem: "scatter", Root: "P1", Targets: []string{"P4", "P5"}}, p)
+	sch, err := res.Reconstruct()
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if !sch.Throughput.Equal(res.Throughput) {
+		t.Fatalf("schedule throughput %v != LP %v", sch.Throughput, res.Throughput)
+	}
+}
+
+// TestSendOrReceiveModel exercises the §5.1.1 port model end to end:
+// the LP bound exists but only the greedy evaluation is offered.
+func TestSendOrReceiveModel(t *testing.T) {
+	p := platform.Figure1()
+	res := mustSolve(t, steady.Spec{Problem: "masterslave", Root: "P1", Model: steady.SendOrReceive}, p)
+	if _, err := res.Reconstruct(); err == nil {
+		t.Fatalf("Reconstruct under send-or-receive should fail")
+	}
+	ev, err := res.EvaluateGreedy()
+	if err != nil {
+		t.Fatalf("EvaluateGreedy: %v", err)
+	}
+	if !ev.Bound.Equal(res.Throughput) {
+		t.Fatalf("bound %v != LP %v", ev.Bound, res.Throughput)
+	}
+	if ev.Achieved.Cmp(ev.Bound) > 0 {
+		t.Fatalf("achieved %v exceeds bound %v", ev.Achieved, ev.Bound)
+	}
+}
+
+// TestMulticastBoundNotReconstructible pins §4.3: the max-operator
+// bound has no schedule, by design.
+func TestMulticastBoundNotReconstructible(t *testing.T) {
+	p := platform.Figure2()
+	res := mustSolve(t, steady.Spec{Problem: "multicast", Root: "P0", Targets: []string{"P5", "P6"}}, p)
+	if _, err := res.Reconstruct(); err == nil {
+		t.Fatalf("multicast bound must not reconstruct")
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := steady.New(steady.Spec{Problem: "nope"}); err == nil {
+		t.Errorf("unknown problem accepted")
+	}
+	if _, err := steady.New(steady.Spec{Problem: "scatter"}); err == nil {
+		t.Errorf("scatter without targets accepted")
+	}
+	if _, err := steady.New(steady.Spec{Problem: "broadcast", Model: steady.SendOrReceive}); err == nil {
+		t.Errorf("broadcast under send-or-receive accepted")
+	}
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "ZZZ"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := solver.Solve(context.Background(), platform.Figure1()); err == nil {
+		t.Errorf("unknown root accepted at solve time")
+	}
+}
+
+func TestProblemsRegistry(t *testing.T) {
+	got := strings.Join(steady.Problems(), " ")
+	for _, want := range []string{"masterslave", "scatter", "multicast", "multicast-sum", "multicast-trees", "broadcast", "reduce"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Problems() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestSolverNameEncodesSpec(t *testing.T) {
+	a, _ := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	b, _ := steady.New(steady.Spec{Problem: "masterslave", Root: "P2"})
+	c, _ := steady.New(steady.Spec{Problem: "masterslave", Root: "P1", Model: steady.SendOrReceive})
+	if a.Name() == b.Name() || a.Name() == c.Name() || b.Name() == c.Name() {
+		t.Fatalf("solver names collide: %q %q %q", a.Name(), b.Name(), c.Name())
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	solver, _ := steady.New(steady.Spec{Problem: "masterslave"})
+	if _, err := solver.Solve(ctx, platform.Figure1()); err == nil {
+		t.Fatalf("canceled context accepted")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a, b := platform.Figure1(), platform.Figure1()
+	if steady.Fingerprint(a) != steady.Fingerprint(b) {
+		t.Fatalf("identical platforms fingerprint differently")
+	}
+	c := platform.Figure1().Clone()
+	c.AddNode("extra", platform.WInt(3))
+	if steady.Fingerprint(a) == steady.Fingerprint(c) {
+		t.Fatalf("different platforms share a fingerprint")
+	}
+	if steady.Fingerprint(a) == steady.Fingerprint(platform.Figure2()) {
+		t.Fatalf("Figure1 and Figure2 share a fingerprint")
+	}
+}
+
+func TestExperimentsSuite(t *testing.T) {
+	suite := steady.Experiments()
+	if len(suite) < 17 {
+		t.Fatalf("suite has %d experiments, want >= 17", len(suite))
+	}
+	for _, e := range suite {
+		if e.ID == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+	}
+}

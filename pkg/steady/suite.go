@@ -1,0 +1,30 @@
+package steady
+
+import (
+	"io"
+
+	"repro/internal/experiments"
+)
+
+// Experiment is one entry of the paper-reproduction suite: running it
+// regenerates a figure or claim of the paper on the facade's solvers.
+type Experiment struct {
+	// ID is the stable experiment identifier (E1..E17).
+	ID string
+	// Desc says which figure or claim the experiment regenerates.
+	Desc string
+	// Run executes the experiment, writing its report to w.
+	Run func(w io.Writer) error
+}
+
+// Experiments returns the paper-reproduction suite in presentation
+// order. It is the facade over internal/experiments, so commands need
+// not reach into internal packages to regenerate the paper.
+func Experiments() []Experiment {
+	reg := experiments.Registry()
+	out := make([]Experiment, len(reg))
+	for i, e := range reg {
+		out[i] = Experiment{ID: e.ID, Desc: e.Desc, Run: e.Run}
+	}
+	return out
+}
