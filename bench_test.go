@@ -10,11 +10,15 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/big"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/core"
@@ -24,6 +28,7 @@ import (
 	"repro/internal/sim"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	serverpkg "repro/pkg/steady/server"
 )
 
 // benchExperiment times a full experiment regeneration.
@@ -190,6 +195,100 @@ func BenchmarkBatchEngineCold(b *testing.B) { runBatchBench(b, func() *batch.Eng
 func BenchmarkBatchEngineWarm(b *testing.B) {
 	runBatchBench(b, func() *batch.Engine { return batch.New(4) })
 }
+
+// Cache benchmarks: concurrent hot lookups against the LP-solution
+// cache with one lock (shards=1, the pre-sharding design) versus the
+// sharded layout. Run with -cpu to vary goroutine count; the sharded
+// cache should pull ahead as goroutines grow (the acceptance bar is
+// >= 8).
+
+func benchCacheParallel(b *testing.B, shards int) {
+	const nkeys = 512
+	cache := batch.NewCache(shards, 0)
+	res := &steady.Result{}
+	solve := func() (*steady.Result, error) { return res, nil }
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = batch.Key(fmt.Sprintf("%064x", i), "bench")
+		if _, err, _ := cache.Do(context.Background(), keys[i], solve); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetParallelism(4) // 4 x GOMAXPROCS goroutines, so >= 8 even on 2 cores
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err, hit := cache.Do(ctx, keys[i%nkeys], solve); err != nil || !hit {
+				b.Errorf("miss on a hot key (err=%v)", err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkSingleLockCacheParallel(b *testing.B) { benchCacheParallel(b, 1) }
+func BenchmarkShardedCacheParallel(b *testing.B) {
+	benchCacheParallel(b, batch.DefaultCacheShards)
+}
+
+// Server benchmarks: a full POST /v1/solve round-trip through the
+// HTTP service. Hot serves every request from the sharded cache
+// (steady-state service traffic); Cold restarts the server each
+// iteration so the LP really solves — the spread is what the cache
+// buys an HTTP client.
+
+func benchServerSolve(b *testing.B, hot bool) {
+	var buf bytes.Buffer
+	if err := platform.Figure1().WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(serverpkg.SolveRequest{
+		Problem: "masterslave", Root: "P1", Platform: buf.Bytes(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newServer := func() *httptest.Server {
+		return httptest.NewServer(serverpkg.New(serverpkg.Config{}).Handler())
+	}
+	post := func(ts *httptest.Server) {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+
+	if hot {
+		ts := newServer()
+		defer ts.Close()
+		post(ts) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(ts)
+		}
+		return
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := newServer()
+		post(ts)
+		ts.Close()
+	}
+}
+
+func BenchmarkServerSolveHot(b *testing.B)  { benchServerSolve(b, true) }
+func BenchmarkServerSolveCold(b *testing.B) { benchServerSolve(b, false) }
 
 func BenchmarkTreePackingFigure2(b *testing.B) {
 	p := platform.Figure2()

@@ -8,18 +8,31 @@
 //	experiments E3 E5      # run selected experiments
 //	experiments -list      # list experiment ids
 //	experiments -batch -n 16 -workers 8 -format csv   # batch sweep
+//	experiments -batch -remote http://localhost:8080  # sweep via steadyd
+//
+// With -remote, the sweep is not solved in-process: the same
+// generator parameters are POSTed to a running steadyd instance's
+// /v1/sweep endpoint and its streamed records are copied to stdout,
+// so local and remote runs produce the same platforms and the same
+// exact-rational results.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"strings"
 
 	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/server"
 )
 
 func main() {
@@ -30,10 +43,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "batch: random platform seed")
 	format := flag.String("format", "csv", "batch: output format, csv|json")
 	problem := flag.String("problem", "masterslave", "batch: problem to sweep")
+	remote := flag.String("remote", "", "batch: base URL of a steadyd instance to sweep against (e.g. http://localhost:8080)")
 	flag.Parse()
 
+	if *remote != "" && !*batchMode {
+		fmt.Fprintln(os.Stderr, "experiments: -remote requires -batch")
+		os.Exit(2)
+	}
 	if *batchMode {
-		if err := runBatch(*n, *workers, *seed, *format, *problem); err != nil {
+		var err error
+		if *remote != "" {
+			err = runRemoteBatch(*remote, *n, *seed, *format, *problem)
+		} else {
+			err = runBatch(*n, *workers, *seed, *format, *problem)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -70,6 +94,10 @@ func main() {
 	}
 }
 
+// sweepSizes are the node counts a batch sweep cycles over, locally
+// and via -remote (pkg/steady/server's generator defaults match).
+var sweepSizes = []int{6, 8, 10, 12}
+
 // runBatch sweeps the chosen problem over a family of random
 // connected platforms, solving them concurrently through the batch
 // engine and streaming records to stdout as they complete. Platform
@@ -81,7 +109,7 @@ func runBatch(n, workers int, seed int64, format, problem string) error {
 		return err
 	}
 
-	sizes := []int{6, 8, 10, 12}
+	sizes := sweepSizes
 	jobs := make([]batch.Job, n)
 	for i := range jobs {
 		size := sizes[i%len(sizes)]
@@ -112,5 +140,42 @@ func runBatch(n, workers int, seed int64, format, problem string) error {
 	st := eng.Stats()
 	fmt.Fprintf(os.Stderr, "batch: %d jobs, %d LP solves, %d cache hits, %d workers\n",
 		len(jobs), st.Solves, st.CacheHits, eng.Workers())
+	return nil
+}
+
+// runRemoteBatch drives a steadyd instance instead of solving
+// in-process: it POSTs the sweep's generator parameters to /v1/sweep
+// and copies the streamed records to stdout as the server produces
+// them. The server seeds its generator exactly like runBatch, so the
+// records cover the same platforms.
+func runRemoteBatch(base string, n int, seed int64, format, problem string) error {
+	wireFormat := format
+	if format == "json" {
+		wireFormat = "ndjson" // the service name for JSON Lines
+	} else if format != "csv" {
+		return fmt.Errorf("unknown format %q (csv|json)", format)
+	}
+	req := server.SweepRequest{
+		Problem:   problem,
+		Generator: &server.Generator{Count: n, Sizes: sweepSizes, Seed: seed},
+		Format:    wireFormat,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(base, "/")+"/v1/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("remote sweep: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("remote sweep: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		return fmt.Errorf("remote sweep: stream: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d jobs swept remotely via %s\n", n, base)
 	return nil
 }

@@ -1,0 +1,85 @@
+// Command steadyd serves the steady-state solver registry over HTTP:
+// POST a platform to /v1/solve (or a platform family to /v1/sweep)
+// and get certified exact-rational steady-state solutions back. See
+// docs/API.md for the endpoint reference.
+//
+// Usage:
+//
+//	steadyd                             # listen on :8080 with defaults
+//	steadyd -addr :9090 -workers 8 -cache-bound 65536
+//	steadyd -max-nodes 32 -solve-timeout 10s -max-inflight 4
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
+// requests finish (up to the shutdown grace period), new connections
+// are refused.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/steady/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		shards    = flag.Int("cache-shards", 0, "LP-solution cache shards (0 = default)")
+		bound     = flag.Int("cache-bound", 0, "LP-solution cache capacity in entries (0 = default, <0 = unbounded)")
+		maxNodes  = flag.Int("max-nodes", 0, "largest accepted platform, in nodes (0 = default)")
+		maxEdges  = flag.Int("max-edges", 0, "largest accepted platform, in edges (0 = default)")
+		maxSweep  = flag.Int("max-sweep", 0, "largest accepted sweep, in platforms (0 = default)")
+		timeout   = flag.Duration("solve-timeout", 0, "per-solve time limit (0 = default 30s)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently running solves (0 = default)")
+		bodyLimit = flag.Int64("max-body", 0, "max request body bytes (0 = default 8 MiB)")
+		grace     = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:      *workers,
+		CacheShards:  *shards,
+		CacheBound:   *bound,
+		MaxNodes:     *maxNodes,
+		MaxEdges:     *maxEdges,
+		MaxSweepJobs: *maxSweep,
+		SolveTimeout: *timeout,
+		MaxInFlight:  *inflight,
+		MaxBodyBytes: *bodyLimit,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		log.Printf("steadyd: shutting down (grace %v)", *grace)
+		sctx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("steadyd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("steadyd: listening on %s", *addr)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("steadyd: %v", err)
+	}
+	<-done
+	st := srv.Cache().Stats()
+	log.Printf("steadyd: bye (%d solves, %d cache hits)", st.Solves, st.Hits)
+}

@@ -1,5 +1,7 @@
 // End-to-end grid campaign: the full §5 pipeline on a platform whose
-// topology is *not* known in advance.
+// topology is *not* known in advance. All steady-state solving goes
+// through the public pkg/steady facade; discovery, adaptive control,
+// and simulation are the repository's §5 machinery.
 //
 //  1. probe the hidden platform ENV-style and reconstruct the
 //     macroscopic tree (§5.3);
@@ -16,17 +18,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/adaptive"
-	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/platform"
 	"repro/internal/rat"
-	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/pkg/steady"
 )
+
+// solve runs the facade's master-slave solver rooted at the named
+// node (every platform in this example calls its master "M" except
+// the naive model, which keeps node order instead of names).
+func solve(p *platform.Platform, root string) *steady.Result {
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: root})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
 
 func main() {
 	// The hidden platform: a 2-level routed tree the scheduler cannot
@@ -59,26 +76,17 @@ func main() {
 	fmt.Printf("discovery used %d probes; reconstructed platform:\n%s\n", pr.Probes, rec)
 
 	// --- 2. plan ------------------------------------------------------
-	trueMS, err := core.SolveMasterSlave(hidden, m)
-	if err != nil {
-		log.Fatal(err)
-	}
-	recMS, err := core.SolveMasterSlave(rec, rec.NodeByName("M"))
-	if err != nil {
-		log.Fatal(err)
-	}
-	naiveMS, err := core.SolveMasterSlave(naive, 0)
-	if err != nil {
-		log.Fatal(err)
-	}
+	trueRes := solve(hidden, "M")
+	recRes := solve(rec, "M")
+	naiveRes := solve(naive, "") // root = first node
 	fmt.Printf("steady-state throughput: naive pings %v <= reconstructed %v <= true %v\n",
-		naiveMS.Throughput, recMS.Throughput, trueMS.Throughput)
+		naiveRes.Throughput, recRes.Throughput, trueRes.Throughput)
 
-	per, err := schedule.Reconstruct(recMS)
+	per, err := recRes.Reconstruct()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("periodic plan on the reconstructed model: %v\n\n", per)
+	fmt.Printf("periodic plan on the reconstructed model: %v\n\n", per.Summary)
 
 	// --- 3. deploy with drift -----------------------------------------
 	tree, err := sim.ShortestPathTree(hidden, m)
@@ -104,6 +112,6 @@ func main() {
 	fmt.Printf("deployment over 600 time-units with a drift at t=300:\n")
 	fmt.Printf("  %d tasks completed (%d LP re-solves)\n", res.Done, ctl.Resolves)
 	fmt.Printf("  final platform estimate: ntask = %v (true pre-drift %v)\n",
-		ctl.LastThroughput, trueMS.Throughput)
+		ctl.LastThroughput, trueRes.Throughput)
 	fmt.Printf("  per node: %v\n", res.PerNode)
 }

@@ -1,24 +1,26 @@
 // Quickstart: solve the steady-state master-slave problem on a small
-// heterogeneous platform, reconstruct the asymptotically optimal
-// periodic schedule, and validate it in simulation.
+// heterogeneous platform through the public pkg/steady facade,
+// reconstruct the asymptotically optimal periodic schedule, and
+// validate it in simulation.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/rat"
-	"repro/internal/schedule"
-	"repro/internal/sim"
+	"repro/pkg/steady"
 )
 
 func main() {
 	// 1. Describe the platform of §2: a master, a pure forwarder
 	//    (w = +inf) and two workers, with oriented weighted links.
+	//    (internal/platform is the facade's input type — platforms can
+	//    also be loaded from JSON with platform.ReadJSON.)
 	p := platform.New()
 	master := p.AddNode("master", platform.WInt(4)) // 4 time units per task
 	relay := p.AddNode("relay", platform.WInf())    // forwards, never computes
@@ -31,30 +33,33 @@ func main() {
 
 	fmt.Print(p)
 
-	// 2. Solve the §3.1 linear program SSMS(G).
-	ms, err := core.SolveMasterSlave(p, master)
+	// 2. Solve the §3.1 linear program SSMS(G) through the facade.
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "master"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\noptimal steady-state throughput ntask(G) = %v = %.4f tasks/time-unit\n",
-		ms.Throughput, ms.Throughput.Float64())
-	for i := 0; i < p.NumNodes(); i++ {
+		res.Throughput, res.ThroughputFloat())
+	for _, n := range res.Nodes {
 		fmt.Printf("  %-7s computes %v of the time (%v tasks/unit)\n",
-			p.Name(i), ms.Alpha[i], ms.ComputeRate(i))
+			n.Name, n.Alpha, n.Rate)
 	}
 
 	// 3. Reconstruct the §4.1 periodic schedule: period = lcm of the
 	//    denominators; communications orchestrated into matchings.
-	per, err := schedule.Reconstruct(ms)
+	sch, err := res.Reconstruct()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nreconstructed schedule: %v\n", per)
-	for i, s := range per.Slots {
+	fmt.Printf("\nreconstructed schedule: %v\n", sch.Summary)
+	for i, s := range sch.Slots {
 		fmt.Printf("  slot %d (duration %v):", i, s.Dur)
-		for _, e := range s.Edges {
-			ed := p.Edge(e)
-			fmt.Printf("  %s->%s", p.Name(ed.From), p.Name(ed.To))
+		for _, l := range s.Links {
+			fmt.Printf("  %s->%s", l[0], l[1])
 		}
 		fmt.Println()
 	}
@@ -62,7 +67,7 @@ func main() {
 	// 4. Execute it from cold buffers: steady state is reached within
 	//    depth(G) periods and every later period completes exactly
 	//    T * ntask tasks (§4.2).
-	stats, err := sim.RunPeriodicMasterSlave(per, 12)
+	stats, err := sch.Simulate(12)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,13 +2,14 @@
 // top of the pkg/steady facade.
 //
 // An Engine runs a worker pool with bounded parallelism and
-// deduplicates work through an LP-solution cache keyed by
-// (steady.Fingerprint(platform), solver.Name()): submitting the same
-// platform/solver pair twice — even concurrently — solves the LP
-// once. This is the substrate for parameter sweeps (cmd/experiments
-// -batch) and for any future service front-end: steady-state LPs are
-// pure functions of their platform, so their results are safely
-// shareable.
+// deduplicates work through a sharded LP-solution cache (Cache)
+// keyed by (steady.Fingerprint(platform), solver.Name()): submitting
+// the same platform/solver pair twice — even concurrently — solves
+// the LP once. This is the substrate for parameter sweeps
+// (cmd/experiments -batch) and for the HTTP service front-end
+// (pkg/steady/server, which shares one Cache between its solve
+// handler and its sweep engine): steady-state LPs are pure functions
+// of their platform, so their results are safely shareable.
 //
 //	eng := batch.New(8)
 //	outcomes := eng.Run(ctx, jobs)
@@ -74,20 +75,17 @@ type entry struct {
 	err  error
 }
 
-// Engine is a concurrent batch solver with an LP-solution cache. The
-// zero value is not usable; construct with New. An Engine may be
-// reused across Run/Stream calls and retains its cache, so repeated
-// sweeps over overlapping platform families get warmer and warmer.
-// The cache is bounded (DefaultCacheBound entries unless NewBounded
-// says otherwise); when full, a completed entry is evicted per
-// insertion, so a long-lived engine's memory stays bounded too.
+// Engine is a concurrent batch solver with a sharded LP-solution
+// cache (see Cache). The zero value is not usable; construct with
+// New, NewBounded, or NewWithCache. An Engine may be reused across
+// Run/Stream calls and retains its cache, so repeated sweeps over
+// overlapping platform families get warmer and warmer. The cache is
+// bounded (DefaultCacheBound entries unless NewBounded says
+// otherwise); when full, a completed entry is evicted per insertion,
+// so a long-lived engine's memory stays bounded too.
 type Engine struct {
 	workers int
-	bound   int
-
-	mu    sync.Mutex
-	cache map[string]*entry
-	stats Stats
+	cache   *Cache
 }
 
 // DefaultCacheBound is the cache capacity used by New, in entries.
@@ -102,20 +100,33 @@ func New(workers int) *Engine { return NewBounded(workers, DefaultCacheBound) }
 // NewBounded is New with an explicit cache capacity; cacheBound <= 0
 // means unbounded.
 func NewBounded(workers, cacheBound int) *Engine {
+	return NewWithCache(workers, NewCache(DefaultCacheShards, cacheBound))
+}
+
+// NewWithCache builds an Engine over an existing cache, so several
+// consumers (for example pkg/steady/server's solve handler and its
+// sweep engine) share one result set. workers <= 0 selects
+// GOMAXPROCS.
+func NewWithCache(workers int, cache *Cache) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, bound: cacheBound, cache: map[string]*entry{}}
+	if cache == nil {
+		cache = NewCache(DefaultCacheShards, DefaultCacheBound)
+	}
+	return &Engine{workers: workers, cache: cache}
 }
 
 // Workers returns the engine's parallelism bound.
 func (e *Engine) Workers() int { return e.workers }
 
+// Cache returns the engine's LP-solution cache.
+func (e *Engine) Cache() *Cache { return e.cache }
+
 // Stats returns a snapshot of the cumulative counters.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	cs := e.cache.Stats()
+	return Stats{Solves: cs.Solves, CacheHits: cs.Hits}
 }
 
 // Run solves all jobs with bounded parallelism and returns their
@@ -226,79 +237,14 @@ func (e *Engine) solve(ctx context.Context, job Job) Outcome {
 		o.Elapsed = time.Since(start)
 		return o
 	}
-	o.Key = steady.Fingerprint(job.Platform) + "|" + o.Solver
-
-	for {
-		e.mu.Lock()
-		ent, hit := e.cache[o.Key]
-		if !hit {
-			ent = &entry{done: make(chan struct{})}
-			e.evictLocked()
-			e.cache[o.Key] = ent
-			e.stats.Solves++
-		}
-		e.mu.Unlock()
-
-		if !hit {
-			ent.res, ent.err = job.Solver.Solve(ctx, job.Platform)
-			if canceled(ent.err) {
-				// A canceled solve says nothing about the instance:
-				// evict the key so a later run on a reused engine
-				// solves it for real.
-				e.mu.Lock()
-				delete(e.cache, o.Key)
-				e.stats.Solves--
-				e.mu.Unlock()
-			}
-			close(ent.done)
-			o.Result, o.Err = ent.res, ent.err
-			o.Elapsed = time.Since(start)
-			return o
-		}
-
-		select {
-		case <-ent.done:
-			if canceled(ent.err) {
-				// The solve this job was waiting on ran under another
-				// caller's context and was canceled there — that says
-				// nothing about this job. Its key has been evicted,
-				// so claim it ourselves unless our own ctx is gone.
-				if err := ctx.Err(); err != nil {
-					o.Err = err
-					o.Elapsed = time.Since(start)
-					return o
-				}
-				continue
-			}
-			e.mu.Lock()
-			e.stats.CacheHits++
-			e.mu.Unlock()
-			o.Result, o.Err, o.CacheHit = ent.res, ent.err, true
-		case <-ctx.Done():
-			o.Err = ctx.Err()
-		}
-		o.Elapsed = time.Since(start)
-		return o
-	}
+	o.Key = Key(steady.Fingerprint(job.Platform), o.Solver)
+	o.Result, o.Err, o.CacheHit = e.cache.Do(ctx, o.Key, func() (*steady.Result, error) {
+		return job.Solver.Solve(ctx, job.Platform)
+	})
+	o.Elapsed = time.Since(start)
+	return o
 }
 
 func canceled(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
-}
-
-// evictLocked makes room for one insertion under e.mu: at the bound,
-// it drops one completed entry (map order, effectively random).
-// In-flight entries are never evicted — their waiters hold them.
-func (e *Engine) evictLocked() {
-	if e.bound <= 0 || len(e.cache) < e.bound {
-		return
-	}
-	for k, old := range e.cache {
-		select {
-		case <-old.done:
-			delete(e.cache, k)
-			return
-		default:
-		}
-	}
 }

@@ -1,0 +1,217 @@
+package batch
+
+import (
+	"context"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+
+	"repro/pkg/steady"
+)
+
+// Cache is a sharded LP-solution cache with in-flight deduplication.
+// Keys are "fingerprint|solver" strings (see Key); each key is owned
+// by exactly one of N shards, selected by hashing the key, so
+// concurrent lookups on distinct keys contend only when they land on
+// the same shard. This is what lets a long-running service (or a
+// wide batch sweep) serve cache hits from many goroutines without a
+// single mutex serializing them.
+//
+// Semantics per key are identical to the original single-lock engine
+// cache:
+//
+//   - the first caller of Do for a key claims it and runs the solve;
+//     every concurrent duplicate blocks on the claim instead of
+//     re-solving;
+//   - errors are cached like results (an infeasible instance fails
+//     once, not once per duplicate), EXCEPT cancellation: a canceled
+//     or timed-out solve says nothing about the instance, so its key
+//     is evicted and the next caller re-solves it;
+//   - eviction is per shard: at the shard's bound, inserting a new
+//     entry drops one completed entry; in-flight entries are never
+//     evicted, their waiters hold them.
+//
+// A Cache is safe for concurrent use and may be shared between an
+// Engine and other consumers (pkg/steady/server shares one cache
+// between its /v1/solve handler and its sweep engine), so a result
+// solved for one front-end is a hit for the other.
+type Cache struct {
+	shards []cacheShard
+	seed   maphash.Seed
+
+	solves   atomic.Int64
+	hits     atomic.Int64
+	inflight atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	m     map[string]*entry
+	bound int // max entries in this shard; <= 0 means unbounded
+}
+
+// DefaultCacheShards is the shard count used when NewCache is given
+// shards <= 0. 16 shards keep per-shard contention negligible for a
+// worker pool or HTTP server of typical size while costing only a few
+// hundred bytes of overhead.
+const DefaultCacheShards = 16
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	// Solves is the number of LPs actually run (cache misses, net of
+	// canceled solves whose entries were evicted).
+	Solves int64
+	// Hits is the number of lookups served from a completed entry.
+	Hits int64
+	// InFlight is the number of solves currently running.
+	InFlight int64
+	// Entries is the current number of cached entries across shards.
+	Entries int
+	// Shards is the shard count the cache was built with.
+	Shards int
+}
+
+// HitRate is Hits / (Hits + Solves), or 0 before any traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Solves
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// NewCache builds a cache with the given shard count and total entry
+// bound. shards <= 0 selects DefaultCacheShards; bound <= 0 means
+// unbounded. The bound is split across shards rounding down, so
+// total capacity never exceeds the stated bound (a non-divisible
+// bound forgoes at most shards-1 entries), and the shard count is
+// clamped to the bound so a tiny cache (bound < shards) still evicts
+// at its stated capacity instead of silently holding one entry per
+// shard.
+func NewCache(shards, bound int) *Cache {
+	if shards <= 0 {
+		shards = DefaultCacheShards
+	}
+	if bound > 0 && shards > bound {
+		shards = bound
+	}
+	c := &Cache{shards: make([]cacheShard, shards), seed: maphash.MakeSeed()}
+	perShard := 0
+	if bound > 0 {
+		perShard = bound / shards
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{m: map[string]*entry{}, bound: perShard}
+	}
+	return c
+}
+
+// Key renders the canonical cache key for a platform fingerprint and
+// a solver name.
+func Key(fingerprint, solver string) string { return fingerprint + "|" + solver }
+
+func (c *Cache) shard(key string) *cacheShard {
+	return &c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Shards returns the shard count.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Solves:   c.solves.Load(),
+		Hits:     c.hits.Load(),
+		InFlight: c.inflight.Load(),
+		Entries:  c.Len(),
+		Shards:   len(c.shards),
+	}
+}
+
+// Do resolves key against the cache, running solve only for the
+// first caller to claim the key. Concurrent callers with the same key
+// block until the claimant finishes and then share its outcome (the
+// third return reports such a hit). If the claimant's solve is
+// canceled or times out, the key is evicted and one of the waiters
+// re-claims it, unless its own ctx is already done.
+//
+// solve runs on the caller's goroutine; it should honor the ctx it
+// captured. Results are shared across callers without copying, which
+// is safe because solver results are immutable by convention.
+func (c *Cache) Do(ctx context.Context, key string, solve func() (*steady.Result, error)) (*steady.Result, error, bool) {
+	sh := c.shard(key)
+	for {
+		sh.mu.Lock()
+		ent, hit := sh.m[key]
+		if !hit {
+			ent = &entry{done: make(chan struct{})}
+			sh.evictLocked()
+			sh.m[key] = ent
+			sh.mu.Unlock()
+			c.solves.Add(1)
+			c.inflight.Add(1)
+			ent.res, ent.err = solve()
+			c.inflight.Add(-1)
+			if canceled(ent.err) {
+				// A canceled solve says nothing about the instance:
+				// evict the key so a later caller solves it for real.
+				sh.mu.Lock()
+				delete(sh.m, key)
+				sh.mu.Unlock()
+				c.solves.Add(-1)
+			}
+			close(ent.done)
+			return ent.res, ent.err, false
+		}
+		sh.mu.Unlock()
+
+		select {
+		case <-ent.done:
+			if canceled(ent.err) {
+				// The solve this caller was waiting on ran under
+				// another caller's context and was canceled there —
+				// that says nothing about this call. Its key has been
+				// evicted, so claim it ourselves unless our own ctx
+				// is gone.
+				if err := ctx.Err(); err != nil {
+					return nil, err, false
+				}
+				continue
+			}
+			c.hits.Add(1)
+			return ent.res, ent.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+}
+
+// evictLocked makes room for one insertion under sh.mu: at the
+// bound, it drops one completed entry (map order, effectively
+// random). In-flight entries are never evicted — their waiters hold
+// them.
+func (sh *cacheShard) evictLocked() {
+	if sh.bound <= 0 || len(sh.m) < sh.bound {
+		return
+	}
+	for k, old := range sh.m {
+		select {
+		case <-old.done:
+			delete(sh.m, k)
+			return
+		default:
+		}
+	}
+}

@@ -2,10 +2,12 @@ package steady
 
 import (
 	"fmt"
+	"math/big"
 
 	"repro/internal/core"
 	"repro/internal/rat"
 	"repro/internal/schedule"
+	"repro/internal/sim"
 )
 
 // Slot is one time slice of a reconstructed periodic schedule: the
@@ -30,6 +32,38 @@ type Schedule struct {
 	// Throughput is the schedule's steady-state rate, equal to the LP
 	// optimum.
 	Throughput rat.Rat
+
+	// periodic is the underlying master-slave schedule, retained so
+	// Simulate can execute it; nil for the other problems.
+	periodic *schedule.Periodic
+}
+
+// Simulation is the outcome of executing a reconstructed schedule
+// from cold buffers: §4.2's asymptotic-optimality claim made
+// concrete. Steady state is reached within depth(G) periods, after
+// which every period completes exactly T·ntask tasks.
+type Simulation struct {
+	// DonePerPeriod[p] is the number of tasks completed in period p.
+	DonePerPeriod []*big.Int
+	// SteadyAfter is the first period whose completion count reaches
+	// the steady-state per-period total (-1 if never reached).
+	SteadyAfter int64
+}
+
+// Simulate executes the schedule for the given number of periods,
+// starting from cold buffers, and reports per-period completions.
+// It is available for masterslave schedules only — the distribution
+// problems ship data, not tasks, so there is no completion count to
+// simulate.
+func (s *Schedule) Simulate(periods int64) (*Simulation, error) {
+	if s.periodic == nil {
+		return nil, fmt.Errorf("steady: only masterslave schedules are simulatable")
+	}
+	st, err := sim.RunPeriodicMasterSlave(s.periodic, periods)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{DonePerPeriod: st.DonePerPeriod, SteadyAfter: st.SteadyAfter}, nil
 }
 
 // GreedyEvaluation quantifies §5.1.1: under the send-OR-receive port
@@ -65,6 +99,7 @@ func (r *Result) Reconstruct() (*Schedule, error) {
 			Summary:    per.String(),
 			Slots:      facadeSlots(r, per.Slots),
 			Throughput: per.Throughput,
+			periodic:   per,
 		}, nil
 	case *core.Scatter:
 		if r.Problem != "scatter" && r.Problem != "multicast-sum" {

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds of the per-solver latency
+// histogram. Exact-simplex solves span microseconds (tiny platforms,
+// cache hits) to seconds (large LPs), so the buckets are logarithmic.
+var latencyBuckets = []struct {
+	label string
+	le    time.Duration
+}{
+	{"<=100us", 100 * time.Microsecond},
+	{"<=1ms", time.Millisecond},
+	{"<=10ms", 10 * time.Millisecond},
+	{"<=100ms", 100 * time.Millisecond},
+	{"<=1s", time.Second},
+	{"<=10s", 10 * time.Second},
+}
+
+const overflowBucket = ">10s"
+
+// hist is one solver's request-latency histogram.
+type hist struct {
+	count, errors, hits int64
+	sum, max            time.Duration
+	buckets             []int64 // len(latencyBuckets)+1, last is overflow
+}
+
+// metrics aggregates per-solver request latencies. One mutex guards
+// the whole map: observations happen once per request (not per cache
+// probe), so this is nowhere near the contention profile the sharded
+// result cache exists for.
+type metrics struct {
+	mu        sync.Mutex
+	perSolver map[string]*hist
+}
+
+func newMetrics() *metrics { return &metrics{perSolver: map[string]*hist{}} }
+
+// observe records one finished request for the named solver.
+func (m *metrics) observe(solver string, elapsed time.Duration, failed, cacheHit bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.perSolver[solver]
+	if !ok {
+		h = &hist{buckets: make([]int64, len(latencyBuckets)+1)}
+		m.perSolver[solver] = h
+	}
+	h.count++
+	if failed {
+		h.errors++
+	}
+	if cacheHit {
+		h.hits++
+	}
+	h.sum += elapsed
+	if elapsed > h.max {
+		h.max = elapsed
+	}
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if elapsed <= latencyBuckets[i].le {
+			break
+		}
+	}
+	h.buckets[i]++
+}
+
+// snapshot renders the histograms for GET /v1/stats. Finite buckets
+// are cumulative, Prometheus-style: "<=10ms" counts every request at
+// or under 10ms, so "<=10s" equals Count minus the ">10s" overflow.
+func (m *metrics) snapshot() map[string]SolverStatsJSON {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]SolverStatsJSON, len(m.perSolver))
+	for name, h := range m.perSolver {
+		s := SolverStatsJSON{
+			Count:     h.count,
+			Errors:    h.errors,
+			CacheHits: h.hits,
+			MaxMicros: h.max.Microseconds(),
+			Buckets:   make(map[string]int64, len(h.buckets)),
+		}
+		if h.count > 0 {
+			s.MeanMicros = (h.sum / time.Duration(h.count)).Microseconds()
+		}
+		cum := int64(0)
+		for i, b := range latencyBuckets {
+			cum += h.buckets[i]
+			s.Buckets[b.label] = cum
+		}
+		if over := h.buckets[len(latencyBuckets)]; over > 0 {
+			s.Buckets[overflowBucket] = over
+		}
+		out[name] = s
+	}
+	return out
+}

@@ -1,0 +1,454 @@
+// Package server exposes the pkg/steady solver registry as a
+// long-running HTTP service (cmd/steadyd is its binary shell). It is
+// the service layer the ROADMAP's "heavy traffic" north star calls
+// for: every solve is an exact-rational LP, results are shared
+// through the sharded pkg/steady/batch cache, and the endpoints are
+// plain JSON so clients need no knowledge of the paper.
+//
+// Endpoints (full reference with schemas in docs/API.md):
+//
+//	GET  /v1/solvers  registered problems and their parameters
+//	POST /v1/solve    one platform + spec -> certified exact result
+//	POST /v1/sweep    platform family -> streamed NDJSON/CSV records
+//	GET  /v1/healthz  liveness probe
+//	GET  /v1/stats    cache counters and per-solver latency histograms
+//
+// The server defends the exact simplex — whose worst case is
+// exponential — with three request limits: platform size caps
+// (Config.MaxNodes/MaxEdges, HTTP 413), a per-solve timeout
+// (Config.SolveTimeout, HTTP 504), and a bound on concurrently
+// running solves (Config.MaxInFlight; excess requests queue until a
+// slot frees or the client gives up). Cache hits bypass the
+// concurrency gate entirely, so a hot working set stays fast no
+// matter how slow the cold traffic is.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"time"
+
+	"repro/internal/platform"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults
+// for every field.
+type Config struct {
+	// Workers bounds the sweep engine's worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// CacheShards is the LP-solution cache's shard count; 0 selects
+	// batch.DefaultCacheShards.
+	CacheShards int
+	// CacheBound caps cached entries; 0 selects
+	// batch.DefaultCacheBound, negative means unbounded.
+	CacheBound int
+	// MaxNodes and MaxEdges cap accepted platform sizes (the exact
+	// simplex is exponential in the worst case); 0 = 64 and 1024.
+	MaxNodes int
+	MaxEdges int
+	// MaxSweepJobs caps the platforms in one sweep; 0 = 1024.
+	MaxSweepJobs int
+	// SolveTimeout bounds one LP solve; 0 = 30s.
+	SolveTimeout time.Duration
+	// MaxInFlight bounds concurrently running solves across all
+	// requests; 0 = 2 x GOMAXPROCS.
+	MaxInFlight int
+	// MaxBodyBytes caps request bodies; 0 = 8 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = batch.DefaultCacheShards
+	}
+	if c.CacheBound == 0 {
+		c.CacheBound = batch.DefaultCacheBound
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 64
+	}
+	if c.MaxEdges <= 0 {
+		c.MaxEdges = 1024
+	}
+	if c.MaxSweepJobs <= 0 {
+		c.MaxSweepJobs = 1024
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// Server is the HTTP solve service. Construct with New; serve its
+// Handler with net/http. A Server is safe for concurrent use and
+// holds no per-request state beyond the shared cache and counters.
+type Server struct {
+	cfg     Config
+	cache   *batch.Cache
+	engine  *batch.Engine
+	sem     chan struct{}
+	metrics *metrics
+	start   time.Time
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg (zero value = defaults). The solve
+// handler and the sweep engine share one sharded LP-solution cache,
+// so a platform solved through either endpoint is a cache hit for
+// both.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	bound := cfg.CacheBound
+	if bound < 0 {
+		bound = 0 // batch.NewCache: <= 0 means unbounded
+	}
+	cache := batch.NewCache(cfg.CacheShards, bound)
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		engine:  batch.NewWithCache(cfg.Workers, cache),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		metrics: newMetrics(),
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache returns the server's LP-solution cache (shared by /v1/solve
+// and /v1/sweep), mainly for tests and embedding callers.
+func (s *Server) Cache() *batch.Cache { return s.cache }
+
+// acquire claims a solve slot, waiting until one frees or ctx dies.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// gatedSolve runs one solve under the concurrency gate and the
+// per-solve timeout. It is the only path on which LPs run, for both
+// endpoints, so MaxInFlight bounds the whole server. The slot is
+// released through the steady.WithSolveDone hook rather than at
+// return: a timed-out request answers 504 promptly, but its
+// uninterruptible simplex keeps its slot until it actually exits, so
+// retry storms of worst-case platforms queue instead of piling up
+// unbounded background LPs.
+func (s *Server) gatedSolve(ctx context.Context, solver steady.Solver, p *platform.Platform) (*steady.Result, error) {
+	if err := s.acquire(ctx); err != nil {
+		return nil, err
+	}
+	sctx := steady.WithSolveDone(ctx, s.release)
+	sctx, cancel := context.WithTimeout(sctx, s.cfg.SolveTimeout)
+	defer cancel()
+	return solver.Solve(sctx, p)
+}
+
+// gatedSolver adapts gatedSolve to the steady.Solver interface for
+// the sweep engine. Name is the inner solver's name, so sweep cache
+// keys coincide with /v1/solve cache keys.
+type gatedSolver struct {
+	s     *Server
+	inner steady.Solver
+}
+
+func (g gatedSolver) Name() string { return g.inner.Name() }
+
+func (g gatedSolver) Solve(ctx context.Context, p *platform.Platform) (*steady.Result, error) {
+	return g.s.gatedSolve(ctx, g.inner, p)
+}
+
+// --- handlers ---------------------------------------------------------
+
+// problemMeta is static documentation metadata for GET /v1/solvers.
+// The registry itself only knows names; parameter requirements live
+// in each factory's validation, mirrored here for discoverability.
+var problemMeta = map[string]struct {
+	desc         string
+	needsTargets bool
+	bothModels   bool
+}{
+	"masterslave":     {"§3.1 SSMS(G): steady-state master-slave tasking", false, true},
+	"scatter":         {"§3.2 SSPS(G): pipelined personalized messages", true, true},
+	"multicast":       {"§3.3 max-operator relaxation (upper bound, possibly unachievable)", true, false},
+	"multicast-sum":   {"§3.3 sum-LP (achievable lower bound)", true, false},
+	"multicast-trees": {"§4.3 exact Steiner-arborescence packing", true, false},
+	"broadcast":       {"§3.3 bound with all reachable nodes as targets", false, false},
+	"reduce":          {"§4.2 reduce = broadcast on the reversed graph", false, false},
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	resp := SolversResponse{}
+	for _, name := range steady.Problems() {
+		info := SolverInfo{Problem: name, Models: []string{steady.SendAndReceive.String()}}
+		if meta, ok := problemMeta[name]; ok {
+			info.Description = meta.desc
+			info.NeedsTargets = meta.needsTargets
+			if meta.bothModels {
+				info.Models = append(info.Models, steady.SendOrReceive.String())
+			}
+		}
+		resp.Problems = append(resp.Problems, info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := steady.New(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := decodePlatform(req.Platform, s.cfg.MaxNodes, s.cfg.MaxEdges)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+
+	start := time.Now()
+	key := batch.Key(steady.Fingerprint(p), solver.Name())
+	res, err, hit := s.cache.Do(r.Context(), key, func() (*steady.Result, error) {
+		return s.gatedSolve(r.Context(), solver, p)
+	})
+	elapsed := time.Since(start)
+	s.metrics.observe(solver.Name(), elapsed, err != nil, hit)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, solveResponse(res, hit, elapsed.Microseconds()))
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := steady.New(steady.Spec{Problem: req.Problem, Root: req.Root, Targets: req.Targets, Model: model})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := s.sweepJobs(&req, gatedSolver{s: s, inner: solver})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+
+	var sink batch.Sink
+	out := &flushWriter{w: w}
+	switch req.Format {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = batch.JSONSink(out)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		sink = batch.CSVSink(out)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (ndjson|csv)", req.Format))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+
+	// From here the status is committed; per-record errors travel in
+	// the records themselves, and each record is flushed so clients
+	// see results as they complete. A sink error means the client
+	// went away — the engine stops feeding and in-flight solves
+	// finish into the shared cache.
+	observing := func(o batch.Outcome) error {
+		s.metrics.observe(o.Solver, o.Elapsed, o.Err != nil, o.CacheHit)
+		return sink(o)
+	}
+	_ = s.engine.Stream(r.Context(), jobs, observing)
+}
+
+// sweepJobs expands a sweep request into batch jobs, enforcing the
+// sweep and platform size limits.
+func (s *Server) sweepJobs(req *SweepRequest, solver steady.Solver) ([]batch.Job, error) {
+	if (req.Generator == nil) == (len(req.Platforms) == 0) {
+		return nil, fmt.Errorf("sweep needs exactly one of generator or platforms")
+	}
+	if len(req.Platforms) > 0 {
+		if len(req.Platforms) > s.cfg.MaxSweepJobs {
+			return nil, errTooLarge{fmt.Sprintf("sweep has %d platforms, limit %d", len(req.Platforms), s.cfg.MaxSweepJobs)}
+		}
+		jobs := make([]batch.Job, len(req.Platforms))
+		for i, raw := range req.Platforms {
+			p, err := decodePlatform(raw, s.cfg.MaxNodes, s.cfg.MaxEdges)
+			if err != nil {
+				return nil, fmt.Errorf("platform %d: %w", i, err)
+			}
+			jobs[i] = batch.Job{ID: fmt.Sprintf("p%02d", i), Platform: p, Solver: solver}
+		}
+		return jobs, nil
+	}
+	return s.generatorJobs(req.Generator, solver)
+}
+
+// generatorJobs builds the random-platform family of a Generator,
+// with the same (seed, size) scheme as cmd/experiments -batch so a
+// remote sweep reproduces a local one exactly.
+func (s *Server) generatorJobs(g *Generator, solver steady.Solver) ([]batch.Job, error) {
+	if g.Kind != "" && g.Kind != "random" {
+		return nil, fmt.Errorf("unknown generator kind %q (want \"random\")", g.Kind)
+	}
+	if g.Count <= 0 {
+		return nil, fmt.Errorf("generator count must be positive, got %d", g.Count)
+	}
+	if g.Count > s.cfg.MaxSweepJobs {
+		return nil, errTooLarge{fmt.Sprintf("sweep has %d platforms, limit %d", g.Count, s.cfg.MaxSweepJobs)}
+	}
+	sizes := g.Sizes
+	if len(sizes) == 0 {
+		sizes = []int{6, 8, 10, 12}
+	}
+	for _, n := range sizes {
+		if n < 2 || n > s.cfg.MaxNodes {
+			return nil, errTooLarge{fmt.Sprintf("generator size %d outside [2, %d]", n, s.cfg.MaxNodes)}
+		}
+	}
+	maxW, maxC, fwd := g.MaxW, g.MaxC, g.ForwardOnly
+	if maxW <= 0 {
+		maxW = 5
+	}
+	if maxC <= 0 {
+		maxC = 5
+	}
+	if fwd <= 0 {
+		fwd = 0.15
+	}
+	jobs := make([]batch.Job, g.Count)
+	for i := range jobs {
+		size := sizes[i%len(sizes)]
+		// Seeding by (seed, size) makes platforms repeat across the
+		// sweep: repeats are served from the cache.
+		rng := rand.New(rand.NewSource(g.Seed + int64(size)))
+		jobs[i] = batch.Job{
+			ID:       fmt.Sprintf("job%02d-n%d", i, size),
+			Platform: platform.RandomConnected(rng, size, size, maxW, maxC, fwd),
+			Solver:   solver,
+		}
+	}
+	return jobs, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		InFlightSolves: cs.InFlight,
+		Cache:          cacheStatsJSON(cs),
+		Solvers:        s.metrics.snapshot(),
+	})
+}
+
+// --- plumbing ---------------------------------------------------------
+
+// decodeBody parses a JSON request body under the size limit,
+// rejecting unknown fields so schema typos fail loudly. It writes the
+// error response itself and reports success.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// statusFor maps a solve-path error to an HTTP status: size limits
+// to 413, the server-side solve timeout to 504, client cancellation
+// to 499 (nginx convention; the client is gone anyway), everything
+// else — unknown nodes, infeasible instances, malformed platforms —
+// to 400.
+func statusFor(err error) int {
+	switch {
+	case errors.As(err, &errTooLarge{}):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// flushWriter flushes the HTTP response after every write, so sweep
+// records reach the client as they complete rather than when the
+// response buffer fills.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (f *flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if fl, ok := f.w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	return n, err
+}

@@ -1,0 +1,414 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/platform"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+	"repro/pkg/steady/server"
+)
+
+func newTestServer(t *testing.T, cfg server.Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(server.New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func platformJSON(t *testing.T, p *platform.Platform) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeSolve(t *testing.T, resp *http.Response) server.SolveResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out server.SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSolveEndToEnd is the acceptance check for the service: the
+// /v1/solve endpoint returns byte-identical exact-rational results
+// to an in-process steady.Solve on the same platform and spec.
+func TestSolveEndToEnd(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	p := platform.Figure1()
+
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, p),
+	}))
+
+	if got.Solver != want.Solver || got.Problem != "masterslave" {
+		t.Fatalf("identity mismatch: %+v", got)
+	}
+	if got.Fingerprint != want.Fingerprint {
+		t.Fatalf("fingerprint %q != in-process %q", got.Fingerprint, want.Fingerprint)
+	}
+	if got.Throughput != want.Throughput.String() {
+		t.Fatalf("throughput %q != in-process %q", got.Throughput, want.Throughput)
+	}
+	if len(got.Nodes) != len(want.Nodes) {
+		t.Fatalf("nodes %d != %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i, n := range want.Nodes {
+		if got.Nodes[i].Name != n.Name || got.Nodes[i].Alpha != n.Alpha.String() {
+			t.Fatalf("node %d: got %+v, want %s alpha=%s", i, got.Nodes[i], n.Name, n.Alpha)
+		}
+	}
+	if len(got.Links) != len(want.Links) {
+		t.Fatalf("links %d != %d", len(got.Links), len(want.Links))
+	}
+	for i, l := range want.Links {
+		if got.Links[i].Busy != l.Busy.String() {
+			t.Fatalf("link %d: busy %q != %q", i, got.Links[i].Busy, l.Busy)
+		}
+	}
+	if got.CacheHit {
+		t.Fatalf("first solve reported a cache hit")
+	}
+
+	// The same request again is served from the sharded cache, with
+	// the identical exact result.
+	again := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, p),
+	}))
+	if !again.CacheHit {
+		t.Fatalf("duplicate solve missed the cache")
+	}
+	if again.Throughput != got.Throughput || again.Fingerprint != got.Fingerprint {
+		t.Fatalf("cache returned a different result: %+v vs %+v", again, got)
+	}
+}
+
+// TestSolveMulticastFamily checks the Figure 2/3 counterexample
+// through the service: sum-LP < tree packing < max-operator bound.
+func TestSolveMulticastFamily(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	p := platformJSON(t, platform.Figure2())
+	want := map[string]string{
+		"multicast-sum":   "1/2",
+		"multicast-trees": "3/4",
+		"multicast":       "1",
+	}
+	for problem, tput := range want {
+		got := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+			Problem:  problem,
+			Root:     "P0",
+			Targets:  []string{"P5", "P6"},
+			Platform: p,
+		}))
+		if got.Throughput != tput {
+			t.Fatalf("%s: throughput %q, want %q", problem, got.Throughput, tput)
+		}
+	}
+}
+
+func TestSolveRejections(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxNodes: 4})
+	fig1 := platformJSON(t, platform.Figure1()) // 6 nodes > limit 4
+
+	cases := []struct {
+		name   string
+		req    server.SolveRequest
+		status int
+	}{
+		{"unknown problem", server.SolveRequest{Problem: "nope", Platform: fig1}, http.StatusBadRequest},
+		{"bad model", server.SolveRequest{Problem: "masterslave", Model: "warp", Platform: fig1}, http.StatusBadRequest},
+		{"missing platform", server.SolveRequest{Problem: "masterslave"}, http.StatusBadRequest},
+		{"oversized platform", server.SolveRequest{Problem: "masterslave", Platform: fig1}, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/solve", tc.req)
+		var e server.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+			t.Fatalf("%s: undecodable error body (%v)", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, e.Error)
+		}
+	}
+
+	// Unknown node names are resolved at solve time and rejected too.
+	small := platform.New()
+	small.AddNode("A", platform.WInt(1))
+	resp := postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem: "masterslave", Root: "Z", Platform: platformJSON(t, small),
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown node: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSolveTimeout pins the 504 mapping: a solve that cannot finish
+// inside Config.SolveTimeout is cut off and reported as a gateway
+// timeout, and the cache is not poisoned by it.
+func TestSolveTimeout(t *testing.T) {
+	ts := newTestServer(t, server.Config{SolveTimeout: time.Nanosecond})
+	resp := postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem:  "masterslave",
+		Platform: platformJSON(t, platform.Figure1()),
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestSweepNDJSON runs a generator sweep end-to-end and checks every
+// streamed record against an in-process solve of the identically
+// seeded platform: same fingerprints, byte-identical throughputs.
+func TestSweepNDJSON(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	const count = 8
+	seed := int64(7)
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", server.SweepRequest{
+		Problem:   "masterslave",
+		Generator: &server.Generator{Count: count, Seed: seed},
+		Format:    "ndjson",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+
+	// Reproduce the generator's platforms in-process (same (seed,
+	// size) scheme) and solve them directly.
+	solver, err := steady.New(steady.Spec{Problem: "masterslave"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{6, 8, 10, 12}
+	want := map[string]*steady.Result{} // job id -> in-process result
+	for i := 0; i < count; i++ {
+		size := sizes[i%len(sizes)]
+		rng := rand.New(rand.NewSource(seed + int64(size)))
+		p := platform.RandomConnected(rng, size, size, 5, 5, 0.15)
+		res, err := solver.Solve(context.Background(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[fmt.Sprintf("job%02d-n%d", i, size)] = res
+	}
+
+	lines := strings.Split(strings.TrimSpace(readAll(t, resp.Body)), "\n")
+	if len(lines) != count {
+		t.Fatalf("NDJSON lines = %d, want %d", len(lines), count)
+	}
+	hits := 0
+	for _, line := range lines {
+		var rec batch.Record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if rec.Err != "" {
+			t.Fatalf("job %s failed: %s", rec.Job, rec.Err)
+		}
+		res, ok := want[rec.Job]
+		if !ok {
+			t.Fatalf("unexpected job id %q", rec.Job)
+		}
+		if rec.Platform != res.Fingerprint {
+			t.Fatalf("job %s: fingerprint %q != in-process %q", rec.Job, rec.Platform, res.Fingerprint)
+		}
+		if rec.Tput != res.Throughput.String() {
+			t.Fatalf("job %s: throughput %q != in-process %q", rec.Job, rec.Tput, res.Throughput)
+		}
+		if rec.CacheHit {
+			hits++
+		}
+	}
+	// Sizes cycle 4 values over 8 jobs with per-size seeding, so the
+	// second half repeats the first half's platforms.
+	if hits != count/2 {
+		t.Fatalf("cache hits = %d, want %d", hits, count/2)
+	}
+}
+
+func TestSweepCSVAndExplicitPlatforms(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	fig1 := platformJSON(t, platform.Figure1())
+	resp := postJSON(t, ts.URL+"/v1/sweep", server.SweepRequest{
+		Problem:   "masterslave",
+		Root:      "P1",
+		Platforms: []json.RawMessage{fig1, fig1, fig1},
+		Format:    "csv",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("Content-Type %q", ct)
+	}
+	body := readAll(t, resp.Body)
+	if !strings.HasPrefix(body, "job,solver,platform,throughput") {
+		t.Fatalf("CSV missing header:\n%s", body)
+	}
+	rows := strings.Split(strings.TrimSpace(body), "\n")
+	if len(rows) != 4 { // header + 3 records
+		t.Fatalf("CSV rows = %d, want 4:\n%s", len(rows), body)
+	}
+	if !strings.Contains(body, "4/3") {
+		t.Fatalf("CSV lost the exact throughput:\n%s", body)
+	}
+}
+
+func TestSweepRejections(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxSweepJobs: 4})
+	for name, req := range map[string]server.SweepRequest{
+		"no source":         {Problem: "masterslave"},
+		"both sources":      {Problem: "masterslave", Generator: &server.Generator{Count: 1}, Platforms: []json.RawMessage{[]byte(`{}`)}},
+		"oversized sweep":   {Problem: "masterslave", Generator: &server.Generator{Count: 100}},
+		"bad generator":     {Problem: "masterslave", Generator: &server.Generator{Kind: "grid", Count: 1}},
+		"unknown problem":   {Problem: "nope", Generator: &server.Generator{Count: 1}},
+		"missing targets":   {Problem: "scatter", Generator: &server.Generator{Count: 1}},
+		"unsupported model": {Problem: "broadcast", Model: "send-or-receive", Generator: &server.Generator{Count: 1}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/sweep", req)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSolversStatsAndHealth(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+
+	resp, err := http.Get(ts.URL + "/v1/solvers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solvers server.SolversResponse
+	if err := json.NewDecoder(resp.Body).Decode(&solvers); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(solvers.Problems) != len(steady.Problems()) {
+		t.Fatalf("solvers = %d, want %d", len(solvers.Problems), len(steady.Problems()))
+	}
+	for _, info := range solvers.Problems {
+		if info.Description == "" {
+			t.Fatalf("problem %s has no description", info.Problem)
+		}
+		if info.Problem == "masterslave" && len(info.Models) != 2 {
+			t.Fatalf("masterslave models = %v", info.Models)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	// Two identical solves: one miss, one hit; stats must say so.
+	for i := 0; i < 2; i++ {
+		decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+			Problem:  "masterslave",
+			Platform: platformJSON(t, platform.Figure1()),
+		}))
+	}
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cache.Solves != 1 || stats.Cache.Hits != 1 {
+		t.Fatalf("cache stats = %+v, want 1 solve + 1 hit", stats.Cache)
+	}
+	if stats.Cache.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", stats.Cache.HitRate)
+	}
+	h, ok := stats.Solvers["masterslave"]
+	if !ok {
+		t.Fatalf("no histogram for masterslave: %+v", stats.Solvers)
+	}
+	if h.Count != 2 || h.CacheHits != 1 || h.Errors != 0 {
+		t.Fatalf("masterslave histogram = %+v", h)
+	}
+	// Buckets are cumulative: the widest finite bucket holds every
+	// request (nothing here takes 10s), and counts never decrease.
+	if h.Buckets["<=10s"] != 2 {
+		t.Fatalf("histogram <=10s = %d, want 2: %+v", h.Buckets["<=10s"], h.Buckets)
+	}
+	prev := int64(0)
+	for _, label := range []string{"<=100us", "<=1ms", "<=10ms", "<=100ms", "<=1s", "<=10s"} {
+		n, ok := h.Buckets[label]
+		if !ok || n < prev {
+			t.Fatalf("bucket %s = %d (prev %d, present %v): %+v", label, n, prev, ok, h.Buckets)
+		}
+		prev = n
+	}
+}
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

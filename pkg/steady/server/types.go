@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+)
+
+// SolveRequest is the body of POST /v1/solve: a problem spec plus the
+// platform to solve it on. The platform uses the repository's
+// canonical JSON schema (the one cmd/platgen emits and cmd/ssched
+// reads): {"nodes": [{"name", "w"}], "edges": [{"from", "to", "c"}]}
+// with weights and costs as exact-rational strings ("3", "1/2",
+// "inf" for forwarder-only nodes).
+type SolveRequest struct {
+	// Problem is a registered problem name (GET /v1/solvers lists
+	// them).
+	Problem string `json:"problem"`
+	// Root is the master / source / reduction root node name; empty
+	// means the platform's first node.
+	Root string `json:"root,omitempty"`
+	// Targets are target node names for scatter and the multicast
+	// variants.
+	Targets []string `json:"targets,omitempty"`
+	// Model is "send-and-receive" (default) or "send-or-receive"
+	// (§5.1.1 shared-port model; masterslave and scatter only).
+	Model string `json:"model,omitempty"`
+	// Platform is the platform graph in canonical JSON.
+	Platform json.RawMessage `json:"platform"`
+}
+
+// Spec converts the request's problem fields to a steady.Spec.
+func (r *SolveRequest) Spec() (steady.Spec, error) {
+	model, err := parseModel(r.Model)
+	if err != nil {
+		return steady.Spec{}, err
+	}
+	return steady.Spec{Problem: r.Problem, Root: r.Root, Targets: r.Targets, Model: model}, nil
+}
+
+func parseModel(s string) (steady.PortModel, error) {
+	switch s {
+	case "", steady.SendAndReceive.String():
+		return steady.SendAndReceive, nil
+	case steady.SendOrReceive.String():
+		return steady.SendOrReceive, nil
+	default:
+		return 0, fmt.Errorf("unknown port model %q (want %q or %q)",
+			s, steady.SendAndReceive, steady.SendOrReceive)
+	}
+}
+
+// NodeActivityJSON is one node's compute activity in a SolveResponse,
+// as exact-rational strings.
+type NodeActivityJSON struct {
+	Name string `json:"name"`
+	// Alpha is the fraction of each time-unit the node computes.
+	Alpha string `json:"alpha"`
+	// Rate is the node's tasks per time-unit (empty for
+	// forwarder-only nodes).
+	Rate string `json:"rate,omitempty"`
+}
+
+// LinkActivityJSON is one directed link's busy fraction in a
+// SolveResponse, as an exact-rational string.
+type LinkActivityJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Busy string `json:"busy"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve. All
+// rational quantities are strings rendered by internal/rat, byte-
+// identical to what the in-process facade returns — the service
+// never converts through floats (Value is a display convenience
+// only).
+type SolveResponse struct {
+	// Solver is the canonical solver name (problem plus parameters);
+	// together with Fingerprint it is the result's cache identity.
+	Solver string `json:"solver"`
+	// Problem echoes the registered problem name.
+	Problem string `json:"problem"`
+	// Model is the port model the result was computed under.
+	Model string `json:"model"`
+	// Fingerprint is the canonical content hash of the platform.
+	Fingerprint string `json:"fingerprint"`
+	// Throughput is the exact objective value, e.g. "4/3".
+	Throughput string `json:"throughput"`
+	// Value is Throughput as the nearest float64, for display only.
+	Value float64 `json:"value"`
+	// Nodes holds per-node compute activity (masterslave only).
+	Nodes []NodeActivityJSON `json:"nodes,omitempty"`
+	// Links holds per-link busy fractions in platform edge order.
+	Links []LinkActivityJSON `json:"links,omitempty"`
+	// Trees is, for multicast-trees, the number of candidate Steiner
+	// arborescences enumerated by the exact packing.
+	Trees int `json:"trees,omitempty"`
+	// CacheHit reports that the result was served from the shared
+	// LP-solution cache instead of running a fresh solve.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMicros is the request's solve wall time in microseconds
+	// (near zero on a cache hit).
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+func solveResponse(res *steady.Result, hit bool, elapsedMicros int64) *SolveResponse {
+	out := &SolveResponse{
+		Solver:        res.Solver,
+		Problem:       res.Problem,
+		Model:         res.Model.String(),
+		Fingerprint:   res.Fingerprint,
+		Throughput:    res.Throughput.String(),
+		Value:         res.ThroughputFloat(),
+		Trees:         res.Trees,
+		CacheHit:      hit,
+		ElapsedMicros: elapsedMicros,
+	}
+	for _, n := range res.Nodes {
+		jn := NodeActivityJSON{Name: n.Name, Alpha: n.Alpha.String()}
+		if !n.Rate.IsZero() {
+			jn.Rate = n.Rate.String()
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	for _, l := range res.Links {
+		out.Links = append(out.Links, LinkActivityJSON{From: l.From, To: l.To, Busy: l.Busy.String()})
+	}
+	return out
+}
+
+// Generator describes a family of random connected platforms for
+// POST /v1/sweep, mirroring cmd/experiments -batch: platform i has
+// Sizes[i%len(Sizes)] nodes and is seeded by (Seed + size), so a
+// sweep contains repeated platforms and exercises the LP-solution
+// cache.
+type Generator struct {
+	// Kind selects the generator; only "random" (the default) is
+	// currently defined.
+	Kind string `json:"kind,omitempty"`
+	// Count is the number of platforms in the sweep.
+	Count int `json:"count"`
+	// Sizes are the node counts cycled over; default [6, 8, 10, 12].
+	Sizes []int `json:"sizes,omitempty"`
+	// Seed seeds the random platforms; same seed, same sweep.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxW and MaxC bound random node weights and link costs;
+	// default 5 each.
+	MaxW int64 `json:"max_w,omitempty"`
+	MaxC int64 `json:"max_c,omitempty"`
+	// ForwardOnly is the probability a node is a pure forwarder
+	// (w = inf); default 0.15.
+	ForwardOnly float64 `json:"forward_only,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweep: a problem spec plus
+// either a platform generator or an explicit platform list, fanned
+// out through the batch engine. Results stream back one record per
+// line (NDJSON, or CSV rows) as each solve completes, so a client
+// can consume a long sweep incrementally.
+type SweepRequest struct {
+	Problem string   `json:"problem"`
+	Root    string   `json:"root,omitempty"`
+	Targets []string `json:"targets,omitempty"`
+	Model   string   `json:"model,omitempty"`
+	// Generator describes random platforms; mutually exclusive with
+	// Platforms.
+	Generator *Generator `json:"generator,omitempty"`
+	// Platforms is an explicit list of platforms in canonical JSON.
+	Platforms []json.RawMessage `json:"platforms,omitempty"`
+	// Format is "ndjson" (default) or "csv".
+	Format string `json:"format,omitempty"`
+}
+
+// SolverInfo is one entry of GET /v1/solvers.
+type SolverInfo struct {
+	Problem     string `json:"problem"`
+	Description string `json:"description"`
+	// NeedsTargets reports that Spec.Targets is required.
+	NeedsTargets bool `json:"needs_targets"`
+	// Models lists the supported port models.
+	Models []string `json:"models"`
+}
+
+// SolversResponse is the body of GET /v1/solvers.
+type SolversResponse struct {
+	Problems []SolverInfo `json:"problems"`
+}
+
+// CacheStatsJSON is the cache section of GET /v1/stats.
+type CacheStatsJSON struct {
+	Solves   int64   `json:"solves"`
+	Hits     int64   `json:"hits"`
+	HitRate  float64 `json:"hit_rate"`
+	InFlight int64   `json:"in_flight"`
+	Entries  int     `json:"entries"`
+	Shards   int     `json:"shards"`
+}
+
+// SolverStatsJSON is one solver's latency histogram in GET /v1/stats.
+type SolverStatsJSON struct {
+	// Count is the number of requests observed for this solver
+	// (solves and cache hits alike).
+	Count int64 `json:"count"`
+	// Errors is the number of failed requests.
+	Errors int64 `json:"errors"`
+	// CacheHits is the number of requests served from the cache.
+	CacheHits int64 `json:"cache_hits"`
+	// MeanMicros and MaxMicros summarize the latency distribution.
+	MeanMicros int64 `json:"mean_us"`
+	MaxMicros  int64 `json:"max_us"`
+	// Buckets is the latency histogram. Finite buckets are
+	// cumulative, Prometheus-style: "<=1ms" counts every request at
+	// or under 1ms (so values are non-decreasing up to "<=10s");
+	// ">10s", present only when nonzero, counts the overflow.
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_s"`
+	// InFlightSolves is the number of LPs running right now.
+	InFlightSolves int64          `json:"in_flight_solves"`
+	Cache          CacheStatsJSON `json:"cache"`
+	// Solvers maps canonical solver names to per-solver request
+	// latency histograms.
+	Solvers map[string]SolverStatsJSON `json:"solvers"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodePlatform parses a canonical-JSON platform and validates it
+// against the server's size limits.
+func decodePlatform(raw json.RawMessage, maxNodes, maxEdges int) (*platform.Platform, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing platform")
+	}
+	p, err := platform.ReadJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	if p.NumNodes() > maxNodes {
+		return nil, errTooLarge{fmt.Sprintf("platform has %d nodes, limit %d", p.NumNodes(), maxNodes)}
+	}
+	if p.NumEdges() > maxEdges {
+		return nil, errTooLarge{fmt.Sprintf("platform has %d edges, limit %d", p.NumEdges(), maxEdges)}
+	}
+	return p, nil
+}
+
+// errTooLarge marks a request that exceeded a size limit, mapped to
+// HTTP 413.
+type errTooLarge struct{ msg string }
+
+func (e errTooLarge) Error() string { return e.msg }
+
+func cacheStatsJSON(cs batch.CacheStats) CacheStatsJSON {
+	return CacheStatsJSON{
+		Solves:   cs.Solves,
+		Hits:     cs.Hits,
+		HitRate:  cs.HitRate(),
+		InFlight: cs.InFlight,
+		Entries:  cs.Entries,
+		Shards:   cs.Shards,
+	}
+}

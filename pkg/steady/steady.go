@@ -211,6 +211,10 @@ type Solver interface {
 	Name() string
 	// Solve runs the problem on p and returns the certified result.
 	// Solve honors ctx cancellation; the platform is not mutated.
+	// Implementations should invoke the WithSolveDone hook, if the
+	// ctx carries one, exactly once per call when their computation
+	// has truly finished (the built-in solvers do) —
+	// pkg/steady/server's concurrency gate depends on it.
 	Solve(ctx context.Context, p *platform.Platform) (*Result, error)
 }
 
@@ -218,6 +222,32 @@ type Solver interface {
 // scatter requires targets) but resolves node names only at Solve
 // time.
 type Factory func(Spec) (Solver, error)
+
+// ctxKey keys context values defined by this package.
+type ctxKey int
+
+const solveDoneKey ctxKey = iota
+
+// WithSolveDone returns a context carrying a hook that a built-in
+// solver invokes exactly once per Solve call, when the underlying
+// computation has truly finished: at return for a completed (or
+// immediately rejected) solve, or when the abandoned background LP
+// finally exits for a canceled one. Solve itself returns promptly on
+// cancellation, but the exact simplex it started cannot be
+// interrupted mid-pivot — the hook is how a caller that meters CPU
+// (pkg/steady/server's concurrency gate) keeps its accounting tied
+// to the real computation instead of to Solve's return.
+func WithSolveDone(ctx context.Context, fn func()) context.Context {
+	return context.WithValue(ctx, solveDoneKey, fn)
+}
+
+// solveDone extracts the WithSolveDone hook, defaulting to a no-op.
+func solveDone(ctx context.Context) func() {
+	if fn, ok := ctx.Value(solveDoneKey).(func()); ok && fn != nil {
+		return fn
+	}
+	return func() {}
+}
 
 var (
 	regMu    sync.RWMutex
@@ -272,23 +302,29 @@ type builtin struct {
 func (b *builtin) Name() string { return b.spec.name() }
 
 func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, error) {
+	done := solveDone(ctx)
 	if p == nil {
+		done()
 		return nil, fmt.Errorf("steady: nil platform")
 	}
 	if err := ctx.Err(); err != nil {
+		done()
 		return nil, err
 	}
 	root, err := resolveNode(p, b.spec.Root)
 	if err != nil {
+		done()
 		return nil, err
 	}
 	targets, err := resolveTargets(p, b.spec.Targets)
 	if err != nil {
+		done()
 		return nil, err
 	}
 	// The exact simplex is synchronous; run it aside so cancellation
 	// returns promptly. An abandoned solve finishes in the background
-	// and is discarded (the platform is never mutated).
+	// and is discarded (the platform is never mutated); the
+	// WithSolveDone hook fires only once it has.
 	type reply struct {
 		res *Result
 		err error
@@ -300,8 +336,13 @@ func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, err
 	}()
 	select {
 	case <-ctx.Done():
+		go func() {
+			<-ch
+			done()
+		}()
 		return nil, ctx.Err()
 	case out := <-ch:
+		done()
 		if out.err != nil {
 			return nil, out.err
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/rat"
@@ -180,6 +181,62 @@ func TestSolveCancellation(t *testing.T) {
 	if _, err := solver.Solve(ctx, platform.Figure1()); err == nil {
 		t.Fatalf("canceled context accepted")
 	}
+}
+
+// TestWithSolveDone pins the completion-hook contract the server's
+// concurrency gate depends on: the hook fires exactly once per Solve
+// call — at return for completed and immediately rejected solves,
+// and for a canceled one no earlier than when the background LP (if
+// it started) has exited.
+func TestWithSolveDone(t *testing.T) {
+	solver, _ := steady.New(steady.Spec{Problem: "masterslave"})
+	hook := func() (context.Context, chan struct{}) {
+		fired := make(chan struct{}, 2)
+		return steady.WithSolveDone(context.Background(), func() {
+			fired <- struct{}{}
+		}), fired
+	}
+	expectOnce := func(name string, fired chan struct{}) {
+		t.Helper()
+		select {
+		case <-fired:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s: hook never fired", name)
+		}
+		select {
+		case <-fired:
+			t.Fatalf("%s: hook fired twice", name)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	ctx, fired := hook()
+	if _, err := solver.Solve(ctx, platform.Figure1()); err != nil {
+		t.Fatal(err)
+	}
+	expectOnce("completed solve", fired)
+
+	ctx, fired = hook()
+	if _, err := solver.Solve(ctx, nil); err == nil {
+		t.Fatalf("nil platform accepted")
+	}
+	expectOnce("rejected solve", fired)
+
+	ctx, fired = hook()
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := solver.Solve(cctx, platform.Figure1()); err == nil {
+		t.Fatalf("canceled context accepted")
+	}
+	expectOnce("pre-canceled solve", fired)
+
+	// Cancel racing a running solve: whichever way the race falls,
+	// the hook still fires exactly once.
+	ctx, fired = hook()
+	cctx, cancel = context.WithCancel(ctx)
+	go cancel()
+	solver.Solve(cctx, platform.Figure1())
+	expectOnce("racing cancellation", fired)
 }
 
 func TestFingerprint(t *testing.T) {
