@@ -29,6 +29,7 @@ import (
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	serverpkg "repro/pkg/steady/server"
+	simpkg "repro/pkg/steady/sim"
 )
 
 // benchExperiment times a full experiment regeneration.
@@ -289,6 +290,78 @@ func benchServerSolve(b *testing.B, hot bool) {
 
 func BenchmarkServerSolveHot(b *testing.B)  { benchServerSolve(b, true) }
 func BenchmarkServerSolveCold(b *testing.B) { benchServerSolve(b, false) }
+
+// Simulation-engine benchmarks: the public replay engine on a solved
+// master-slave instance. Static measures the exact periodic replay
+// (steady-state extrapolation makes the horizon nearly free — the
+// cost is the transient); Dynamic measures the event-driven scenario
+// path; Sweep measures a small scenario grid through the worker pool
+// with a warm LP cache.
+
+func simBenchResult(b *testing.B) *steady.Result {
+	b.Helper()
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), platform.Figure1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkSimEngineStatic(b *testing.B) {
+	res := simBenchResult(b)
+	eng := simpkg.New(simpkg.Config{})
+	sc := simpkg.Scenario{Periods: 100000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), res, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEngineDynamic(b *testing.B) {
+	res := simBenchResult(b)
+	eng := simpkg.New(simpkg.Config{})
+	sc := simpkg.Scenario{
+		Tasks:     1000,
+		Slowdowns: []simpkg.Slowdown{{Node: "P2", Factor: 2, From: 50, Until: 200}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), res, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimEngineSweep(b *testing.B) {
+	p := platform.Figure1()
+	spec := steady.Spec{Problem: "masterslave", Root: "P1"}
+	var cells []simpkg.Cell
+	for i := 0; i < 8; i++ {
+		cells = append(cells, simpkg.Cell{
+			ID: fmt.Sprintf("c%d", i), Platform: p, Spec: spec,
+			Scenario: simpkg.Scenario{Periods: int64(100 * (i + 1))},
+		})
+	}
+	eng := simpkg.New(simpkg.Config{Workers: 4})
+	// Warm the shared LP cache so the benchmark isolates simulation.
+	if outs := eng.Sweep(context.Background(), cells[:1]); outs[0].Err != nil {
+		b.Fatal(outs[0].Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, o := range eng.Sweep(context.Background(), cells) {
+			if o.Err != nil {
+				b.Fatal(o.Err)
+			}
+		}
+	}
+}
 
 func BenchmarkTreePackingFigure2(b *testing.B) {
 	p := platform.Figure2()

@@ -9,6 +9,12 @@
 //	platgen -kind star -n 5
 //	platgen -kind tree -fanout 2 -depth 3
 //	platgen -kind grid -rows 3 -cols 4
+//	platgen -kind random -trace > bundle.json   # platform + load-trace scenario
+//
+// With -trace the output is a pkg/steady/sim bundle: the platform
+// plus a generated dynamic scenario (random-walk load traces on every
+// computing node and every link, seeded by -seed), so platforms and
+// the scenarios they were generated for travel together.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/sim"
 )
 
 func main() {
@@ -43,6 +50,10 @@ func run(args []string, w io.Writer) error {
 	rows := fs.Int("rows", 3, "grid rows")
 	cols := fs.Int("cols", 3, "grid cols")
 	dot := fs.Bool("dot", false, "emit Graphviz DOT instead of JSON")
+	trace := fs.Bool("trace", false, "emit a platform+scenario bundle with random-walk load traces")
+	horizon := fs.Float64("trace-horizon", 500, "trace: scenario horizon in time units")
+	step := fs.Float64("trace-step", 25, "trace: load re-draw interval")
+	hi := fs.Float64("trace-hi", 3, "trace: maximum load multiplier (min is 1)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,9 +89,42 @@ func run(args []string, w io.Writer) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
+	if *dot && *trace {
+		return fmt.Errorf("-dot and -trace are mutually exclusive")
+	}
 	if *dot {
 		fmt.Fprint(w, p.DOT())
 		return nil
 	}
+	if *trace {
+		if *horizon <= 0 || *step <= 0 || *hi < 1 {
+			return fmt.Errorf("trace flags need horizon > 0, step > 0, hi >= 1")
+		}
+		return sim.WriteBundle(w, p, traceScenario(p, *seed, *horizon, *step, *hi))
+	}
 	return p.WriteJSON(w)
+}
+
+// traceScenario builds the generated scenario of -trace: every
+// computing node and every link gets a random-walk load trace in
+// [1, hi]. The traces themselves are materialized at simulation time
+// from the scenario seed, so the bundle stays compact and the same
+// bundle always simulates the same way.
+func traceScenario(p *platform.Platform, seed int64, horizon, step, hi float64) sim.Scenario {
+	walk := sim.TraceSpec{Kind: "random-walk", Horizon: horizon, Step: step, Lo: 1, Hi: hi}
+	sc := sim.Scenario{
+		Name:     fmt.Sprintf("platgen-load-seed%d", seed),
+		Seed:     seed,
+		NodeLoad: map[string]sim.TraceSpec{},
+		EdgeLoad: map[string]sim.TraceSpec{},
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if p.CanCompute(i) {
+			sc.NodeLoad[p.Name(i)] = walk
+		}
+	}
+	for _, e := range p.Edges() {
+		sc.EdgeLoad[sim.EdgeKey(p.Name(e.From), p.Name(e.To))] = walk
+	}
+	return sc
 }

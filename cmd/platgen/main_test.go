@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/platform"
+	"repro/pkg/steady/sim"
 )
 
 func TestAllKindsProduceValidJSON(t *testing.T) {
@@ -61,5 +62,45 @@ func TestUnknownKind(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-kind", "mystery"}, &buf); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+func TestTraceFlagEmitsBundle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "figure1", "-trace", "-seed", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	p, sc, err := sim.ReadBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("bundle did not round-trip: %v", err)
+	}
+	if p.NumNodes() != 6 {
+		t.Fatalf("platform lost: %d nodes", p.NumNodes())
+	}
+	if !sc.Dynamic() {
+		t.Fatal("generated scenario is not dynamic")
+	}
+	// Every computing node and every link carries a trace.
+	if len(sc.NodeLoad) != 6 || len(sc.EdgeLoad) != p.NumEdges() {
+		t.Fatalf("traces: %d node, %d edge (want 6, %d)", len(sc.NodeLoad), len(sc.EdgeLoad), p.NumEdges())
+	}
+	if sc.Seed != 5 {
+		t.Fatalf("seed %d not carried into the scenario", sc.Seed)
+	}
+
+	// Same seed, same bundle.
+	var again bytes.Buffer
+	if err := run([]string{"-kind", "figure1", "-trace", "-seed", "5"}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != again.String() {
+		t.Fatal("same seed produced different bundles")
+	}
+}
+
+func TestTraceDOTExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "figure1", "-trace", "-dot"}, &buf); err == nil {
+		t.Fatal("expected -dot/-trace conflict error")
 	}
 }

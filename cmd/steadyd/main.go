@@ -1,7 +1,9 @@
 // Command steadyd serves the steady-state solver registry over HTTP:
 // POST a platform to /v1/solve (or a platform family to /v1/sweep)
-// and get certified exact-rational steady-state solutions back. See
-// docs/API.md for the endpoint reference.
+// and get certified exact-rational steady-state solutions back, or
+// POST a platform plus a scenario to /v1/simulate (a family to
+// /v1/simsweep) to replay the reconstructed schedule in simulated
+// time. See docs/API.md for the endpoint reference.
 //
 // Usage:
 //
@@ -30,30 +32,38 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
-		shards    = flag.Int("cache-shards", 0, "LP-solution cache shards (0 = default)")
-		bound     = flag.Int("cache-bound", 0, "LP-solution cache capacity in entries (0 = default, <0 = unbounded)")
-		maxNodes  = flag.Int("max-nodes", 0, "largest accepted platform, in nodes (0 = default)")
-		maxEdges  = flag.Int("max-edges", 0, "largest accepted platform, in edges (0 = default)")
-		maxSweep  = flag.Int("max-sweep", 0, "largest accepted sweep, in platforms (0 = default)")
-		timeout   = flag.Duration("solve-timeout", 0, "per-solve time limit (0 = default 30s)")
-		inflight  = flag.Int("max-inflight", 0, "max concurrently running solves (0 = default)")
-		bodyLimit = flag.Int64("max-body", 0, "max request body bytes (0 = default 8 MiB)")
-		grace     = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		shards     = flag.Int("cache-shards", 0, "LP-solution cache shards (0 = default)")
+		bound      = flag.Int("cache-bound", 0, "LP-solution cache capacity in entries (0 = default, <0 = unbounded)")
+		maxNodes   = flag.Int("max-nodes", 0, "largest accepted platform, in nodes (0 = default)")
+		maxEdges   = flag.Int("max-edges", 0, "largest accepted platform, in edges (0 = default)")
+		maxSweep   = flag.Int("max-sweep", 0, "largest accepted sweep, in platforms (0 = default)")
+		timeout    = flag.Duration("solve-timeout", 0, "per-solve time limit (0 = default 30s)")
+		inflight   = flag.Int("max-inflight", 0, "max concurrently running solves (0 = default)")
+		bodyLimit  = flag.Int64("max-body", 0, "max request body bytes (0 = default 8 MiB)")
+		simTimeout = flag.Duration("sim-timeout", 0, "per-simulation time limit (0 = default 30s)")
+		simPeriods = flag.Int64("max-sim-periods", 0, "largest accepted replay horizon, in periods (0 = default)")
+		simTasks   = flag.Int("max-sim-tasks", 0, "largest accepted dynamic-scenario task count (0 = default)")
+		simHorizon = flag.Float64("max-sim-horizon", 0, "largest accepted dynamic-scenario horizon, in time units (0 = default)")
+		grace      = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
 	)
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		CacheShards:  *shards,
-		CacheBound:   *bound,
-		MaxNodes:     *maxNodes,
-		MaxEdges:     *maxEdges,
-		MaxSweepJobs: *maxSweep,
-		SolveTimeout: *timeout,
-		MaxInFlight:  *inflight,
-		MaxBodyBytes: *bodyLimit,
+		Workers:       *workers,
+		CacheShards:   *shards,
+		CacheBound:    *bound,
+		MaxNodes:      *maxNodes,
+		MaxEdges:      *maxEdges,
+		MaxSweepJobs:  *maxSweep,
+		SolveTimeout:  *timeout,
+		MaxInFlight:   *inflight,
+		MaxBodyBytes:  *bodyLimit,
+		SimTimeout:    *simTimeout,
+		MaxSimPeriods: *simPeriods,
+		MaxSimTasks:   *simTasks,
+		MaxSimHorizon: *simHorizon,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -36,7 +36,11 @@ type Scatter struct {
 //	          sum_j s_ij <= 1, sum_j s_ji <= 1           (one-port)
 //	          s_ij = sum_k send(i,j,k) * c_ij            (distinct messages add up)
 //	          sum_j send(j,i,k) = sum_j send(i,j,k)      (i != source, i != P_k)
-//	          sum_j send(j,k,k) = TP                     (every target served)
+//	          sum_j send(j,k,k) - sum_j send(k,j,k) = TP (every target served, net)
+//
+// The delivery equation is enforced net of the target's own out-flow,
+// so only messages genuinely originating at the source count (see the
+// comment at the constraint).
 func SolveScatter(p *platform.Platform, source int, targets []int) (*Scatter, error) {
 	return solveDistribution(p, source, targets, SendAndReceive, false)
 }
@@ -135,11 +139,21 @@ func solveDistribution(p *platform.Platform, source int, targets []int, pm PortM
 		}
 	}
 
-	// Delivery: each target receives TP messages of its type.
+	// Delivery: each target accumulates TP messages of its type net of
+	// what it forwards. The net form matters: with deliveries counted
+	// on in-edges alone, a circulation touching the target (allowed by
+	// the relaxed conservation there) fabricates throughput that never
+	// left the source, and the "certified" optimum overstates what any
+	// real schedule can ship — the simulation subsystem caught exactly
+	// this on Figure 1. With net delivery, flow decomposition forces
+	// TP units of genuine source-to-target paths per time-unit.
 	for k := 0; k < nK; k++ {
 		ex := lp.Expr{}.PlusInt(tp, -1)
 		for _, e := range p.InEdges(targets[k]) {
 			ex = ex.PlusInt(send[e][k], 1)
+		}
+		for _, e := range p.OutEdges(targets[k]) {
+			ex = ex.PlusInt(send[e][k], -1)
 		}
 		m.Eq(fmt.Sprintf("deliver[k%d]", k), ex, rat.Zero())
 	}
@@ -233,8 +247,11 @@ func (sc *Scatter) check(maxOperator bool) error {
 		for _, e := range p.InEdges(t) {
 			got = got.Add(sc.Send[e][k])
 		}
+		for _, e := range p.OutEdges(t) {
+			got = got.Sub(sc.Send[e][k])
+		}
 		if !got.Equal(sc.Throughput) {
-			return fmt.Errorf("core: target %d receives %v != TP %v", t, got, sc.Throughput)
+			return fmt.Errorf("core: target %d nets %v != TP %v", t, got, sc.Throughput)
 		}
 	}
 	return nil

@@ -129,11 +129,18 @@ func TestE11GoldenNoNegativeGap(t *testing.T) {
 
 func TestE2GoldenScatterThroughput(t *testing.T) {
 	out := runOne(t, "E2")
-	if !strings.Contains(out, "TP = 1/2") {
-		t.Fatalf("E2 missing Figure 1 scatter TP = 1/2:\n%s", out)
+	// 3/10 (previously 1/2) since the scatter LP's delivery equation
+	// became net of the target's own out-flow: the old witnesses
+	// carried circulations through the targets that fabricated
+	// throughput never leaving the source, which the simulation
+	// subsystem (pkg/steady/sim) exposed — replaying the old schedule
+	// delivered 0. The corrected value is achieved by the
+	// reconstructed schedule in simulated time.
+	if !strings.Contains(out, "TP = 3/10") {
+		t.Fatalf("E2 missing Figure 1 scatter TP = 3/10:\n%s", out)
 	}
-	if !strings.Contains(out, "TP = 5/27") {
-		t.Fatalf("E2 missing random-platform TP = 5/27:\n%s", out)
+	if !strings.Contains(out, "TP = 1/12") {
+		t.Fatalf("E2 missing random-platform TP = 1/12:\n%s", out)
 	}
 }
 
@@ -168,7 +175,10 @@ func TestE10GoldenReconstructionBeatsNaive(t *testing.T) {
 
 func TestE12GoldenCollectives(t *testing.T) {
 	out := runOne(t, "E12")
-	if !strings.Contains(out, "Reduce to P1 on Figure 1: TP = 1/2") {
+	// 7/15 (previously 1/2) after the net delivery fix — see
+	// TestE2GoldenScatterThroughput; the exact tree packing on the
+	// reversed platform meets 7/15, so the corrected bound is tight.
+	if !strings.Contains(out, "Reduce to P1 on Figure 1: TP = 7/15") {
 		t.Fatalf("E12 missing reduce value:\n%s", out)
 	}
 	if !strings.Contains(out, "TP = 1/4 per ordered pair") {

@@ -107,12 +107,18 @@ func (sp *ScatterPeriodic) Check() error {
 				return fmt.Errorf("schedule: scatter conservation violated at n%d k%d", i, k)
 			}
 		}
+		// Delivery is net of the target's own out-flow, matching the
+		// LP's net delivery equation: only messages that genuinely
+		// terminate at the target count.
 		got := new(big.Int)
 		for _, e := range p.InEdges(tgt) {
 			got.Add(got, sp.Msgs[e][k])
 		}
+		for _, e := range p.OutEdges(tgt) {
+			got.Sub(got, sp.Msgs[e][k])
+		}
 		if got.Cmp(sp.OpsPerPeriod) != 0 {
-			return fmt.Errorf("schedule: target %d receives %v != %v per period", tgt, got, sp.OpsPerPeriod)
+			return fmt.Errorf("schedule: target %d nets %v != %v per period", tgt, got, sp.OpsPerPeriod)
 		}
 	}
 	// Slots: matching property, per-edge time, total <= T.

@@ -2,11 +2,16 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/platform"
 )
+
+// ErrInterrupted reports that a simulation was aborted through
+// OnlineConfig.Interrupt before completing.
+var ErrInterrupted = errors.New("sim: interrupted")
 
 // Policy decides, each time a node's send port becomes free, which
 // pending child request to serve next. Implementations live in
@@ -57,6 +62,11 @@ type OnlineConfig struct {
 	// falls below this many tasks (default 2, the classic
 	// double-buffering of demand-driven master-slave).
 	RequestThreshold int
+	// Interrupt, when non-nil, aborts the simulation with
+	// ErrInterrupted once it becomes receivable (typically a
+	// context's Done channel). Checked every few hundred events, so
+	// a long run stops promptly without per-event overhead.
+	Interrupt <-chan struct{}
 	// EpochLength, if > 0, invokes OnEpoch every EpochLength time
 	// units with per-resource observed performance (for §5.5
 	// adaptive re-planning).
@@ -322,7 +332,16 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		}
 	}
 
+	processed := 0
 	for h.Len() > 0 {
+		if cfg.Interrupt != nil && processed%256 == 0 {
+			select {
+			case <-cfg.Interrupt:
+				return nil, ErrInterrupted
+			default:
+			}
+		}
+		processed++
 		ev := heap.Pop(&h).(*event)
 		if cfg.Horizon > 0 && ev.t > cfg.Horizon {
 			now = cfg.Horizon

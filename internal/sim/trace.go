@@ -53,9 +53,13 @@ func RandomWalkTrace(rng *rand.Rand, horizon, step, lo, hi float64) *Trace {
 	return &Trace{times: times, mult: mult}
 }
 
-// At returns the multiplier in effect at time t.
+// At returns the multiplier in effect at time t. A nil or empty trace
+// is the identity (multiplier 1). Times before the first breakpoint
+// clamp to the first segment and times past the last breakpoint hold
+// the last multiplier, so callers may query any t without range
+// checks.
 func (tr *Trace) At(t float64) float64 {
-	if tr == nil {
+	if tr == nil || len(tr.mult) == 0 {
 		return 1
 	}
 	i := sort.SearchFloat64s(tr.times, t)
@@ -70,10 +74,14 @@ func (tr *Trace) At(t float64) float64 {
 	return tr.mult[i-1]
 }
 
-// Mean returns the average multiplier over [0, horizon].
+// Mean returns the average multiplier over [0, horizon]. A nil or
+// empty trace means 1; a non-positive horizon degenerates to At(0).
 func (tr *Trace) Mean(horizon float64) float64 {
-	if tr == nil {
+	if tr == nil || len(tr.mult) == 0 {
 		return 1
+	}
+	if horizon <= 0 {
+		return tr.At(0)
 	}
 	total := 0.0
 	for i := range tr.times {

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The public simulation engine (pkg/steady/sim) queries traces at
+// arbitrary times, including before the first knot, past the horizon,
+// and on traces that never received a breakpoint; these tests pin the
+// boundary behavior it relies on.
+
+func TestTraceAtBoundaries(t *testing.T) {
+	tr := StepTrace([]float64{0, 10, 20}, []float64{1, 2, 4})
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{-5, 1},  // before the first knot: clamp to the first segment
+		{0, 1},   // exactly the first knot
+		{5, 1},   // inside the first segment
+		{10, 2},  // exactly a breakpoint: the new segment applies
+		{15, 2},  // inside a middle segment
+		{20, 4},  // last breakpoint
+		{1e9, 4}, // far past the horizon: the last multiplier holds
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestTraceEmptyAndNil(t *testing.T) {
+	var nilTrace *Trace
+	empty := &Trace{}
+	for _, tr := range []*Trace{nilTrace, empty} {
+		if got := tr.At(-1); got != 1 {
+			t.Errorf("At(-1) on empty/nil trace = %v, want 1", got)
+		}
+		if got := tr.At(42); got != 1 {
+			t.Errorf("At(42) on empty/nil trace = %v, want 1", got)
+		}
+		if got := tr.Mean(10); got != 1 {
+			t.Errorf("Mean(10) on empty/nil trace = %v, want 1", got)
+		}
+	}
+	// RandomWalkTrace with a degenerate horizon produces an empty
+	// trace; it must behave as the identity rather than panic.
+	rw := RandomWalkTrace(rand.New(rand.NewSource(1)), 0, 10, 1, 2)
+	if got := rw.At(3); got != 1 {
+		t.Errorf("degenerate random walk At(3) = %v, want 1", got)
+	}
+}
+
+func TestTraceMeanBoundaries(t *testing.T) {
+	tr := StepTrace([]float64{0, 10}, []float64{1, 3})
+	if got := tr.Mean(20); got != 2 {
+		t.Errorf("Mean(20) = %v, want 2", got)
+	}
+	// Horizon inside the first segment.
+	if got := tr.Mean(10); got != 1 {
+		t.Errorf("Mean(10) = %v, want 1", got)
+	}
+	// Non-positive horizon degenerates to the instantaneous value.
+	if got := tr.Mean(0); got != 1 {
+		t.Errorf("Mean(0) = %v, want 1", got)
+	}
+	if got := tr.Mean(-1); got != 1 {
+		t.Errorf("Mean(-1) = %v, want 1", got)
+	}
+	// Constant traces are flat everywhere.
+	ct := ConstantTrace(2.5)
+	if got := ct.Mean(7); got != 2.5 {
+		t.Errorf("constant Mean(7) = %v, want 2.5", got)
+	}
+}
+
+func TestTraceMeanPastLastKnot(t *testing.T) {
+	// Mean over a horizon far past the last knot weights the final
+	// multiplier by the remaining time.
+	tr := StepTrace([]float64{0, 10}, []float64{2, 4})
+	// [0,10): 2, [10,40): 4 -> (10*2 + 30*4) / 40 = 140/40 = 3.5
+	if got := tr.Mean(40); got != 3.5 {
+		t.Errorf("Mean(40) = %v, want 3.5", got)
+	}
+}

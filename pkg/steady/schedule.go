@@ -52,9 +52,10 @@ type Simulation struct {
 
 // Simulate executes the schedule for the given number of periods,
 // starting from cold buffers, and reports per-period completions.
-// It is available for masterslave schedules only — the distribution
-// problems ship data, not tasks, so there is no completion count to
-// simulate.
+// It is available for masterslave schedules only — for every other
+// problem (and for scenario-driven simulation in general) use
+// pkg/steady/sim, which replays any registered solver's schedule via
+// Result.Replay.
 func (s *Schedule) Simulate(periods int64) (*Simulation, error) {
 	if s.periodic == nil {
 		return nil, fmt.Errorf("steady: only masterslave schedules are simulatable")

@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,6 +68,47 @@ func (m *metrics) observe(solver string, elapsed time.Duration, failed, cacheHit
 		}
 	}
 	h.buckets[i]++
+}
+
+// simMetrics counts simulation traffic with plain atomics: unlike
+// the per-solver histograms there is no map to guard, so no mutex.
+type simMetrics struct {
+	runs, errors, sweepCells    atomic.Int64
+	periodic, online, greedyRun atomic.Int64
+}
+
+// observe records one finished simulation. kind is the report's
+// substrate ("periodic", "online", "greedy"); sweep marks /v1/simsweep
+// cells rather than single /v1/simulate runs.
+func (m *simMetrics) observe(kind string, failed, sweep bool) {
+	if sweep {
+		m.sweepCells.Add(1)
+	} else {
+		m.runs.Add(1)
+	}
+	if failed {
+		m.errors.Add(1)
+		return
+	}
+	switch kind {
+	case "periodic":
+		m.periodic.Add(1)
+	case "online":
+		m.online.Add(1)
+	case "greedy":
+		m.greedyRun.Add(1)
+	}
+}
+
+func (m *simMetrics) snapshot() SimStatsJSON {
+	return SimStatsJSON{
+		Runs:       m.runs.Load(),
+		Errors:     m.errors.Load(),
+		SweepCells: m.sweepCells.Load(),
+		Periodic:   m.periodic.Load(),
+		Online:     m.online.Load(),
+		Greedy:     m.greedyRun.Load(),
+	}
 }
 
 // snapshot renders the histograms for GET /v1/stats. Finite buckets

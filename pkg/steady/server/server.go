@@ -10,8 +10,10 @@
 //	GET  /v1/solvers  registered problems and their parameters
 //	POST /v1/solve    one platform + spec -> certified exact result
 //	POST /v1/sweep    platform family -> streamed NDJSON/CSV records
+//	POST /v1/simulate one platform + spec + scenario -> simulation report
+//	POST /v1/simsweep platform family x scenarios -> streamed records
 //	GET  /v1/healthz  liveness probe
-//	GET  /v1/stats    cache counters and per-solver latency histograms
+//	GET  /v1/stats    cache/simulation counters and latency histograms
 //
 // The server defends the exact simplex — whose worst case is
 // exponential — with three request limits: platform size caps
@@ -36,6 +38,7 @@ import (
 	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/sim"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults
@@ -62,6 +65,15 @@ type Config struct {
 	MaxInFlight int
 	// MaxBodyBytes caps request bodies; 0 = 8 MiB.
 	MaxBodyBytes int64
+	// SimTimeout bounds one simulation (after its solve); 0 = 30s.
+	SimTimeout time.Duration
+	// MaxSimPeriods caps a requested static replay horizon and
+	// MaxSimTasks/MaxSimHorizon cap dynamic scenarios, bounding the
+	// work a request can ask for before it starts; 0 = 65536 periods,
+	// 200000 tasks, 1e6 time units.
+	MaxSimPeriods int64
+	MaxSimTasks   int
+	MaxSimHorizon float64
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +104,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.SimTimeout <= 0 {
+		c.SimTimeout = 30 * time.Second
+	}
+	if c.MaxSimPeriods <= 0 {
+		c.MaxSimPeriods = 65536
+	}
+	if c.MaxSimTasks <= 0 {
+		c.MaxSimTasks = 200000
+	}
+	if c.MaxSimHorizon <= 0 {
+		c.MaxSimHorizon = 1e6
+	}
 	return c
 }
 
@@ -99,13 +123,15 @@ func (c Config) withDefaults() Config {
 // Handler with net/http. A Server is safe for concurrent use and
 // holds no per-request state beyond the shared cache and counters.
 type Server struct {
-	cfg     Config
-	cache   *batch.Cache
-	engine  *batch.Engine
-	sem     chan struct{}
-	metrics *metrics
-	start   time.Time
-	mux     *http.ServeMux
+	cfg        Config
+	cache      *batch.Cache
+	engine     *batch.Engine
+	simEngine  *sim.Engine
+	sem        chan struct{}
+	metrics    *metrics
+	simMetrics *simMetrics
+	start      time.Time
+	mux        *http.ServeMux
 }
 
 // New builds a Server from cfg (zero value = defaults). The solve
@@ -119,18 +145,31 @@ func New(cfg Config) *Server {
 		bound = 0 // batch.NewCache: <= 0 means unbounded
 	}
 	cache := batch.NewCache(cfg.CacheShards, bound)
+	engine := batch.NewWithCache(cfg.Workers, cache)
 	s := &Server{
-		cfg:     cfg,
-		cache:   cache,
-		engine:  batch.NewWithCache(cfg.Workers, cache),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		metrics: newMetrics(),
-		start:   time.Now(),
-		mux:     http.NewServeMux(),
+		cfg:    cfg,
+		cache:  cache,
+		engine: engine,
+		// The simulation engine sweeps through the same batch engine,
+		// so a platform solved by any endpoint is a cache hit for all.
+		// CellTimeout applies the per-simulation limit to every sweep
+		// cell individually.
+		simEngine: sim.NewWithBatch(sim.Config{
+			MaxPeriods:  cfg.MaxSimPeriods,
+			Workers:     cfg.Workers,
+			CellTimeout: cfg.SimTimeout,
+		}, engine),
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		metrics:    newMetrics(),
+		simMetrics: &simMetrics{},
+		start:      time.Now(),
+		mux:        http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/simsweep", s.handleSimSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -305,6 +344,198 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	_ = s.engine.Stream(r.Context(), jobs, observing)
 }
 
+// checkScenario validates a scenario and enforces the simulation
+// resource caps: over-limit scenarios are rejected up front with 413
+// rather than started and timed out.
+// It may tighten the scenario in place: a dynamic scenario that sets
+// neither tasks nor horizon would otherwise run the engine's default
+// task count, silently bypassing an operator's stricter -max-sim-tasks.
+func (s *Server) checkScenario(sc *sim.Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+	if sc.Periods > s.cfg.MaxSimPeriods {
+		return errTooLarge{fmt.Sprintf("scenario asks %d periods, limit %d", sc.Periods, s.cfg.MaxSimPeriods)}
+	}
+	if sc.Tasks > s.cfg.MaxSimTasks {
+		return errTooLarge{fmt.Sprintf("scenario asks %d tasks, limit %d", sc.Tasks, s.cfg.MaxSimTasks)}
+	}
+	if sc.Horizon > s.cfg.MaxSimHorizon {
+		return errTooLarge{fmt.Sprintf("scenario horizon %g exceeds limit %g", sc.Horizon, s.cfg.MaxSimHorizon)}
+	}
+	if sc.Dynamic() && sc.Tasks == 0 && sc.Horizon == 0 && sim.DefaultDynamicTasks > s.cfg.MaxSimTasks {
+		sc.Tasks = s.cfg.MaxSimTasks
+	}
+	return nil
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	solver, err := steady.New(steady.Spec{Problem: req.Problem, Root: req.Root, Targets: req.Targets, Model: model})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkScenario(&req.Scenario); err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	p, err := decodePlatform(req.Platform, s.cfg.MaxNodes, s.cfg.MaxEdges)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+
+	start := time.Now()
+	key := batch.Key(steady.Fingerprint(p), solver.Name())
+	res, err, hit := s.cache.Do(r.Context(), key, func() (*steady.Result, error) {
+		return s.gatedSolve(r.Context(), solver, p)
+	})
+	s.metrics.observe(solver.Name(), time.Since(start), err != nil, hit)
+	if err != nil {
+		s.simMetrics.observe("", true, false)
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	// The simulation is CPU-bound like a solve, so it claims a
+	// MaxInFlight slot of its own: cache-hit solve traffic cannot
+	// fan out into unbounded concurrent simulations. Both simulation
+	// substrates honor the SimTimeout context (the event simulator
+	// via OnlineConfig.Interrupt), mapping to 504.
+	if err := s.acquire(r.Context()); err != nil {
+		s.simMetrics.observe("", true, false)
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	sctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimTimeout)
+	rep, err := s.simEngine.Run(sctx, res, req.Scenario)
+	cancel()
+	s.release()
+	if err != nil {
+		s.simMetrics.observe("", true, false)
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	s.simMetrics.observe(rep.Kind, false, false)
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		Report:        rep,
+		CacheHit:      hit,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	})
+}
+
+func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {
+	var req SimSweepRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := steady.Spec{Problem: req.Problem, Root: req.Root, Targets: req.Targets, Model: model}
+	solver, err := steady.New(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	scenarios := req.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = []sim.Scenario{{}}
+	}
+	labels := map[string]int{}
+	for i := range scenarios {
+		if err := s.checkScenario(&scenarios[i]); err != nil {
+			writeErr(w, statusFor(err), fmt.Errorf("scenario %d: %w", i, err))
+			return
+		}
+		// Cell ids are jobID/label; colliding labels would make the
+		// streamed records indistinguishable.
+		label := scenarioID(scenarios[i], i)
+		if prev, dup := labels[label]; dup {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("scenarios %d and %d share the label %q", prev, i, label))
+			return
+		}
+		labels[label] = i
+	}
+	jobs, err := s.sweepJobs(&SweepRequest{
+		Problem: req.Problem, Root: req.Root, Targets: req.Targets, Model: req.Model,
+		Generator: req.Generator, Platforms: req.Platforms,
+	}, gatedSolver{s: s, inner: solver})
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	if n := len(jobs) * len(scenarios); n > s.cfg.MaxSweepJobs {
+		err := errTooLarge{fmt.Sprintf("sweep has %d cells (%d platforms x %d scenarios), limit %d",
+			n, len(jobs), len(scenarios), s.cfg.MaxSweepJobs)}
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	cells := make([]sim.Cell, 0, len(jobs)*len(scenarios))
+	for _, job := range jobs {
+		for si, sc := range scenarios {
+			cells = append(cells, sim.Cell{
+				ID:       fmt.Sprintf("%s/%s", job.ID, scenarioID(sc, si)),
+				Platform: job.Platform,
+				Spec:     spec,
+				Scenario: sc,
+				Solver:   job.Solver, // the gated solver: sweeps respect MaxInFlight
+			})
+		}
+	}
+
+	var sink sim.CellSink
+	out := &flushWriter{w: w}
+	switch req.Format {
+	case "", "ndjson":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		sink = sim.JSONCellSink(out)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		sink = sim.CSVCellSink(out)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (ndjson|csv)", req.Format))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+
+	// Same contract as /v1/sweep: the status is committed, per-cell
+	// errors travel in the records, and a sink error means the client
+	// went away. The per-simulation limit is enforced per cell by the
+	// engine's CellTimeout, not by a pooled deadline here. Each cell
+	// also lands in the per-solver latency histogram, like /v1/sweep
+	// records, so operators see simsweep LP traffic in /v1/stats.
+	observing := func(o sim.CellOutcome) error {
+		kind := ""
+		if o.Report != nil {
+			kind = o.Report.Kind
+		}
+		s.simMetrics.observe(kind, o.Err != nil, true)
+		s.metrics.observe(solver.Name(), o.Elapsed, o.Err != nil, o.CacheHit)
+		return sink(o)
+	}
+	_ = s.simEngine.StreamSweep(r.Context(), cells, observing)
+}
+
+// scenarioID labels a scenario inside a sweep cell id.
+func scenarioID(sc sim.Scenario, i int) string {
+	if sc.Name != "" {
+		return sc.Name
+	}
+	return fmt.Sprintf("s%02d", i)
+}
+
 // sweepJobs expands a sweep request into batch jobs, enforcing the
 // sweep and platform size limits.
 func (s *Server) sweepJobs(req *SweepRequest, solver steady.Solver) ([]batch.Job, error) {
@@ -385,6 +616,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		InFlightSolves: cs.InFlight,
 		Cache:          cacheStatsJSON(cs),
+		Simulations:    s.simMetrics.snapshot(),
 		Solvers:        s.metrics.snapshot(),
 	})
 }

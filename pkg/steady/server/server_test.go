@@ -17,6 +17,7 @@ import (
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/server"
+	"repro/pkg/steady/sim"
 )
 
 func newTestServer(t *testing.T, cfg server.Config) *httptest.Server {
@@ -411,4 +412,270 @@ func readAll(t *testing.T, r io.Reader) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// TestSimulateParity is the acceptance check for the simulation
+// service: POST /v1/simulate returns the same metrics as an
+// in-process sim.Engine run on the same result and scenario.
+func TestSimulateParity(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	p := platform.Figure1()
+	scenario := sim.Scenario{Periods: 200}
+
+	resp := postJSON(t, ts.URL+"/v1/simulate", server.SimulateRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, p),
+		Scenario: scenario,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var got server.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.New(sim.Config{}).Run(context.Background(), res, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gotJSON, _ := json.Marshal(got.Report)
+	wantJSON, _ := json.Marshal(want)
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("service report differs from in-process run:\n service: %s\n local:   %s", gotJSON, wantJSON)
+	}
+	if got.Report.RatioValue < 0.95 {
+		t.Errorf("served replay ratio %v < 0.95", got.Report.RatioValue)
+	}
+}
+
+func TestSimulateAllProblems(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	fig2 := platformJSON(t, platform.Figure2())
+	cases := []server.SimulateRequest{
+		{Problem: "multicast-sum", Root: "P0", Targets: []string{"P5", "P6"}, Platform: fig2},
+		{Problem: "multicast-trees", Root: "P0", Targets: []string{"P5", "P6"}, Platform: fig2},
+		{Problem: "broadcast", Root: "P0", Platform: fig2},
+	}
+	for _, req := range cases {
+		resp := postJSON(t, ts.URL+"/v1/simulate", req)
+		func() {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				msg, _ := io.ReadAll(resp.Body)
+				t.Fatalf("%s: status %d: %s", req.Problem, resp.StatusCode, msg)
+			}
+			var out server.SimulateResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if out.Report.Kind != "periodic" || out.Report.RatioValue < 0.95 {
+				t.Errorf("%s: kind %s ratio %v", req.Problem, out.Report.Kind, out.Report.RatioValue)
+			}
+		}()
+	}
+}
+
+func TestSimulateDynamicScenario(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	resp := postJSON(t, ts.URL+"/v1/simulate", server.SimulateRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, platform.Figure1()),
+		Scenario: sim.Scenario{
+			Tasks:     300,
+			Slowdowns: []sim.Slowdown{{Node: "P4", Factor: 2, From: 0, Until: 100}},
+		},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out server.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.Kind != "online" || out.Report.Done != 300 {
+		t.Errorf("dynamic report: kind %s done %d", out.Report.Kind, out.Report.Done)
+	}
+}
+
+func TestSimulateRejections(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxSimPeriods: 100, MaxSimTasks: 50})
+	fig1 := platformJSON(t, platform.Figure1())
+	cases := []struct {
+		req    server.SimulateRequest
+		status int
+	}{
+		{server.SimulateRequest{Problem: "nope", Platform: fig1}, http.StatusBadRequest},
+		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
+			Scenario: sim.Scenario{Periods: 101}}, http.StatusRequestEntityTooLarge},
+		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
+			Scenario: sim.Scenario{Tasks: 51}}, http.StatusRequestEntityTooLarge},
+		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
+			Scenario: sim.Scenario{NodeLoad: map[string]sim.TraceSpec{"P1": {Kind: "wat"}}}}, http.StatusBadRequest},
+		{server.SimulateRequest{Problem: "scatter", Root: "P1", Targets: []string{"P4"}, Platform: fig1,
+			Scenario: sim.Scenario{Tasks: 10}}, http.StatusBadRequest}, // dynamic needs masterslave
+		{server.SimulateRequest{Problem: "masterslave"}, http.StatusBadRequest}, // missing platform
+	}
+	for i, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/simulate", c.req)
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("case %d: status %d, want %d", i, resp.StatusCode, c.status)
+		}
+	}
+}
+
+func TestSimSweepNDJSON(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	resp := postJSON(t, ts.URL+"/v1/simsweep", server.SimSweepRequest{
+		Problem:   "masterslave",
+		Generator: &server.Generator{Count: 4, Sizes: []int{5, 6}, Seed: 3},
+		Scenarios: []sim.Scenario{
+			{Name: "static"},
+			{Name: "hundred", Periods: 100},
+		},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	records := 0
+	for {
+		var rec sim.CellRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		records++
+		if rec.Err != "" {
+			t.Errorf("cell %s failed: %s", rec.Cell, rec.Err)
+			continue
+		}
+		if rec.Report == nil || rec.Report.Kind != "periodic" {
+			t.Errorf("cell %s: bad report %+v", rec.Cell, rec.Report)
+		}
+	}
+	if records != 8 { // 4 platforms x 2 scenarios
+		t.Errorf("got %d records, want 8", records)
+	}
+
+	// The scenario grid re-simulates but must not re-solve: stats
+	// show at most one LP per distinct platform.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Simulations.SweepCells != 8 || stats.Simulations.Periodic != 8 {
+		t.Errorf("sim stats = %+v, want 8 periodic sweep cells", stats.Simulations)
+	}
+	if stats.Cache.Solves > 2 { // 2 distinct (seed,size) platforms
+		t.Errorf("sweep ran %d LP solves for 2 distinct platforms", stats.Cache.Solves)
+	}
+}
+
+func TestSimSweepCellCap(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxSweepJobs: 4})
+	var scenarios []sim.Scenario
+	for i := 0; i < 3; i++ {
+		scenarios = append(scenarios, sim.Scenario{Periods: int64(10 + i)})
+	}
+	resp := postJSON(t, ts.URL+"/v1/simsweep", server.SimSweepRequest{
+		Problem:   "masterslave",
+		Generator: &server.Generator{Count: 2, Sizes: []int{5}},
+		Scenarios: scenarios, // 2 x 3 = 6 cells > 4
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestSimulateDefaultTasksClamped pins the admission-control fix: a
+// dynamic scenario that names neither tasks nor horizon must not run
+// the engine's default task count past the operator's -max-sim-tasks.
+func TestSimulateDefaultTasksClamped(t *testing.T) {
+	ts := newTestServer(t, server.Config{MaxSimTasks: 50})
+	resp := postJSON(t, ts.URL+"/v1/simulate", server.SimulateRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, platform.Figure1()),
+		Scenario: sim.Scenario{Slowdowns: []sim.Slowdown{{Node: "P2", Factor: 2}}},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, msg)
+	}
+	var out server.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Report.Done > 50 {
+		t.Errorf("empty dynamic scenario ran %d tasks, above the 50-task cap", out.Report.Done)
+	}
+}
+
+func TestSimSweepDuplicateScenarioLabels(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	resp := postJSON(t, ts.URL+"/v1/simsweep", server.SimSweepRequest{
+		Problem:   "masterslave",
+		Generator: &server.Generator{Count: 1, Sizes: []int{5}},
+		Scenarios: []sim.Scenario{{Name: "x", Periods: 10}, {Name: "x", Periods: 100}},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("duplicate scenario labels: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSimSweepFeedsSolverHistograms verifies simsweep traffic is
+// visible in the per-solver latency histograms like every other
+// solving endpoint.
+func TestSimSweepFeedsSolverHistograms(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	resp := postJSON(t, ts.URL+"/v1/simsweep", server.SimSweepRequest{
+		Problem:   "masterslave",
+		Generator: &server.Generator{Count: 2, Sizes: []int{5}},
+	})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := stats.Solvers["masterslave"]
+	if !ok || h.Count != 2 {
+		t.Errorf("simsweep cells missing from solver histograms: %+v", stats.Solvers)
+	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/sim"
 )
 
 // SolveRequest is the body of POST /v1/solve: a problem spec plus the
@@ -175,6 +176,72 @@ type SweepRequest struct {
 	Format string `json:"format,omitempty"`
 }
 
+// SimulateRequest is the body of POST /v1/simulate: a problem spec,
+// the platform to solve it on, and the scenario to replay the
+// reconstructed schedule under. An absent scenario is the static
+// scenario (exact periodic replay).
+type SimulateRequest struct {
+	Problem string   `json:"problem"`
+	Root    string   `json:"root,omitempty"`
+	Targets []string `json:"targets,omitempty"`
+	Model   string   `json:"model,omitempty"`
+	// Platform is the platform graph in canonical JSON.
+	Platform json.RawMessage `json:"platform"`
+	// Scenario configures the simulation (see pkg/steady/sim).
+	Scenario sim.Scenario `json:"scenario"`
+}
+
+// SimulateResponse is the body of a successful POST /v1/simulate. The
+// report is byte-identical to an in-process sim.Engine run on the
+// same result and scenario.
+type SimulateResponse struct {
+	// Report is the simulation report, with certified quantities as
+	// exact-rational strings.
+	Report *sim.Report `json:"report"`
+	// CacheHit reports that the underlying solve came from the shared
+	// LP-solution cache.
+	CacheHit bool `json:"cache_hit"`
+	// ElapsedMicros is solve plus simulation wall time.
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// SimSweepRequest is the body of POST /v1/simsweep: a problem spec, a
+// platform family (generator or explicit list, as in /v1/sweep), and
+// a set of scenarios. Every (platform, scenario) cell is solved and
+// simulated through the engine's worker pool; records stream back as
+// NDJSON lines or CSV rows as cells complete.
+type SimSweepRequest struct {
+	Problem string   `json:"problem"`
+	Root    string   `json:"root,omitempty"`
+	Targets []string `json:"targets,omitempty"`
+	Model   string   `json:"model,omitempty"`
+	// Generator describes random platforms; mutually exclusive with
+	// Platforms.
+	Generator *Generator `json:"generator,omitempty"`
+	// Platforms is an explicit list of platforms in canonical JSON.
+	Platforms []json.RawMessage `json:"platforms,omitempty"`
+	// Scenarios are simulated per platform; empty means one static
+	// scenario.
+	Scenarios []sim.Scenario `json:"scenarios,omitempty"`
+	// Format is "ndjson" (default) or "csv".
+	Format string `json:"format,omitempty"`
+}
+
+// SimStatsJSON is the simulation section of GET /v1/stats.
+type SimStatsJSON struct {
+	// Runs counts completed POST /v1/simulate simulations; Errors the
+	// failed ones.
+	Runs   int64 `json:"runs"`
+	Errors int64 `json:"errors"`
+	// SweepCells counts cells simulated through POST /v1/simsweep.
+	SweepCells int64 `json:"sweep_cells"`
+	// Periodic, Online and Greedy break successful simulations down
+	// by substrate.
+	Periodic int64 `json:"periodic"`
+	Online   int64 `json:"online"`
+	Greedy   int64 `json:"greedy"`
+}
+
 // SolverInfo is one entry of GET /v1/solvers.
 type SolverInfo struct {
 	Problem     string `json:"problem"`
@@ -225,6 +292,9 @@ type StatsResponse struct {
 	// InFlightSolves is the number of LPs running right now.
 	InFlightSolves int64          `json:"in_flight_solves"`
 	Cache          CacheStatsJSON `json:"cache"`
+	// Simulations counts simulation traffic (POST /v1/simulate and
+	// /v1/simsweep).
+	Simulations SimStatsJSON `json:"simulations"`
 	// Solvers maps canonical solver names to per-solver request
 	// latency histograms.
 	Solvers map[string]SolverStatsJSON `json:"solvers"`

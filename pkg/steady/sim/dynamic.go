@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/adaptive"
+	"repro/internal/platform"
+	isim "repro/internal/sim"
+	"repro/pkg/steady"
+)
+
+// defaultEpoch is the re-planning epoch of adaptive scenarios that do
+// not set one.
+const defaultEpoch = 25.0
+
+// runDynamic executes a dynamic scenario on the float event-driven
+// one-port simulator: demand-driven master-slave tasking on a
+// shortest-path overlay, with per-resource load traces and optionally
+// the §5.5 adaptive re-solver. Only masterslave results under the
+// base model are dynamic-simulatable; the distribution problems ship
+// data, not tasks, and have no demand-driven online form here.
+func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenario) (*Report, error) {
+	if res.Problem != "masterslave" {
+		return nil, fmt.Errorf("sim: dynamic scenarios require a masterslave result, got %s", res.Problem)
+	}
+	if res.Model != steady.SendAndReceive {
+		return nil, fmt.Errorf("sim: dynamic scenarios require the send-and-receive model")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rp, err := res.Replay()
+	if err != nil {
+		return nil, err
+	}
+	p := rp.Platform
+	master := rp.Commodities[0].Source
+	tree, err := isim.ShortestPathTree(p, master)
+	if err != nil {
+		return nil, err
+	}
+
+	nodeLoad, edgeLoad, err := sc.loads(p)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := isim.OnlineConfig{
+		Platform:  p,
+		Tree:      tree,
+		Master:    master,
+		Tasks:     sc.Tasks,
+		Horizon:   sc.Horizon,
+		NodeLoad:  nodeLoad,
+		EdgeLoad:  edgeLoad,
+		Interrupt: ctx.Done(),
+	}
+	if cfg.Tasks == 0 && cfg.Horizon == 0 {
+		cfg.Tasks = e.cfg.DefaultTasks
+	}
+
+	var ctl *adaptive.Controller
+	if sc.Adaptive {
+		c, pol, err := adaptive.NewController(p, master, tree)
+		if err != nil {
+			return nil, err
+		}
+		ctl = c
+		cfg.Policy = pol
+		cfg.EpochLength = sc.EpochLength
+		if cfg.EpochLength <= 0 {
+			cfg.EpochLength = defaultEpoch
+		}
+		cfg.OnEpoch = ctl.OnEpoch
+	} else {
+		// Fixed LP-quota policy: serve the child furthest behind the
+		// solved steady-state edge rates.
+		q := &quotaPolicy{tree: tree, rate: make([]float64, p.NumEdges())}
+		T := rp.Period
+		for e := 0; e < p.NumEdges(); e++ {
+			if n := rp.Commodities[0].EdgeCount[e]; n != nil {
+				q.rate[e] = bigRat(n, T).Float64()
+			}
+		}
+		cfg.Policy = q
+	}
+
+	out, err := isim.RunOnlineMasterSlave(cfg)
+	if err != nil {
+		// Surface a timeout/cancellation as the context's error so
+		// callers (pkg/steady/server) map it to the right status.
+		if errors.Is(err, isim.ErrInterrupted) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, err
+	}
+
+	rep := &Report{
+		Solver:         res.Solver,
+		Problem:        res.Problem,
+		Model:          res.Model.String(),
+		Scenario:       sc.label(),
+		Kind:           "online",
+		Certified:      res.Throughput.String(),
+		CertifiedValue: res.ThroughputFloat(),
+		SteadyAfter:    -1,
+		Makespan:       out.Makespan,
+		Done:           out.Done,
+	}
+	if out.Makespan > 0 {
+		rep.AchievedValue = float64(out.Done) / out.Makespan
+		if rep.CertifiedValue > 0 {
+			rep.RatioValue = rep.AchievedValue / rep.CertifiedValue
+		}
+	}
+	if ctl != nil {
+		rep.Resolves = ctl.Resolves
+	}
+	return rep, nil
+}
+
+// loads materializes the scenario's traces against a concrete
+// platform, merging Slowdowns into the per-resource trace maps.
+func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*isim.Trace, err error) {
+	rng := rand.New(rand.NewSource(sc.Seed + 1))
+	var nodeSpecs = map[string]TraceSpec{}
+	for name, ts := range sc.NodeLoad {
+		nodeSpecs[name] = ts
+	}
+	edgeSpecs := map[string]TraceSpec{}
+	for key, ts := range sc.EdgeLoad {
+		edgeSpecs[key] = ts
+	}
+	for _, sl := range sc.Slowdowns {
+		if sl.Node != "" {
+			if _, dup := nodeSpecs[sl.Node]; dup {
+				return nil, nil, fmt.Errorf("sim: node %s has both a trace and a slowdown", sl.Node)
+			}
+			nodeSpecs[sl.Node] = sl.spec()
+		} else {
+			if _, dup := edgeSpecs[sl.Edge]; dup {
+				return nil, nil, fmt.Errorf("sim: edge %s has both a trace and a slowdown", sl.Edge)
+			}
+			edgeSpecs[sl.Edge] = sl.spec()
+		}
+	}
+	// Materialize in sorted key order: the specs live in Go maps whose
+	// iteration order is randomized, and random-walk traces draw from
+	// one shared rng — unordered iteration would hand different walks
+	// to different resources on every run, breaking the "same seed,
+	// same scenario" contract.
+	if len(nodeSpecs) > 0 {
+		nodes = make([]*isim.Trace, p.NumNodes())
+		for _, name := range sortedKeys(nodeSpecs) {
+			i := p.NodeByName(name)
+			if i < 0 {
+				return nil, nil, fmt.Errorf("sim: node_load names unknown node %q", name)
+			}
+			if nodes[i], err = nodeSpecs[name].trace(rng); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(edgeSpecs) > 0 {
+		edges = make([]*isim.Trace, p.NumEdges())
+		for _, key := range sortedKeys(edgeSpecs) {
+			fromName, toName, err := splitEdgeKey(key)
+			if err != nil {
+				return nil, nil, err
+			}
+			from, to := p.NodeByName(fromName), p.NodeByName(toName)
+			if from < 0 || to < 0 {
+				return nil, nil, fmt.Errorf("sim: edge_load names unknown edge %q", key)
+			}
+			e := p.FindEdge(from, to)
+			if e < 0 {
+				return nil, nil, fmt.Errorf("sim: platform has no edge %q", key)
+			}
+			if edges[e], err = edgeSpecs[key].trace(rng); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return nodes, edges, nil
+}
+
+func sortedKeys(m map[string]TraceSpec) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// quotaPolicy is the fixed-rate analogue of internal/adaptive's
+// QuotaPolicy: among requesting children, serve the one furthest
+// behind its steady-state rate under the solved LP.
+type quotaPolicy struct {
+	rate []float64
+	tree []int
+}
+
+func (q *quotaPolicy) Pick(from int, pending []int, st *isim.OnlineState) int {
+	best, bestDef := 0, 0.0
+	for i, child := range pending {
+		e := q.tree[child]
+		def := q.rate[e]*st.Now - float64(st.SentTo[e])
+		if i == 0 || def > bestDef {
+			best, bestDef = i, def
+		}
+	}
+	return best
+}
+
+func (q *quotaPolicy) Name() string { return "lp-quota" }

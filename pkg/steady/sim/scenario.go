@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"repro/internal/platform"
+	isim "repro/internal/sim"
+)
+
+// Scenario describes the conditions a solved schedule is simulated
+// under. The zero value is the static scenario: an exact,
+// period-granular replay of the reconstructed schedule on the nominal
+// platform. Setting any dynamic field (Tasks, Horizon, NodeLoad,
+// EdgeLoad, Slowdowns, Adaptive, EpochLength) switches to the
+// event-driven float simulator of §5.5, which runs demand-driven
+// master-slave tasking on a shortest-path overlay tree under
+// time-varying resource performance; dynamic scenarios therefore
+// require a masterslave result under the base port model.
+//
+// Scenario is plain data with a stable JSON encoding: the same value
+// drives in-process runs (Engine.Run), sweeps (Engine.Sweep), the
+// service endpoints (POST /v1/simulate), and cmd/platgen -trace
+// bundles.
+type Scenario struct {
+	// Name labels the scenario in reports and sweep records; empty
+	// selects "static" or "dynamic" automatically.
+	Name string `json:"name,omitempty"`
+
+	// Periods overrides the static replay horizon (0 = choose the
+	// smallest horizon whose asymptotic-optimality ratio provably
+	// reaches the engine's target ratio).
+	Periods int64 `json:"periods,omitempty"`
+
+	// Tasks is the number of tasks the dynamic simulation processes
+	// (0 with a Horizon = run to the horizon; 0 without = engine
+	// default).
+	Tasks int `json:"tasks,omitempty"`
+	// Horizon stops the dynamic simulation at this time (0 = run
+	// until Tasks complete).
+	Horizon float64 `json:"horizon,omitempty"`
+	// NodeLoad and EdgeLoad attach load traces (multipliers on the
+	// base cost, >1 = slower) to named nodes and to edges keyed
+	// "from->to".
+	NodeLoad map[string]TraceSpec `json:"node_load,omitempty"`
+	EdgeLoad map[string]TraceSpec `json:"edge_load,omitempty"`
+	// Slowdowns are step-trace sugar: the named node or edge runs
+	// Factor times slower during [From, Until). They model host
+	// slowdown and, with a large factor, churn-style outages.
+	Slowdowns []Slowdown `json:"slowdowns,omitempty"`
+	// Adaptive re-solves the steady-state LP each epoch from NWS-like
+	// forecasts (§5.5, internal/adaptive) instead of keeping the
+	// nominal LP rates.
+	Adaptive bool `json:"adaptive,omitempty"`
+	// EpochLength is the re-planning epoch of Adaptive (0 = engine
+	// default).
+	EpochLength float64 `json:"epoch,omitempty"`
+	// Seed seeds random-walk traces; same seed, same scenario.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Dynamic reports whether the scenario needs the event-driven
+// simulator rather than the exact periodic replay.
+func (s *Scenario) Dynamic() bool {
+	return s.Tasks > 0 || s.Horizon > 0 || len(s.NodeLoad) > 0 ||
+		len(s.EdgeLoad) > 0 || len(s.Slowdowns) > 0 || s.Adaptive || s.EpochLength > 0
+}
+
+// label returns the report label for the scenario.
+func (s *Scenario) label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	if s.Dynamic() {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// maxTraceKnots bounds per-trace breakpoints: scenarios cross the
+// service boundary, so malformed or hostile specs must fail fast.
+const maxTraceKnots = 100000
+
+// Validate checks the scenario's own consistency (platform-dependent
+// references are checked at run time).
+func (s *Scenario) Validate() error {
+	if s.Periods < 0 {
+		return fmt.Errorf("sim: negative periods")
+	}
+	if s.Tasks < 0 || s.Horizon < 0 || s.EpochLength < 0 {
+		return fmt.Errorf("sim: negative dynamic bounds")
+	}
+	for name, ts := range s.NodeLoad {
+		if err := ts.validate(); err != nil {
+			return fmt.Errorf("sim: node_load[%s]: %w", name, err)
+		}
+	}
+	for key, ts := range s.EdgeLoad {
+		if err := ts.validate(); err != nil {
+			return fmt.Errorf("sim: edge_load[%s]: %w", key, err)
+		}
+		if _, _, err := splitEdgeKey(key); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for i, sl := range s.Slowdowns {
+		if err := sl.validate(); err != nil {
+			return fmt.Errorf("sim: slowdown %d: %w", i, err)
+		}
+		key := "node:" + sl.Node
+		if sl.Edge != "" {
+			key = "edge:" + sl.Edge
+		}
+		if seen[key] {
+			return fmt.Errorf("sim: slowdown %d repeats %s", i, key)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// TraceSpec is the serializable description of a piecewise-constant
+// load trace (internal/sim.Trace). Kinds:
+//
+//	constant     {"kind":"constant","value":m}
+//	steps        {"kind":"steps","times":[0,...],"mult":[...]}
+//	random-walk  {"kind":"random-walk","horizon":h,"step":s,"lo":l,"hi":u}
+//
+// An empty kind with a positive Value means constant.
+type TraceSpec struct {
+	Kind    string    `json:"kind,omitempty"`
+	Value   float64   `json:"value,omitempty"`
+	Times   []float64 `json:"times,omitempty"`
+	Mult    []float64 `json:"mult,omitempty"`
+	Horizon float64   `json:"horizon,omitempty"`
+	Step    float64   `json:"step,omitempty"`
+	Lo      float64   `json:"lo,omitempty"`
+	Hi      float64   `json:"hi,omitempty"`
+}
+
+func (t TraceSpec) validate() error {
+	switch t.Kind {
+	case "", "constant":
+		if t.Value <= 0 {
+			return fmt.Errorf("constant trace needs a positive value")
+		}
+	case "steps":
+		if len(t.Times) == 0 || len(t.Times) != len(t.Mult) {
+			return fmt.Errorf("steps trace needs matching non-empty times and mult")
+		}
+		if len(t.Times) > maxTraceKnots {
+			return fmt.Errorf("steps trace has %d knots, limit %d", len(t.Times), maxTraceKnots)
+		}
+		if t.Times[0] != 0 {
+			return fmt.Errorf("steps trace must start at time 0")
+		}
+		for i := 1; i < len(t.Times); i++ {
+			if t.Times[i] <= t.Times[i-1] {
+				return fmt.Errorf("steps trace breakpoints must increase")
+			}
+		}
+		for _, m := range t.Mult {
+			if m <= 0 {
+				return fmt.Errorf("steps trace multipliers must be positive")
+			}
+		}
+	case "random-walk":
+		if t.Horizon <= 0 || t.Step <= 0 {
+			return fmt.Errorf("random-walk trace needs positive horizon and step")
+		}
+		if t.Horizon/t.Step > maxTraceKnots {
+			return fmt.Errorf("random-walk trace would have over %d knots", maxTraceKnots)
+		}
+		if t.Lo <= 0 || t.Hi < t.Lo {
+			return fmt.Errorf("random-walk trace needs 0 < lo <= hi")
+		}
+	default:
+		return fmt.Errorf("unknown trace kind %q (constant|steps|random-walk)", t.Kind)
+	}
+	return nil
+}
+
+// trace materializes the spec. rng is only consulted by random-walk
+// traces.
+func (t TraceSpec) trace(rng *rand.Rand) (*isim.Trace, error) {
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case "", "constant":
+		return isim.ConstantTrace(t.Value), nil
+	case "steps":
+		return isim.StepTrace(t.Times, t.Mult), nil
+	default: // random-walk
+		return isim.RandomWalkTrace(rng, t.Horizon, t.Step, t.Lo, t.Hi), nil
+	}
+}
+
+// Slowdown is step-trace sugar: the named node (or edge "from->to")
+// runs Factor times slower during [From, Until). Until = 0 means
+// forever; a very large Factor models a churned-out host.
+type Slowdown struct {
+	Node   string  `json:"node,omitempty"`
+	Edge   string  `json:"edge,omitempty"`
+	Factor float64 `json:"factor"`
+	From   float64 `json:"from,omitempty"`
+	Until  float64 `json:"until,omitempty"`
+}
+
+func (s Slowdown) validate() error {
+	if (s.Node == "") == (s.Edge == "") {
+		return fmt.Errorf("needs exactly one of node or edge")
+	}
+	if s.Edge != "" {
+		if _, _, err := splitEdgeKey(s.Edge); err != nil {
+			return err
+		}
+	}
+	if s.Factor <= 0 {
+		return fmt.Errorf("factor must be positive")
+	}
+	if s.From < 0 || (s.Until != 0 && s.Until <= s.From) {
+		return fmt.Errorf("needs 0 <= from < until")
+	}
+	return nil
+}
+
+// spec renders the slowdown as an equivalent steps TraceSpec.
+func (s Slowdown) spec() TraceSpec {
+	times, mult := []float64{0}, []float64{1}
+	if s.From == 0 {
+		mult[0] = s.Factor
+	} else {
+		times = append(times, s.From)
+		mult = append(mult, s.Factor)
+	}
+	if s.Until > 0 {
+		times = append(times, s.Until)
+		mult = append(mult, 1)
+	}
+	return TraceSpec{Kind: "steps", Times: times, Mult: mult}
+}
+
+// splitEdgeKey parses an "from->to" edge key.
+func splitEdgeKey(key string) (from, to string, err error) {
+	from, to, ok := strings.Cut(key, "->")
+	if !ok || from == "" || to == "" {
+		return "", "", fmt.Errorf("sim: edge key %q is not \"from->to\"", key)
+	}
+	return from, to, nil
+}
+
+// EdgeKey renders the canonical edge key for EdgeLoad and Slowdown.
+func EdgeKey(from, to string) string { return from + "->" + to }
+
+// Bundle pairs a platform with the scenario it was generated for, so
+// the two travel together (cmd/platgen -trace emits bundles).
+type Bundle struct {
+	// Platform is the platform graph in the repository's canonical
+	// JSON schema.
+	Platform json.RawMessage `json:"platform"`
+	// Scenario is the simulation scenario.
+	Scenario Scenario `json:"scenario"`
+}
+
+// WriteBundle serializes a platform/scenario pair as JSON.
+func WriteBundle(w io.Writer, p *platform.Platform, sc Scenario) error {
+	var pb strings.Builder
+	if err := p.WriteJSON(&pb); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Bundle{Platform: json.RawMessage(pb.String()), Scenario: sc})
+}
+
+// ReadBundle deserializes a bundle written by WriteBundle, validating
+// both halves.
+func ReadBundle(r io.Reader) (*platform.Platform, Scenario, error) {
+	var b Bundle
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&b); err != nil {
+		return nil, Scenario{}, fmt.Errorf("sim: decode bundle: %w", err)
+	}
+	p, err := platform.ReadJSON(strings.NewReader(string(b.Platform)))
+	if err != nil {
+		return nil, Scenario{}, err
+	}
+	if err := b.Scenario.Validate(); err != nil {
+		return nil, Scenario{}, err
+	}
+	return p, b.Scenario, nil
+}

@@ -1,0 +1,276 @@
+// Package sim is the public simulation subsystem of the reproduction:
+// it replays the reconstructed periodic schedule of any solved
+// steady-state problem (every registered pkg/steady solver) in
+// simulated time and reports achieved versus certified throughput,
+// the startup transient, and the asymptotic-optimality ratio — §4.2's
+// "asymptotically optimal" made measurable.
+//
+// Two simulation substrates back the one Engine:
+//
+//   - Static scenarios run an exact, period-granular store-and-forward
+//     replay of the schedule's integral per-period counts (big.Int
+//     arithmetic, no floats): a node forwards or consumes only what it
+//     received in earlier periods, so the transient and the achieved
+//     rate are exact. Once every commodity sustains its per-period
+//     quota the remaining horizon is extrapolated arithmetically, so
+//     long horizons cost nothing.
+//   - Dynamic scenarios run the float event-driven one-port simulator
+//     of §5.5 (internal/sim) on a shortest-path overlay: bandwidth and
+//     speed traces, host slowdown and churn windows, and optionally
+//     the adaptive epoch-based re-solver of internal/adaptive.
+//
+// The float boundary is explicit: certified quantities stay exact
+// rationals end to end, and only scenario dynamics (load multipliers,
+// event times) are float64 — see docs/ARCHITECTURE.md.
+//
+// Engine.Sweep fans (platform, solver, scenario) cells through a
+// worker pool that shares pkg/steady/batch's sharded LP-solution
+// cache, with streaming JSON/CSV sinks; pkg/steady/server serves the
+// same engine over HTTP as POST /v1/simulate.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/rat"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+)
+
+// Config tunes an Engine. The zero value selects sensible defaults.
+type Config struct {
+	// TargetRatio is the asymptotic-optimality ratio the automatic
+	// static horizon is sized for; 0 = 0.95.
+	TargetRatio float64
+	// MaxPeriods caps any static replay horizon (requested or
+	// automatic); 0 = 1<<20.
+	MaxPeriods int64
+	// DefaultTasks is the task count of dynamic scenarios that set
+	// neither Tasks nor Horizon; 0 = 2000.
+	DefaultTasks int
+	// Workers bounds Sweep's worker pool; 0 = GOMAXPROCS.
+	Workers int
+	// CellTimeout bounds each sweep cell (solve plus simulation)
+	// individually; 0 = no per-cell bound beyond the caller's context.
+	// pkg/steady/server sets this so one pathological cell cannot
+	// hold a sweep worker indefinitely.
+	CellTimeout time.Duration
+}
+
+// DefaultDynamicTasks is the task count substituted for dynamic
+// scenarios that set neither Tasks nor Horizon. Exported so admission
+// controllers (pkg/steady/server) can cap what an empty scenario will
+// actually cost before running it.
+const DefaultDynamicTasks = 2000
+
+func (c Config) withDefaults() Config {
+	if c.TargetRatio <= 0 || c.TargetRatio >= 1 {
+		c.TargetRatio = 0.95
+	}
+	if c.MaxPeriods <= 0 {
+		c.MaxPeriods = 1 << 20
+	}
+	if c.DefaultTasks <= 0 {
+		c.DefaultTasks = DefaultDynamicTasks
+	}
+	return c
+}
+
+// Engine simulates solved steady-state problems under scenarios. An
+// Engine is safe for concurrent use; construct with New or
+// NewWithBatch.
+type Engine struct {
+	cfg   Config
+	batch *batch.Engine
+}
+
+// New returns an Engine with its own batch solve engine (used by
+// Sweep to solve cells through the shared LP-solution cache).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{cfg: cfg, batch: batch.New(cfg.Workers)}
+}
+
+// NewWithBatch returns an Engine sweeping through an existing batch
+// engine, so simulation sweeps share a cache with other consumers
+// (pkg/steady/server shares one across all its endpoints).
+func NewWithBatch(cfg Config, b *batch.Engine) *Engine {
+	cfg = cfg.withDefaults()
+	if b == nil {
+		b = batch.New(cfg.Workers)
+	}
+	return &Engine{cfg: cfg, batch: b}
+}
+
+// Report is the outcome of simulating one solved problem under one
+// scenario. Exact rationals are rendered as strings ("4/3"); the
+// *Value fields are nearest-float64 conveniences. For static replays
+// every rational is exact; dynamic runs are float by nature and leave
+// the exact fields empty.
+type Report struct {
+	// Solver, Problem and Model echo the simulated result.
+	Solver  string `json:"solver"`
+	Problem string `json:"problem"`
+	Model   string `json:"model"`
+	// Scenario is the scenario label.
+	Scenario string `json:"scenario"`
+	// Kind is the simulation substrate: "periodic" (exact replay),
+	// "online" (event-driven dynamic run) or "greedy" (send-or-receive
+	// evaluation).
+	Kind string `json:"kind"`
+	// Derived names the companion schedule replayed when the problem
+	// itself has bound semantics ("multicast-trees"), empty otherwise.
+	Derived string `json:"derived,omitempty"`
+
+	// Certified is the LP objective the run is measured against.
+	Certified      string  `json:"certified"`
+	CertifiedValue float64 `json:"certified_value"`
+	// ScheduleThroughput is the replayed schedule's own steady-state
+	// rate (periodic runs): when it sits below Certified the problem's
+	// bound is not met by any schedule in the replayed class — the
+	// §4.3 multicast gap — as opposed to a ratio below 1 that merely
+	// reflects the startup transient.
+	ScheduleThroughput string `json:"schedule_throughput,omitempty"`
+	// Achieved is the simulated throughput (exact for periodic runs).
+	Achieved      string  `json:"achieved,omitempty"`
+	AchievedValue float64 `json:"achieved_value"`
+	// Ratio is Achieved / Certified, the asymptotic-optimality ratio.
+	Ratio      string  `json:"ratio,omitempty"`
+	RatioValue float64 `json:"ratio_value"`
+
+	// Periods is the simulated horizon in periods and Period the
+	// period length T (periodic runs).
+	Periods int64  `json:"periods,omitempty"`
+	Period  string `json:"period,omitempty"`
+	// SteadyAfter is the first period whose completions sustain every
+	// per-period quota — the startup transient length (-1 = not
+	// reached; unused kinds report 0 transient as -1 too).
+	SteadyAfter int64 `json:"steady_after"`
+	// Ops is the total number of completed operations.
+	Ops string `json:"ops,omitempty"`
+
+	// Makespan, Done and Resolves describe dynamic runs: simulated
+	// end time, tasks completed, and adaptive LP re-solves.
+	Makespan float64 `json:"makespan,omitempty"`
+	Done     int     `json:"done,omitempty"`
+	Resolves int     `json:"resolves,omitempty"`
+}
+
+// Run simulates the solved result under the scenario. Static
+// scenarios replay the reconstructed schedule of any registered
+// problem (deriving a tree-packing companion for the bound-semantics
+// ones); dynamic scenarios require a masterslave result under the
+// base port model; send-or-receive masterslave results are evaluated
+// with the greedy §5.1.1 decomposition.
+func (e *Engine) Run(ctx context.Context, res *steady.Result, sc Scenario) (*Report, error) {
+	if res == nil {
+		return nil, fmt.Errorf("sim: nil result")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sc.Dynamic() {
+		return e.runDynamic(ctx, res, &sc)
+	}
+	if res.Model == steady.SendOrReceive {
+		return greedyReport(res, &sc)
+	}
+	return e.runPeriodic(ctx, res, &sc)
+}
+
+// runPeriodic prepares the replay spec and executes the exact
+// period-granular replay.
+func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenario) (*Report, error) {
+	rp, err := res.Replay()
+	if err != nil {
+		return nil, err
+	}
+	periods := sc.Periods
+	if periods <= 0 {
+		periods = autoPeriods(e.cfg.TargetRatio, rp)
+	}
+	if periods > e.cfg.MaxPeriods {
+		periods = e.cfg.MaxPeriods
+	}
+	st, err := replayPeriodic(ctx, rp, periods)
+	if err != nil {
+		return nil, err
+	}
+	achieved := st.ratio.Mul(rp.ScheduleThroughput)
+	ratio := rat.Zero()
+	if rp.Certified.Sign() > 0 {
+		ratio = achieved.Div(rp.Certified)
+	}
+	return &Report{
+		Solver:             res.Solver,
+		Problem:            res.Problem,
+		Model:              res.Model.String(),
+		Scenario:           sc.label(),
+		Kind:               "periodic",
+		Derived:            rp.Derived,
+		Certified:          rp.Certified.String(),
+		CertifiedValue:     rp.Certified.Float64(),
+		ScheduleThroughput: rp.ScheduleThroughput.String(),
+		Achieved:           achieved.String(),
+		AchievedValue:      achieved.Float64(),
+		Ratio:              ratio.String(),
+		RatioValue:         ratio.Float64(),
+		Periods:            st.periods,
+		Period:             rp.Period.String(),
+		SteadyAfter:        st.steadyAfter,
+		Ops:                st.ops.String(),
+	}, nil
+}
+
+// autoPeriods returns the smallest horizon that provably reaches the
+// target ratio: the transient is bounded by the platform depth (≤ the
+// node count), and after it every period completes the full quota, so
+// ratio(P) ≥ (P - n) / P.
+func autoPeriods(target float64, rp *steady.Replay) int64 {
+	n := int64(rp.Platform.NumNodes())
+	p := int64(float64(n)/(1-target)) + 2
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+// greedyReport evaluates a send-or-receive masterslave result with
+// the greedy general-graph decomposition (§5.1.1): reconstruction is
+// NP-hard under the shared-port model, so the achieved throughput of
+// the greedy schedule stands in for a replay.
+func greedyReport(res *steady.Result, sc *Scenario) (*Report, error) {
+	ev, err := res.EvaluateGreedy()
+	if err != nil {
+		return nil, err
+	}
+	ratio := rat.Zero()
+	if ev.Bound.Sign() > 0 {
+		ratio = ev.Achieved.Div(ev.Bound)
+	}
+	return &Report{
+		Solver:         res.Solver,
+		Problem:        res.Problem,
+		Model:          res.Model.String(),
+		Scenario:       sc.label(),
+		Kind:           "greedy",
+		Certified:      ev.Bound.String(),
+		CertifiedValue: ev.Bound.Float64(),
+		Achieved:       ev.Achieved.String(),
+		AchievedValue:  ev.Achieved.Float64(),
+		Ratio:          ratio.String(),
+		RatioValue:     ratio.Float64(),
+		SteadyAfter:    -1,
+	}, nil
+}
+
+// bigRat turns an integer pair a/b into an exact rat.Rat.
+func bigRat(a, b *big.Int) rat.Rat {
+	return rat.FromBig(new(big.Rat).SetFrac(a, b))
+}
