@@ -24,10 +24,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/lp"
 	serverpkg "repro/pkg/steady/server"
 	simpkg "repro/pkg/steady/sim"
 )
@@ -360,6 +362,94 @@ func BenchmarkSimEngineSweep(b *testing.B) {
 				b.Fatal(o.Err)
 			}
 		}
+	}
+}
+
+// LP warm-start benchmarks: the pkg/steady/lp revised simplex
+// re-solving a sweep family of structurally identical master-slave
+// LPs, cold (every member from scratch) versus warm (each member
+// from its predecessor's optimal basis). The pivots/solve metric is
+// the acceptance measure: warm re-solves must use >= 5x fewer pivots
+// (the tests enforce it; the benchmark records it in BENCH_PR4.json).
+
+func warmFamilyPlatform(base *platform.Platform, step int64) *platform.Platform {
+	q := platform.New()
+	for i := 0; i < base.NumNodes(); i++ {
+		w := base.Weight(i)
+		if !w.Inf {
+			w = platform.W(w.Val.Add(rat.New(step, 103)))
+		}
+		q.AddNode(base.Name(i), w)
+	}
+	for _, ed := range base.Edges() {
+		q.AddEdge(ed.From, ed.To, ed.C.Add(rat.New(step, 101)))
+	}
+	return q
+}
+
+func BenchmarkLPColdVsWarm(b *testing.B) {
+	const familySize = 8
+	base := randomPlatform(16)
+	family := make([]*platform.Platform, familySize)
+	for step := range family {
+		family[step] = warmFamilyPlatform(base, int64(step))
+	}
+
+	b.Run("Cold", func(b *testing.B) {
+		pivots := 0
+		for i := 0; i < b.N; i++ {
+			for _, p := range family {
+				ms, err := core.SolveMasterSlave(p, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += ms.LP.Pivots
+			}
+		}
+		b.ReportMetric(float64(pivots)/float64(b.N*familySize), "pivots/solve")
+	})
+	b.Run("Warm", func(b *testing.B) {
+		pivots := 0
+		for i := 0; i < b.N; i++ {
+			var basis *lp.Basis
+			for _, p := range family {
+				ms, err := core.SolveMasterSlavePortOpts(p, 0, core.SendAndReceive, &lp.Options{WarmBasis: basis})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pivots += ms.LP.Pivots
+				basis = ms.Basis
+			}
+		}
+		b.ReportMetric(float64(pivots)/float64(b.N*familySize), "pivots/solve")
+	})
+}
+
+// BenchmarkSimAdaptiveWarm measures the §5.5 adaptive scenario whose
+// per-epoch LP re-solves warm-start from the previous epoch's basis
+// (internal/adaptive carries it); pivots/resolve is the recorded
+// measure of what the carry-over buys the control loop.
+func BenchmarkSimAdaptiveWarm(b *testing.B) {
+	res := simBenchResult(b)
+	eng := simpkg.New(simpkg.Config{})
+	sc := simpkg.Scenario{
+		Tasks:       1000,
+		Adaptive:    true,
+		EpochLength: 10,
+		Slowdowns:   []simpkg.Slowdown{{Node: "P2", Factor: 2, From: 50, Until: 200}},
+	}
+	var pivots, resolves int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Run(context.Background(), res, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pivots += rep.LPPivots
+		resolves += int64(rep.Resolves)
+	}
+	if resolves > 0 {
+		b.ReportMetric(float64(pivots)/float64(resolves), "pivots/resolve")
 	}
 }
 

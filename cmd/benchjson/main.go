@@ -1,0 +1,124 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON record of the performance trajectory: one
+// entry per benchmark with its name, ns/op, and any custom metrics
+// (the LP benchmarks report pivots/solve and pivots/resolve). CI
+// pipes the bench-smoke job through it and archives the result as
+// BENCH_PR4.json, so perf regressions are visible in history instead
+// of scrolling away in a log.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	results, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks\n", len(results))
+}
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the benchmark name without the "Benchmark" prefix or
+	// the -GOMAXPROCS suffix (e.g. "LPColdVsWarm/Warm").
+	Name string `json:"name"`
+	// Iterations is the b.N the line reports.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the ns/op measurement.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Pivots is the pivots/solve or pivots/resolve custom metric of
+	// the LP benchmarks, when present.
+	Pivots float64 `json:"pivots,omitempty"`
+	// Metrics holds every reported unit (ns/op and pivots included),
+	// keyed by unit name.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output and extracts every benchmark
+// line; non-benchmark lines (package headers, PASS/ok) are skipped.
+func Parse(r io.Reader) ([]Result, error) {
+	results := []Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		res, ok := parseLine(sc.Text())
+		if ok {
+			results = append(results, res)
+		}
+	}
+	return results, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8  N  V unit  V unit ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields[0]) <= len("Benchmark") || fields[0][:len("Benchmark")] != "Benchmark" {
+		return Result{}, false
+	}
+	name := fields[0][len("Benchmark"):]
+	// Strip the -GOMAXPROCS suffix, if any.
+	for i := len(name) - 1; i > 0; i-- {
+		c := name[i]
+		if c == '-' {
+			name = name[:i]
+			break
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+	}
+	var iters int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &iters); err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, false
+		}
+		unit := fields[i+1]
+		res.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "pivots/solve", "pivots/resolve", "pivots":
+			res.Pivots = v
+		}
+	}
+	if _, ok := res.Metrics["ns/op"]; !ok {
+		return Result{}, false
+	}
+	return res, true
+}

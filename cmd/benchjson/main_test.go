@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkE1MasterSlave-8          	       1	  1804876 ns/op
+BenchmarkLPColdVsWarm/Cold-8      	       5	   3329565 ns/op	        20.00 pivots/solve
+BenchmarkLPColdVsWarm/Warm-8      	       5	   1945626 ns/op	         2.500 pivots/solve
+BenchmarkSimAdaptiveWarm          	       5	   8897509 ns/op	         0.1600 pivots/resolve
+BenchmarkShardedCacheParallel-8   	 5619front	garbage line
+PASS
+ok  	repro	0.094s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	e1 := byName["E1MasterSlave"]
+	if e1.Iterations != 1 || e1.NsPerOp != 1804876 {
+		t.Fatalf("E1 = %+v", e1)
+	}
+	cold := byName["LPColdVsWarm/Cold"]
+	if cold.NsPerOp != 3329565 || cold.Pivots != 20 {
+		t.Fatalf("cold = %+v", cold)
+	}
+	warm := byName["LPColdVsWarm/Warm"]
+	if warm.Pivots != 2.5 || warm.Metrics["pivots/solve"] != 2.5 {
+		t.Fatalf("warm = %+v", warm)
+	}
+	// No -GOMAXPROCS suffix on this one: name must survive intact.
+	ad := byName["SimAdaptiveWarm"]
+	if ad.Pivots != 0.16 {
+		t.Fatalf("adaptive = %+v", ad)
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"PASS",
+		"ok  \trepro\t0.094s",
+		"BenchmarkOnly",
+		"BenchmarkX-8\tnotanumber\t12 ns/op",
+		"BenchmarkX-8\t5\t12 widgets", // no ns/op
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rat"
 	"repro/internal/sim"
+	"repro/pkg/steady/lp"
 )
 
 // maxDen bounds the denominators of measured values fed into the
@@ -69,9 +70,22 @@ type Controller struct {
 	wEst []forecast.Predictor // per node: observed seconds/task
 	cEst []forecast.Predictor // per edge: observed seconds/file
 
-	// Resolves counts LP re-solves; LastThroughput is the latest LP
-	// optimum (on the estimated platform).
+	// basis is the optimal basis of the previous epoch's LP. The
+	// estimated platform keeps its topology across epochs (only node
+	// weights and edge costs move), so each re-solve warm-starts from
+	// it and typically finishes in a handful of pivots.
+	basis *lp.Basis
+
+	// Resolves counts LP re-solves; WarmResolves counts the subset
+	// that were warm-started from the previous epoch's basis;
+	// Pivots accumulates simplex pivots across those re-solves (the
+	// initial cold solve of NewController is excluded from all
+	// three, so Pivots/Resolves is the per-re-solve cost).
+	// LastThroughput is the latest LP optimum (on the estimated
+	// platform).
 	Resolves       int
+	WarmResolves   int
+	Pivots         int64
 	LastThroughput rat.Rat
 }
 
@@ -90,6 +104,7 @@ func NewController(p *platform.Platform, master int, tree []int) (*Controller, *
 		policy:         pol,
 		wEst:           make([]forecast.Predictor, p.NumNodes()),
 		cEst:           make([]forecast.Predictor, p.NumEdges()),
+		basis:          ms.Basis,
 		LastThroughput: ms.Throughput,
 	}
 	for i := range c.wEst {
@@ -115,13 +130,19 @@ func (c *Controller) OnEpoch(now float64, obs *sim.EpochObservation) {
 		}
 	}
 	est := c.EstimatedPlatform()
-	ms, err := core.SolveMasterSlave(est, c.master)
+	ms, err := core.SolveMasterSlavePortOpts(est, c.master, core.SendAndReceive,
+		&lp.Options{WarmBasis: c.basis})
 	if err != nil {
 		// Keep the previous rates; a transient bad estimate must not
 		// crash the run.
 		return
 	}
 	c.Resolves++
+	if ms.LP.WarmStarted {
+		c.WarmResolves++
+	}
+	c.Pivots += int64(ms.LP.Pivots)
+	c.basis = ms.Basis
 	c.LastThroughput = ms.Throughput
 	c.policy.SetRates(ms)
 }

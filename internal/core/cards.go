@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // CardAssign fixes, for every platform edge, which send card of its

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // SolveReduceBound computes the optimal steady-state throughput of a
@@ -18,8 +18,17 @@ import (
 // Reverse(G) rooted at root. Like broadcast (and unlike multicast)
 // the bound is achievable.
 func SolveReduceBound(p *platform.Platform, root int) (*Scatter, error) {
+	return SolveReduceBoundOpts(p, root, nil)
+}
+
+// SolveReduceBoundOpts is SolveReduceBound under explicit LP options
+// (warm starts across instance families; the basis is of the
+// reversed-platform broadcast LP, which is structurally identical
+// across platforms with the same shape, so it transfers like any
+// other).
+func SolveReduceBoundOpts(p *platform.Platform, root int, opts *lp.Options) (*Scatter, error) {
 	r := p.Reverse()
-	sol, err := SolveBroadcastBound(r, root)
+	sol, err := SolveBroadcastBoundOpts(r, root, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: reduce: %w", err)
 	}

@@ -21,9 +21,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // PortModel selects the communication model of §2 (full overlap,

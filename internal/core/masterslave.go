@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // MasterSlave is the solved steady-state master-slave program SSMS(G)
@@ -26,6 +26,13 @@ type MasterSlave struct {
 	// S[e] is the fraction of time edge e's sender spends sending
 	// task files along e.
 	S []rat.Rat
+
+	// LP reports how the underlying solve went (pivot counts,
+	// warm-start outcome) and Basis is the optimal basis, usable to
+	// warm-start the LP of a structurally identical platform (same
+	// node/edge counts and compute/forwarder pattern).
+	LP    lp.SolveInfo
+	Basis *lp.Basis
 }
 
 // TasksPerUnit returns, for edge e, the (rational) number of task
@@ -61,6 +68,63 @@ func SolveMasterSlave(p *platform.Platform, master int) (*MasterSlave, error) {
 //	           s_jm = 0                         (master receives nothing)
 //	           sum_j s_ji/c_ji = alpha_i/w_i + sum_j s_ij/c_ij  (i != m)
 func SolveMasterSlavePort(p *platform.Platform, master int, pm PortModel) (*MasterSlave, error) {
+	return SolveMasterSlavePortOpts(p, master, pm, nil)
+}
+
+// SolveMasterSlavePortOpts is SolveMasterSlavePort under explicit LP
+// options — the warm-start entry point: pass the Basis of a
+// previously solved structurally identical instance to re-solve in a
+// handful of pivots (pkg/steady/batch and internal/adaptive do).
+func SolveMasterSlavePortOpts(p *platform.Platform, master int, pm PortModel, opts *lp.Options) (*MasterSlave, error) {
+	mm, err := buildMasterSlaveModel(p, master, pm)
+	if err != nil {
+		return nil, err
+	}
+	m, alpha, hasAlpha, sVar := mm.m, mm.alpha, mm.hasAlpha, mm.sVar
+
+	sol, err := m.SolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: master-slave LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: master-slave LP %v", sol.Status)
+	}
+
+	ms := &MasterSlave{
+		P:          p,
+		Master:     master,
+		Model:      pm,
+		Throughput: sol.Objective,
+		Alpha:      make([]rat.Rat, p.NumNodes()),
+		S:          make([]rat.Rat, p.NumEdges()),
+		LP:         sol.Info,
+		Basis:      sol.Basis(),
+	}
+	for i := 0; i < p.NumNodes(); i++ {
+		if hasAlpha[i] {
+			ms.Alpha[i] = sol.Value(alpha[i])
+		}
+	}
+	for e := 0; e < p.NumEdges(); e++ {
+		ms.S[e] = sol.Value(sVar[e])
+	}
+	if err := ms.Check(); err != nil {
+		return nil, fmt.Errorf("core: solver returned invalid solution: %w", err)
+	}
+	return ms, nil
+}
+
+// msModel is the built-but-unsolved SSMS(G) linear program, exposing
+// the variable handles the solver (and the parity/golden tests) need.
+type msModel struct {
+	m        *lp.Model
+	alpha    []lp.Var
+	hasAlpha []bool
+	sVar     []lp.Var
+}
+
+// buildMasterSlaveModel constructs the §3.1 LP without solving it.
+func buildMasterSlaveModel(p *platform.Platform, master int, pm PortModel) (*msModel, error) {
 	if master < 0 || master >= p.NumNodes() {
 		return nil, fmt.Errorf("core: master index %d out of range", master)
 	}
@@ -121,35 +185,7 @@ func SolveMasterSlavePort(p *platform.Platform, master int, pm PortModel) (*Mast
 		}
 		m.Eq(fmt.Sprintf("conserve[%s]", p.Name(i)), e, rat.Zero())
 	}
-
-	sol, err := m.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("core: master-slave LP: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: master-slave LP %v", sol.Status)
-	}
-
-	ms := &MasterSlave{
-		P:          p,
-		Master:     master,
-		Model:      pm,
-		Throughput: sol.Objective,
-		Alpha:      make([]rat.Rat, p.NumNodes()),
-		S:          make([]rat.Rat, p.NumEdges()),
-	}
-	for i := 0; i < p.NumNodes(); i++ {
-		if hasAlpha[i] {
-			ms.Alpha[i] = sol.Value(alpha[i])
-		}
-	}
-	for e := 0; e < p.NumEdges(); e++ {
-		ms.S[e] = sol.Value(sVar[e])
-	}
-	if err := ms.Check(); err != nil {
-		return nil, fmt.Errorf("core: solver returned invalid solution: %w", err)
-	}
-	return ms, nil
+	return &msModel{m: m, alpha: alpha, hasAlpha: hasAlpha, sVar: sVar}, nil
 }
 
 // Check re-verifies every SSMS equation on the stored activity

@@ -5,9 +5,9 @@ import (
 	"math/bits"
 	"sort"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // SolveMulticastBound solves the §3.3 max-operator relaxation of
@@ -19,7 +19,13 @@ import (
 // result type is a Scatter with bound semantics rather than a
 // schedule.
 func SolveMulticastBound(p *platform.Platform, source int, targets []int) (*Scatter, error) {
-	return solveDistribution(p, source, targets, SendAndReceive, true)
+	return solveDistribution(p, source, targets, SendAndReceive, true, nil)
+}
+
+// SolveMulticastBoundOpts is SolveMulticastBound under explicit LP
+// options (warm starts across instance families).
+func SolveMulticastBoundOpts(p *platform.Platform, source int, targets []int, opts *lp.Options) (*Scatter, error) {
+	return solveDistribution(p, source, targets, SendAndReceive, true, opts)
 }
 
 // SolveMulticastSum solves the plain scatter LP for identical
@@ -27,7 +33,13 @@ func SolveMulticastBound(p *platform.Platform, source int, targets []int) (*Scat
 // but the formulation now is pessimistic" — §3.3). Its value is an
 // achievable lower bound on multicast throughput.
 func SolveMulticastSum(p *platform.Platform, source int, targets []int) (*Scatter, error) {
-	return solveDistribution(p, source, targets, SendAndReceive, false)
+	return SolveMulticastSumOpts(p, source, targets, nil)
+}
+
+// SolveMulticastSumOpts is SolveMulticastSum under explicit LP
+// options (warm starts across instance families).
+func SolveMulticastSumOpts(p *platform.Platform, source int, targets []int, opts *lp.Options) (*Scatter, error) {
+	return solveDistribution(p, source, targets, SendAndReceive, false, opts)
 }
 
 // SolveBroadcastBound solves the max-operator LP with every node
@@ -36,6 +48,12 @@ func SolveMulticastSum(p *platform.Platform, source int, targets []int) (*Scatte
 // information, it does not matter which messages propagate along
 // which path.
 func SolveBroadcastBound(p *platform.Platform, source int) (*Scatter, error) {
+	return SolveBroadcastBoundOpts(p, source, nil)
+}
+
+// SolveBroadcastBoundOpts is SolveBroadcastBound under explicit LP
+// options (warm starts across instance families).
+func SolveBroadcastBoundOpts(p *platform.Platform, source int, opts *lp.Options) (*Scatter, error) {
 	var targets []int
 	reach := p.ReachableFrom(source)
 	for i, ok := range reach {
@@ -46,7 +64,7 @@ func SolveBroadcastBound(p *platform.Platform, source int) (*Scatter, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("core: nothing reachable from source")
 	}
-	return SolveMulticastBound(p, source, targets)
+	return SolveMulticastBoundOpts(p, source, targets, opts)
 }
 
 // MulticastTree is one directed Steiner arborescence rooted at the
@@ -71,6 +89,12 @@ type TreePacking struct {
 	Throughput rat.Rat
 	Trees      []MulticastTree // only trees with positive rate
 	NumTrees   int             // number of enumerated candidate trees
+
+	// LP reports how the packing solve went and Basis is its optimal
+	// basis (warm-startable across platforms with identical topology,
+	// since the candidate tree set must match column-for-column).
+	LP    lp.SolveInfo
+	Basis *lp.Basis
 }
 
 // maxTreeStates bounds the arborescence enumeration frontier.
@@ -197,6 +221,12 @@ func pruneTree(p *platform.Platform, edges uint64, source int, targetMask uint64
 //	s.t.      for every node v:  sum_T x_T * (send time of v in T) <= 1
 //	                             sum_T x_T * (recv time of v in T) <= 1
 func SolveTreePacking(p *platform.Platform, source int, targets []int) (*TreePacking, error) {
+	return SolveTreePackingOpts(p, source, targets, nil)
+}
+
+// SolveTreePackingOpts is SolveTreePacking under explicit LP options
+// (warm starts across instance families).
+func SolveTreePackingOpts(p *platform.Platform, source int, targets []int, opts *lp.Options) (*TreePacking, error) {
 	trees, err := EnumerateMulticastTrees(p, source, targets)
 	if err != nil {
 		return nil, err
@@ -205,6 +235,35 @@ func SolveTreePacking(p *platform.Platform, source int, targets []int) (*TreePac
 		return nil, fmt.Errorf("core: no multicast tree covers all targets")
 	}
 
+	m, x := buildTreePackingModel(p, trees)
+
+	sol, err := m.SolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: tree packing LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: tree packing LP %v", sol.Status)
+	}
+
+	tp := &TreePacking{
+		P: p, Source: source, Targets: append([]int(nil), targets...),
+		Throughput: sol.Objective,
+		NumTrees:   len(trees),
+		LP:         sol.Info,
+		Basis:      sol.Basis(),
+	}
+	for t := range trees {
+		r := sol.Value(x[t])
+		if r.Sign() > 0 {
+			tp.Trees = append(tp.Trees, MulticastTree{Edges: trees[t], Rate: r})
+		}
+	}
+	return tp, nil
+}
+
+// buildTreePackingModel constructs the arborescence-packing LP over
+// the enumerated candidate trees without solving it.
+func buildTreePackingModel(p *platform.Platform, trees [][]int) (*lp.Model, []lp.Var) {
 	m := lp.NewModel()
 	x := make([]lp.Var, len(trees))
 	obj := lp.Expr{}
@@ -243,27 +302,7 @@ func SolveTreePacking(p *platform.Platform, source int, targets []int) (*TreePac
 			m.Le(fmt.Sprintf("recv[%s]", p.Name(v)), recvEx, one)
 		}
 	}
-
-	sol, err := m.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("core: tree packing LP: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: tree packing LP %v", sol.Status)
-	}
-
-	tp := &TreePacking{
-		P: p, Source: source, Targets: append([]int(nil), targets...),
-		Throughput: sol.Objective,
-		NumTrees:   len(trees),
-	}
-	for t := range trees {
-		r := sol.Value(x[t])
-		if r.Sign() > 0 {
-			tp.Trees = append(tp.Trees, MulticastTree{Edges: trees[t], Rate: r})
-		}
-	}
-	return tp, nil
+	return m, x
 }
 
 // BestSingleTree returns the enumerated tree with the highest

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // PortCaps gives each node's number of network cards in the §5.1.2

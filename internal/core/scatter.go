@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // Scatter is the solved steady-state pipelined scatter program
@@ -25,6 +25,13 @@ type Scatter struct {
 	S []rat.Rat
 	// Send[e][k] is send(i,j,k) for e = (i,j) and target index k.
 	Send [][]rat.Rat
+
+	// LP reports how the underlying solve went (pivot counts,
+	// warm-start outcome) and Basis is the optimal basis, usable to
+	// warm-start the LP of a structurally identical instance (same
+	// node/edge counts and target list length).
+	LP    lp.SolveInfo
+	Basis *lp.Basis
 }
 
 // SolveScatter builds and solves SSPS(G) under the base model.
@@ -42,12 +49,18 @@ type Scatter struct {
 // so only messages genuinely originating at the source count (see the
 // comment at the constraint).
 func SolveScatter(p *platform.Platform, source int, targets []int) (*Scatter, error) {
-	return solveDistribution(p, source, targets, SendAndReceive, false)
+	return solveDistribution(p, source, targets, SendAndReceive, false, nil)
 }
 
 // SolveScatterPort is SolveScatter under an explicit port model.
 func SolveScatterPort(p *platform.Platform, source int, targets []int, pm PortModel) (*Scatter, error) {
-	return solveDistribution(p, source, targets, pm, false)
+	return solveDistribution(p, source, targets, pm, false, nil)
+}
+
+// SolveScatterPortOpts is SolveScatterPort under explicit LP options
+// — the warm-start entry point for families of scatter instances.
+func SolveScatterPortOpts(p *platform.Platform, source int, targets []int, pm PortModel, opts *lp.Options) (*Scatter, error) {
+	return solveDistribution(p, source, targets, pm, false, opts)
 }
 
 // solveDistribution factors the common structure of the scatter LP
@@ -55,7 +68,56 @@ func SolveScatterPort(p *platform.Platform, source int, targets []int, pm PortMo
 // is true the per-edge coupling s_ij = sum_k send*c becomes
 // send(i,j,k)*c_ij <= s_ij for every k, i.e. identical messages may
 // share a transmission (§3.3).
-func solveDistribution(p *platform.Platform, source int, targets []int, pm PortModel, maxOperator bool) (*Scatter, error) {
+func solveDistribution(p *platform.Platform, source int, targets []int, pm PortModel, maxOperator bool, opts *lp.Options) (*Scatter, error) {
+	dm, err := buildDistributionModel(p, source, targets, pm, maxOperator)
+	if err != nil {
+		return nil, err
+	}
+	m, sVar, send := dm.m, dm.sVar, dm.send
+	nE, nK := p.NumEdges(), len(targets)
+
+	sol, err := m.SolveOpts(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: scatter LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("core: scatter LP %v", sol.Status)
+	}
+
+	sc := &Scatter{
+		P: p, Source: source, Targets: append([]int(nil), targets...),
+		Model:      pm,
+		Throughput: sol.Objective,
+		S:          make([]rat.Rat, nE),
+		Send:       make([][]rat.Rat, nE),
+		LP:         sol.Info,
+		Basis:      sol.Basis(),
+	}
+	for e := 0; e < nE; e++ {
+		sc.S[e] = sol.Value(sVar[e])
+		sc.Send[e] = make([]rat.Rat, nK)
+		for k := 0; k < nK; k++ {
+			sc.Send[e][k] = sol.Value(send[e][k])
+		}
+	}
+	if err := sc.check(maxOperator); err != nil {
+		return nil, fmt.Errorf("core: solver returned invalid scatter solution: %w", err)
+	}
+	return sc, nil
+}
+
+// distModel is the built-but-unsolved distribution LP (scatter or
+// max-operator bound), exposing the variable handles the solver (and
+// the parity/golden tests) need.
+type distModel struct {
+	m    *lp.Model
+	sVar []lp.Var
+	send [][]lp.Var
+}
+
+// buildDistributionModel constructs the §3.2/§3.3 LP without solving
+// it.
+func buildDistributionModel(p *platform.Platform, source int, targets []int, pm PortModel, maxOperator bool) (*distModel, error) {
 	if source < 0 || source >= p.NumNodes() {
 		return nil, fmt.Errorf("core: source %d out of range", source)
 	}
@@ -157,33 +219,7 @@ func solveDistribution(p *platform.Platform, source int, targets []int, pm PortM
 		}
 		m.Eq(fmt.Sprintf("deliver[k%d]", k), ex, rat.Zero())
 	}
-
-	sol, err := m.Solve()
-	if err != nil {
-		return nil, fmt.Errorf("core: scatter LP: %w", err)
-	}
-	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("core: scatter LP %v", sol.Status)
-	}
-
-	sc := &Scatter{
-		P: p, Source: source, Targets: append([]int(nil), targets...),
-		Model:      pm,
-		Throughput: sol.Objective,
-		S:          make([]rat.Rat, nE),
-		Send:       make([][]rat.Rat, nE),
-	}
-	for e := 0; e < nE; e++ {
-		sc.S[e] = sol.Value(sVar[e])
-		sc.Send[e] = make([]rat.Rat, nK)
-		for k := 0; k < nK; k++ {
-			sc.Send[e][k] = sol.Value(send[e][k])
-		}
-	}
-	if err := sc.check(maxOperator); err != nil {
-		return nil, fmt.Errorf("core: solver returned invalid scatter solution: %w", err)
-	}
-	return sc, nil
+	return &distModel{m: m, sVar: sVar, send: send}, nil
 }
 
 // Check re-verifies the SSPS equations (sum semantics) independently.

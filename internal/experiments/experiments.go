@@ -18,11 +18,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/divisible"
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/pkg/steady/lp"
 )
 
 // Registry maps experiment ids to their runners, in presentation order.

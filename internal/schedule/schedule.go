@@ -18,9 +18,9 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
-	"repro/internal/lp"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // Slot is one time slice of the periodic communication orchestration:

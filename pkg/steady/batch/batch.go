@@ -238,8 +238,8 @@ func (e *Engine) solve(ctx context.Context, job Job) Outcome {
 		return o
 	}
 	o.Key = Key(steady.Fingerprint(job.Platform), o.Solver)
-	o.Result, o.Err, o.CacheHit = e.cache.Do(ctx, o.Key, func() (*steady.Result, error) {
-		return job.Solver.Solve(ctx, job.Platform)
+	o.Result, o.Err, o.CacheHit = e.cache.DoSolve(ctx, o.Key, o.Solver, func(sctx context.Context) (*steady.Result, error) {
+		return job.Solver.Solve(sctx, job.Platform)
 	})
 	o.Elapsed = time.Since(start)
 	return o

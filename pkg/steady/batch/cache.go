@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/pkg/steady"
+	"repro/pkg/steady/lp"
 )
 
 // Cache is a sharded LP-solution cache with in-flight deduplication.
@@ -42,6 +43,19 @@ type Cache struct {
 	solves   atomic.Int64
 	hits     atomic.Int64
 	inflight atomic.Int64
+
+	// warm remembers, per solver name, the optimal basis of the most
+	// recent successful solve. Platforms in a sweep family (same
+	// (seed,size) scheme, perturbed costs) produce structurally
+	// identical LPs, so the neighbor's basis warm-starts the next
+	// miss; a basis that does not fit is discarded by the LP layer
+	// and the solve runs cold.
+	warmMu sync.Mutex
+	warm   map[string]*lp.Basis
+
+	warmSolves atomic.Int64
+	pivots     atomic.Int64
+	warmPivots atomic.Int64
 }
 
 type cacheShard struct {
@@ -69,6 +83,14 @@ type CacheStats struct {
 	Entries int
 	// Shards is the shard count the cache was built with.
 	Shards int
+	// WarmSolves is the number of solves that warm-started from a
+	// cached basis (a subset of Solves).
+	WarmSolves int64
+	// Pivots is the total simplex pivot count across all solves, and
+	// WarmPivots the share spent in warm-started ones — the spread
+	// against cold solves is what basis reuse buys.
+	Pivots     int64
+	WarmPivots int64
 }
 
 // HitRate is Hits / (Hits + Solves), or 0 before any traffic.
@@ -95,7 +117,11 @@ func NewCache(shards, bound int) *Cache {
 	if bound > 0 && shards > bound {
 		shards = bound
 	}
-	c := &Cache{shards: make([]cacheShard, shards), seed: maphash.MakeSeed()}
+	c := &Cache{
+		shards: make([]cacheShard, shards),
+		seed:   maphash.MakeSeed(),
+		warm:   map[string]*lp.Basis{},
+	}
 	perShard := 0
 	if bound > 0 {
 		perShard = bound / shards
@@ -132,12 +158,64 @@ func (c *Cache) Len() int {
 // Stats returns a snapshot of the cumulative counters.
 func (c *Cache) Stats() CacheStats {
 	return CacheStats{
-		Solves:   c.solves.Load(),
-		Hits:     c.hits.Load(),
-		InFlight: c.inflight.Load(),
-		Entries:  c.Len(),
-		Shards:   len(c.shards),
+		Solves:     c.solves.Load(),
+		Hits:       c.hits.Load(),
+		InFlight:   c.inflight.Load(),
+		Entries:    c.Len(),
+		Shards:     len(c.shards),
+		WarmSolves: c.warmSolves.Load(),
+		Pivots:     c.pivots.Load(),
+		WarmPivots: c.warmPivots.Load(),
 	}
+}
+
+// WarmBasis returns the optimal basis of the most recent successful
+// solve under the named solver, or nil. It is what DoSolve feeds to
+// steady.WithWarmStart; callers composing their own solve closures
+// can do the same.
+func (c *Cache) WarmBasis(solver string) *lp.Basis {
+	c.warmMu.Lock()
+	defer c.warmMu.Unlock()
+	return c.warm[solver]
+}
+
+// NoteResult records a successful solve: it remembers the result's
+// basis for future warm starts under the same solver and feeds the
+// pivot/warm counters. DoSolve calls it automatically.
+func (c *Cache) NoteResult(solver string, res *steady.Result) {
+	if res == nil {
+		return
+	}
+	c.pivots.Add(int64(res.Pivots))
+	if res.WarmStarted {
+		c.warmSolves.Add(1)
+		c.warmPivots.Add(int64(res.Pivots))
+	}
+	if b := res.Basis(); b != nil {
+		c.warmMu.Lock()
+		c.warm[solver] = b
+		c.warmMu.Unlock()
+	}
+}
+
+// DoSolve is Do with basis reuse: on a miss it runs solve under a
+// context primed with the solver's most recent optimal basis (see
+// steady.WithWarmStart) and records the outcome for the next miss.
+// Solvers in a sweep family thereby re-solve in a handful of pivots.
+// Note that a warm-started solve returns a certified optimal vertex
+// that can differ from the cold one when the LP's optimum is not
+// unique — same exact objective, possibly different activity
+// variables — so results depend (harmlessly, but observably) on
+// traffic order; Result.WarmStarted says which path produced one.
+func (c *Cache) DoSolve(ctx context.Context, key, solver string, solve func(context.Context) (*steady.Result, error)) (*steady.Result, error, bool) {
+	return c.Do(ctx, key, func() (*steady.Result, error) {
+		sctx := steady.WithWarmStart(ctx, c.WarmBasis(solver))
+		res, err := solve(sctx)
+		if err == nil {
+			c.NoteResult(solver, res)
+		}
+		return res, err
+	})
 }
 
 // Do resolves key against the cache, running solve only for the

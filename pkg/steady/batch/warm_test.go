@@ -1,0 +1,89 @@
+package batch_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/rat"
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+)
+
+// familyPlatforms builds a (seed,size)-style sweep family: one
+// random topology, cost/weight perturbations per member, so every
+// member's LP has the same shape and the engine's cached basis can
+// warm-start each next miss.
+func familyPlatforms(n int) []*platform.Platform {
+	base := platform.RandomConnected(rand.New(rand.NewSource(17)), 10, 10, 5, 5, 0.15)
+	out := make([]*platform.Platform, n)
+	for step := range out {
+		q := platform.New()
+		for i := 0; i < base.NumNodes(); i++ {
+			w := base.Weight(i)
+			if !w.Inf {
+				w = platform.W(w.Val.Add(rat.New(int64(step), 103)))
+			}
+			q.AddNode(base.Name(i), w)
+		}
+		for _, ed := range base.Edges() {
+			q.AddEdge(ed.From, ed.To, ed.C.Add(rat.New(int64(step), 101)))
+		}
+		out[step] = q
+	}
+	return out
+}
+
+// TestEngineWarmStartsSweepFamily: a sweep over structurally
+// identical platforms must warm-start every miss after the first,
+// and the warm results must carry the exact throughputs a cold
+// in-process solve computes.
+func TestEngineWarmStartsSweepFamily(t *testing.T) {
+	solver, err := steady.New(steady.Spec{Problem: "masterslave"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plats := familyPlatforms(8)
+	jobs := make([]batch.Job, len(plats))
+	for i, p := range plats {
+		jobs[i] = batch.Job{ID: fmt.Sprintf("fam%d", i), Platform: p, Solver: solver}
+	}
+	// One worker: deterministic solve order, so every job after the
+	// first finds its predecessor's basis in the cache.
+	eng := batch.New(1)
+	outs := eng.Run(context.Background(), jobs)
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		// Exactness through the warm path: same exact optimum as a
+		// fresh cold solve.
+		cold, err := solver.Solve(context.Background(), plats[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Result.Throughput.Equal(cold.Throughput) {
+			t.Fatalf("job %d: warm-path throughput %v != cold %v", i, o.Result.Throughput, cold.Throughput)
+		}
+	}
+	cs := eng.Cache().Stats()
+	if cs.WarmSolves < int64(len(jobs)-1) {
+		t.Fatalf("warm solves %d, want >= %d (every miss after the first)", cs.WarmSolves, len(jobs)-1)
+	}
+	cold := cs.Pivots - cs.WarmPivots
+	if cs.WarmPivots*5 > cold {
+		t.Fatalf("warm pivots %d vs cold %d — want >= 5x reduction", cs.WarmPivots, cold)
+	}
+	t.Logf("solves=%d warm=%d pivots=%d warm_pivots=%d", cs.Solves, cs.WarmSolves, cs.Pivots, cs.WarmPivots)
+}
+
+// TestWarmStatsExposed: the cache's warm counters are visible
+// through Engine.Cache().Stats() and reset-free across Run calls.
+func TestWarmStatsExposed(t *testing.T) {
+	cs := batch.NewCache(4, 0).Stats()
+	if cs.WarmSolves != 0 || cs.Pivots != 0 || cs.WarmPivots != 0 {
+		t.Fatalf("fresh cache has nonzero LP counters: %+v", cs)
+	}
+}

@@ -3,8 +3,8 @@ package lp_test
 import (
 	"fmt"
 
-	"repro/internal/lp"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // ExampleModel builds and solves a two-variable LP with the exact

@@ -23,41 +23,34 @@ func (s *FloatSolution) Values() []float64 { return s.values }
 
 const (
 	floatEps = 1e-9
-	// blandAfter switches from Dantzig's rule to Bland's rule after
-	// this many consecutive degenerate pivots, preventing cycling.
+	// blandAfter switches the float solver from Dantzig's rule to
+	// Bland's rule after this many consecutive degenerate pivots,
+	// preventing cycling.
 	blandAfter = 64
 )
 
-// SolveFloat solves the model with a float64 two-phase simplex
+// SolveFloat solves the model with a float64 two-phase dense simplex
 // (Dantzig pricing with a Bland fallback). It exists for the solver
-// ablation (E14): the exact rational solver is the primary engine of
-// this package, but the float solver shows what an off-the-shelf
-// inexact LP would deliver and how the two compare at scale.
+// ablation (E14) and the exact-vs-float parity tests: the exact
+// rational solver is the primary engine of this package, but the
+// float solver shows what an off-the-shelf inexact LP would deliver
+// and how the two compare at scale.
 func (m *Model) SolveFloat() (*FloatSolution, error) {
-	t := m.standardize()
-	a := make([][]float64, len(t.a))
-	for i, row := range t.a {
-		a[i] = make([]float64, len(row))
-		for j, v := range row {
-			a[i][j] = v.Float64()
-		}
-	}
-	b := make([]float64, len(t.b))
-	for i, v := range t.b {
-		b[i] = v.Float64()
-	}
+	s := m.standardize()
+	a, b := s.densify()
+	basis := s.identityBasis()
 	ft := &floatTableau{
 		a: a, b: b,
-		basis:  append([]int(nil), t.basis...),
-		banned: make([]bool, len(t.cols)),
-		d:      make([]float64, len(t.cols)),
-		cols:   t.cols,
+		basis:  basis,
+		banned: make([]bool, len(s.cols)),
+		d:      make([]float64, len(s.cols)),
+		cols:   s.cols,
 	}
-	limit := maxPivotsFactor * (len(a) + len(t.cols) + 1)
+	limit := DefaultPivotFactor * (len(a) + len(s.cols) + 1)
 
-	c1 := make([]float64, len(t.cols))
+	c1 := make([]float64, len(s.cols))
 	hasArt := false
-	for j, col := range t.cols {
+	for j, col := range s.cols {
 		if col.kind == colArtificial {
 			c1[j] = -1
 			hasArt = true
@@ -74,8 +67,8 @@ func (m *Model) SolveFloat() (*FloatSolution, error) {
 		ft.banArtificials()
 	}
 
-	c2 := make([]float64, len(t.cols))
-	for j, col := range t.cols {
+	c2 := make([]float64, len(s.cols))
+	for j, col := range s.cols {
 		if col.kind != colStruct {
 			continue
 		}
@@ -98,7 +91,7 @@ func (m *Model) SolveFloat() (*FloatSolution, error) {
 
 	values := make([]float64, m.NumVars())
 	for i, bj := range ft.basis {
-		col := t.cols[bj]
+		col := s.cols[bj]
 		if col.kind != colStruct {
 			continue
 		}

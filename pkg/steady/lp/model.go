@@ -1,19 +1,40 @@
-// Package lp implements linear programming for steady-state
-// scheduling: a model builder, an exact two-phase primal simplex over
-// rationals (Bland's rule, guaranteed to terminate, no tolerances),
-// and a float64 simplex used for scale/ablation comparisons.
+// Package lp implements the linear-programming engine of the
+// steady-state scheduling stack: a model builder, an exact sparse
+// revised simplex over rationals with warm-started re-solves, and a
+// float64 simplex used for scale/ablation comparisons.
 //
 // The steady-state framework of Beaumont et al. requires *rational*
 // optima — the schedule period is the lcm of the solution's
 // denominators — which is why the exact solver is the primary engine.
+// Its design:
+//
+//   - constraints are stored column-wise and sparse; the node-edge
+//     incidence LPs the paper produces have a handful of nonzeros per
+//     column, and the solver's per-iteration cost follows that count,
+//     not rows x columns;
+//   - the basis is maintained in product form (a file of eta vectors
+//     over exact rationals, periodically reinverted), so an iteration
+//     is two sparse triangular passes (BTRAN/FTRAN) instead of a
+//     dense tableau update;
+//   - pricing is caller-configurable (Options.Pricing): Bland's rule
+//     by default — it reproduces the historical engine's certified
+//     optima bit-for-bit — or Dantzig's rule with an automatic
+//     switch to Bland's anti-cycling rule after a run of degenerate
+//     pivots (Options.BlandAfter); the pivot budget is configurable
+//     too (Options.PivotBudget);
+//   - a solved Model yields its optimal Basis, and a structurally
+//     identical model can re-solve from it with SolveFrom — the
+//     sweep/adaptive workloads of pkg/steady/batch and pkg/steady/sim
+//     re-solve families of nearly identical LPs, and a warm basis
+//     turns those re-solves into a handful of pivots.
 //
 // Build a Model with NewModel, declare variables with Var/VarRange
 // (variables are non-negative by default; SetFree lifts that),
-// constraints with Le/Ge/Eq, and call Solve for an exact Solution or
-// SolveFloat for the float64 comparison solver. See ExampleModel for
-// a complete program. internal/core builds the paper's LPs directly
-// on this package; applications should normally consume them through
-// the pkg/steady facade instead.
+// constraints with Le/Ge/Eq, and call Solve (or SolveOpts/SolveFrom)
+// for an exact Solution, or SolveFloat for the float64 comparison
+// solver. See ExampleModel for a complete program. internal/core
+// builds the paper's LPs directly on this package; applications
+// should normally consume them through the pkg/steady facade instead.
 package lp
 
 import (
@@ -179,13 +200,38 @@ func (s Status) String() string {
 	return "unknown"
 }
 
+// SolveInfo reports how a solve went: how many pivots each phase
+// took, whether the anti-cycling fallback engaged, and whether the
+// solve started from a warm basis. It is carried up through
+// internal/core's result types to pkg/steady.Result and the
+// /v1/stats counters of pkg/steady/server.
+type SolveInfo struct {
+	// Pivots is the total pivot count across all phases (including
+	// dual-simplex repair pivots of a warm start).
+	Pivots int
+	// Phase1Pivots is the share of Pivots spent finding a first
+	// feasible basis (always 0 for an accepted warm start).
+	Phase1Pivots int
+	// BlandPivots counts pivots taken under the Bland anti-cycling
+	// fallback (see Options.BlandAfter).
+	BlandPivots int
+	// WarmStarted reports that Options.WarmBasis was accepted and the
+	// solve proceeded from it. When a warm basis is rejected (shape
+	// mismatch, singular, or too infeasible to repair) the solver
+	// falls back to a cold solve and WarmStarted stays false.
+	WarmStarted bool
+}
+
 // Solution is the result of an exact solve.
 type Solution struct {
 	Status    Status
 	Objective rat.Rat
-	values    []rat.Rat
-	duals     []rat.Rat // one per constraint, sign convention of the LE/GE/EQ row
-	model     *Model
+	// Info reports pivot counts and warm-start outcome.
+	Info   SolveInfo
+	values []rat.Rat
+	duals  []rat.Rat // one per constraint, sign convention of the LE/GE/EQ row
+	basis  *Basis    // optimal basis, for warm-started re-solves
+	model  *Model
 }
 
 // Value returns the optimal value of v.
@@ -197,6 +243,12 @@ func (s *Solution) Values() []rat.Rat { return s.values }
 // Dual returns the dual multiplier of constraint i (in the order the
 // constraints were added).
 func (s *Solution) Dual(i int) rat.Rat { return s.duals[i] }
+
+// Basis returns the optimal basis, suitable for warm-starting a
+// structurally identical model via SolveFrom. It is nil unless the
+// solution is Optimal. The returned value is immutable and safe to
+// share across goroutines.
+func (s *Solution) Basis() *Basis { return s.basis }
 
 // evalExpr computes expr at the given point.
 func evalExpr(e Expr, x []rat.Rat) rat.Rat {

@@ -1,0 +1,97 @@
+package lp
+
+// Pricing selects the entering-variable rule of the exact simplex.
+type Pricing int
+
+const (
+	// PricingBland always enters the smallest-index improving column.
+	// It cannot cycle, and — because it is the rule the historical
+	// dense engine used — it reproduces that engine's pivot sequence
+	// and optimal vertex bit-for-bit on the same model, which is why
+	// it is the default: every certified golden value in this
+	// repository (activity variables included, not just objectives)
+	// is pinned to it.
+	PricingBland Pricing = iota
+	// PricingDantzig enters the column with the most positive reduced
+	// cost (ties broken by smallest column index). On non-degenerate
+	// platform LPs it takes far fewer pivots than Bland's rule; the
+	// automatic fallback (Options.BlandAfter) covers the degenerate
+	// cases where Dantzig's rule can stall or cycle. Note that a
+	// different pivot path can end on a different — equally optimal,
+	// equally certified — vertex when the optimum is not unique.
+	PricingDantzig
+)
+
+func (p Pricing) String() string {
+	if p == PricingDantzig {
+		return "dantzig"
+	}
+	return "bland"
+}
+
+const (
+	// DefaultPivotFactor scales the default pivot budget:
+	// factor*(rows+cols+1), a generous budget for the platform-sized
+	// programs of this repository.
+	DefaultPivotFactor = 200
+	// DefaultBlandAfter is the number of consecutive degenerate
+	// pivots after which the solver abandons Dantzig pricing for
+	// Bland's rule (and returns to Dantzig on the next improving
+	// pivot). Exact arithmetic has no numerical stalling, so a run
+	// of degenerate pivots this long is evidence of genuine
+	// degeneracy — the regime where Dantzig's rule can cycle.
+	DefaultBlandAfter = 32
+)
+
+// Options configures an exact solve. The zero value (or a nil
+// *Options) selects Bland pricing, the default pivot budget and the
+// default fallback threshold, matching Model.Solve.
+type Options struct {
+	// Pricing is the entering rule (default PricingBland).
+	Pricing Pricing
+	// PivotBudget caps total pivots across all phases; exceeding it
+	// returns ErrIterationLimit. <= 0 selects the default budget
+	// DefaultPivotFactor*(rows+cols+1).
+	PivotBudget int
+	// BlandAfter is the consecutive-degenerate-pivot threshold that
+	// triggers the Bland anti-cycling fallback under PricingDantzig
+	// (it is moot under PricingBland). 0 selects DefaultBlandAfter; a
+	// negative value disables the fallback entirely (a cycling LP
+	// then runs into PivotBudget — only useful for demonstrating
+	// that the fallback matters, as the regression tests do).
+	BlandAfter int
+	// WarmBasis, when non-nil, asks the solver to start from this
+	// basis (normally Solution.Basis() of a structurally identical
+	// model solved earlier). A basis that no longer fits the model —
+	// wrong shape, singular, or too infeasible to repair with dual
+	// pivots — is silently discarded and the solve proceeds cold;
+	// Solution.Info.WarmStarted reports which path ran.
+	WarmBasis *Basis
+}
+
+// params are the resolved per-solve knobs.
+type params struct {
+	pricing    Pricing
+	budget     int
+	blandAfter int // < 0: fallback disabled
+	noFallback bool
+}
+
+func (m *Model) resolveParams(o *Options, nRows, nCols int) params {
+	p := params{pricing: PricingBland, blandAfter: DefaultBlandAfter}
+	if o != nil {
+		p.pricing = o.Pricing
+		if o.BlandAfter > 0 {
+			p.blandAfter = o.BlandAfter
+		} else if o.BlandAfter < 0 {
+			p.noFallback = true
+		}
+		if o.PivotBudget > 0 {
+			p.budget = o.PivotBudget
+		}
+	}
+	if p.budget <= 0 {
+		p.budget = DefaultPivotFactor * (nRows + nCols + 1)
+	}
+	return p
+}

@@ -1,0 +1,772 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rat"
+)
+
+// ErrIterationLimit is returned when the pivot budget is exhausted
+// (see Options.PivotBudget). Under the default options — which keep
+// the Bland anti-cycling fallback armed — this indicates a genuinely
+// enormous problem rather than cycling.
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+var (
+	errUnbounded   = errors.New("lp: unbounded")
+	errSingular    = errors.New("lp: singular basis")
+	errWarmReject  = errors.New("lp: warm basis rejected")
+	errDualNoPivot = errors.New("lp: dual simplex found no entering column")
+)
+
+// reinvertEvery bounds the eta file length: after this many pivots
+// since the last (re)inversion the basis is refactored from scratch,
+// keeping FTRAN/BTRAN passes short and rational operands small.
+const reinvertEvery = 64
+
+// eta is one product-form factor of the basis inverse: the
+// elementary matrix that differs from the identity only in column r
+// (diagonal diag = 1/pivot, off-diagonals nz = -w_i/pivot).
+type eta struct {
+	r    int
+	diag rat.Rat
+	nz   []centry
+}
+
+// engine is the exact sparse revised simplex over a standardized
+// model: basis inverse in product form, reduced costs priced from a
+// BTRAN pass per iteration, columns touched through their sparse
+// entries only.
+type engine struct {
+	s   *stdForm
+	par params
+
+	basis  []int // column basic at each row position
+	inB    []bool
+	xB     []rat.Rat // current basic values, maintained per pivot
+	etas   []eta
+	banned []bool
+	c      []rat.Rat // current phase costs per column
+	y      []rat.Rat // scratch: simplex multipliers c_B B^-1
+	w      []rat.Rat // scratch: FTRANed entering column
+	rho    []rat.Rat // scratch: BTRANed unit row (dual pricing)
+
+	info    SolveInfo
+	degen   int  // consecutive degenerate pivots
+	blandOn bool // Bland fallback currently engaged
+}
+
+// Solve runs the exact revised simplex with the default options and
+// returns an exact rational optimum (or Infeasible/Unbounded status).
+func (m *Model) Solve() (*Solution, error) { return m.SolveOpts(nil) }
+
+// SolveFrom is Solve warm-started from the optimal basis of a
+// structurally identical model (see Basis). A basis that does not fit
+// falls back to a cold solve.
+func (m *Model) SolveFrom(b *Basis) (*Solution, error) {
+	return m.SolveOpts(&Options{WarmBasis: b})
+}
+
+// SolveOpts runs the exact revised simplex under explicit options.
+// A nil opts is Solve.
+func (m *Model) SolveOpts(opts *Options) (*Solution, error) {
+	if opts != nil && opts.WarmBasis != nil {
+		sol, err := m.solveWarm(opts)
+		if err == nil {
+			return sol, nil
+		}
+		if !errors.Is(err, errWarmReject) {
+			return nil, err
+		}
+		// Warm basis rejected: solve cold.
+	}
+	return m.solveCold(opts)
+}
+
+func newEngine(s *stdForm, par params) *engine {
+	return &engine{
+		s:      s,
+		par:    par,
+		inB:    make([]bool, len(s.cols)),
+		banned: make([]bool, len(s.cols)),
+		c:      make([]rat.Rat, len(s.cols)),
+	}
+}
+
+// solveCold runs the classic two-phase simplex from the all-logical
+// starting basis.
+func (m *Model) solveCold(opts *Options) (*Solution, error) {
+	s := m.standardize()
+	e := newEngine(s, m.resolveParams(opts, len(s.rows), len(s.cols)))
+	e.basis = s.identityBasis()
+	for _, j := range e.basis {
+		e.inB[j] = true
+	}
+	e.xB = append([]rat.Rat(nil), s.b...)
+
+	hasArt := false
+	for j := range s.cols {
+		if s.cols[j].kind == colArtificial {
+			hasArt = true
+			break
+		}
+	}
+	if hasArt {
+		// Phase 1: maximize -(sum of artificials).
+		e.setPhase1Costs()
+		if err := e.primal(); err != nil {
+			if errors.Is(err, errUnbounded) {
+				return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
+			}
+			return nil, fmt.Errorf("phase 1: %w", err)
+		}
+		art := rat.Zero()
+		for i, bj := range e.basis {
+			if s.cols[bj].kind == colArtificial {
+				art = art.Add(e.xB[i])
+			}
+		}
+		if !art.IsZero() {
+			return &Solution{Status: Infeasible, Info: e.info, model: m}, nil
+		}
+		e.info.Phase1Pivots = e.info.Pivots
+		if err := e.banArtificials(); err != nil {
+			return nil, err
+		}
+	}
+
+	e.setPhase2Costs()
+	if err := e.primal(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded, Info: e.info, model: m}, nil
+		}
+		return nil, fmt.Errorf("phase 2: %w", err)
+	}
+	return e.extract()
+}
+
+// solveWarm installs the warm basis and reoptimizes: straight to
+// primal phase 2 when the basis is still primal feasible, dual
+// simplex repair when it is dual feasible, errWarmReject (cold
+// fallback) otherwise.
+func (m *Model) solveWarm(opts *Options) (*Solution, error) {
+	s := m.standardize()
+	colIdx, ok := mapBasis(s, opts.WarmBasis)
+	if !ok {
+		return nil, errWarmReject
+	}
+	e := newEngine(s, m.resolveParams(opts, len(s.rows), len(s.cols)))
+	// Artificials exist only as padding for rows the warm basis does
+	// not cover; they are banned from entering throughout.
+	for j := range s.cols {
+		if s.cols[j].kind == colArtificial {
+			e.banned[j] = true
+		}
+	}
+	if err := e.installBasis(colIdx); err != nil {
+		return nil, errWarmReject
+	}
+	e.recomputeXB()
+	e.setPhase2Costs()
+	e.info.WarmStarted = true
+
+	// Any reoptimization failure that is not a definitive status —
+	// pivot budget exhausted mid-repair, dual simplex out of entering
+	// columns — means the warm basis was a bad starting point, not
+	// that the LP is unsolvable: reject it and let the cold two-phase
+	// solve make the authoritative call (the documented contract of
+	// Options.WarmBasis).
+	if e.primalFeasible() {
+		if err := e.primal(); err != nil {
+			if errors.Is(err, errUnbounded) {
+				return &Solution{Status: Unbounded, Info: e.info, model: m}, nil
+			}
+			return nil, errWarmReject
+		}
+	} else {
+		if !e.dualFeasible() {
+			return nil, errWarmReject
+		}
+		if err := e.dual(); err != nil {
+			return nil, errWarmReject
+		}
+		if err := e.primal(); err != nil { // usually 0 iterations
+			if errors.Is(err, errUnbounded) {
+				return &Solution{Status: Unbounded, Info: e.info, model: m}, nil
+			}
+			return nil, errWarmReject
+		}
+	}
+
+	// A padding artificial that settled at a nonzero value means the
+	// warm path solved a restriction that is not the real LP.
+	for i, bj := range e.basis {
+		if s.cols[bj].kind == colArtificial && !e.xB[i].IsZero() {
+			return nil, errWarmReject
+		}
+	}
+	return e.extract()
+}
+
+// installBasis factors the given columns as the starting basis
+// (sparser columns first, for shorter etas), padding rows the basis
+// does not cover with their own logical column.
+func (e *engine) installBasis(colIdx []int) error {
+	mRows := len(e.s.rows)
+	order := append([]int(nil), colIdx...)
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := len(e.s.cols[order[a]].nz), len(e.s.cols[order[b]].nz)
+		if na != nb {
+			return na < nb
+		}
+		return order[a] < order[b]
+	})
+	assigned := make([]bool, mRows)
+	e.basis = make([]int, mRows)
+	e.etas = e.etas[:0]
+	place := func(j int, want int) error {
+		w := e.colFtran(j)
+		r := -1
+		if want >= 0 {
+			if !w[want].IsZero() {
+				r = want
+			}
+		} else {
+			for i := 0; i < mRows; i++ {
+				if !assigned[i] && !w[i].IsZero() {
+					r = i
+					break
+				}
+			}
+		}
+		if r < 0 || assigned[r] {
+			return errSingular
+		}
+		e.pushEta(r, w)
+		assigned[r] = true
+		e.basis[r] = j
+		e.inB[j] = true
+		return nil
+	}
+	for _, j := range order {
+		if err := place(j, -1); err != nil {
+			return err
+		}
+	}
+	pad := e.s.identityBasis()
+	for r := 0; r < mRows; r++ {
+		if assigned[r] {
+			continue
+		}
+		if e.inB[pad[r]] {
+			return errSingular
+		}
+		if err := place(pad[r], r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- simplex iterations ----------------------------------------------
+
+// primal runs revised primal simplex iterations until optimality
+// (no improving column) or unboundedness.
+func (e *engine) primal() error {
+	for {
+		enter := e.price()
+		if enter < 0 {
+			return nil
+		}
+		w := e.colFtran(enter)
+		leave := e.ratioTest(w)
+		if leave < 0 {
+			return errUnbounded
+		}
+		if e.info.Pivots >= e.par.budget {
+			return ErrIterationLimit
+		}
+		if err := e.pivot(leave, enter, w); err != nil {
+			return err
+		}
+	}
+}
+
+// dual runs revised dual simplex iterations from a dual-feasible
+// basis until primal feasibility.
+func (e *engine) dual() error {
+	for {
+		// Leaving: most negative basic value, ties by smallest basic
+		// column index.
+		r := -1
+		var most rat.Rat
+		for i := range e.xB {
+			if e.xB[i].Sign() >= 0 {
+				continue
+			}
+			if r < 0 || e.xB[i].Less(most) ||
+				(e.xB[i].Equal(most) && e.basis[i] < e.basis[r]) {
+				r, most = i, e.xB[i]
+			}
+		}
+		if r < 0 {
+			return nil
+		}
+		if e.info.Pivots >= e.par.budget {
+			return ErrIterationLimit
+		}
+		// Row r of B^-1 A, priced against the exact reduced costs:
+		// enter the column minimizing d_j / alpha_rj over alpha_rj < 0.
+		rho := e.unitBtran(r)
+		e.computeY()
+		enter := -1
+		var bestRatio rat.Rat
+		for j := range e.s.cols {
+			if e.banned[j] || e.inB[j] {
+				continue
+			}
+			alpha := rat.Zero()
+			for _, en := range e.s.cols[j].nz {
+				if !rho[en.row].IsZero() {
+					alpha = alpha.Add(rho[en.row].Mul(en.v))
+				}
+			}
+			if alpha.Sign() >= 0 {
+				continue
+			}
+			ratio := e.reducedCost(j).Div(alpha)
+			if enter < 0 || ratio.Less(bestRatio) ||
+				(ratio.Equal(bestRatio) && j < enter) {
+				enter, bestRatio = j, ratio
+			}
+		}
+		if enter < 0 {
+			return errDualNoPivot
+		}
+		w := e.colFtran(enter)
+		if err := e.pivot(r, enter, w); err != nil {
+			return err
+		}
+	}
+}
+
+// price selects the entering column: nil (-1) at optimality,
+// otherwise per Dantzig's rule or — when the caller asked for it or
+// the degeneracy fallback engaged — Bland's rule.
+func (e *engine) price() int {
+	e.computeY()
+	bland := e.blandOn || e.par.pricing == PricingBland
+	enter := -1
+	var best rat.Rat
+	for j := range e.s.cols {
+		if e.banned[j] || e.inB[j] {
+			continue
+		}
+		d := e.reducedCost(j)
+		if d.Sign() <= 0 {
+			continue
+		}
+		if bland {
+			return j
+		}
+		if enter < 0 || best.Less(d) {
+			enter, best = j, d
+		}
+	}
+	return enter
+}
+
+// ratioTest returns the leaving row for entering direction w: the
+// minimum of xB_i / w_i over w_i > 0, ties by smallest basic column
+// index (Bland's leaving rule, also the deterministic tie-break).
+// Zero basic values short-circuit the division: their ratio is 0,
+// the smallest possible, so once one is seen only the tie-break
+// among zero rows matters.
+func (e *engine) ratioTest(w []rat.Rat) int {
+	leave := -1
+	bestZero := false
+	var best rat.Rat
+	for i := range w {
+		if w[i].Sign() <= 0 {
+			continue
+		}
+		if e.xB[i].IsZero() {
+			if !bestZero || leave < 0 || e.basis[i] < e.basis[leave] {
+				leave, bestZero = i, true
+			}
+			continue
+		}
+		if bestZero {
+			continue
+		}
+		ratio := e.xB[i].Div(w[i])
+		if leave < 0 || ratio.Less(best) ||
+			(ratio.Equal(best) && e.basis[i] < e.basis[leave]) {
+			leave, best = i, ratio
+		}
+	}
+	return leave
+}
+
+// pivot replaces the basic column of row r with enter, whose FTRANed
+// direction is w (w[r] != 0). It updates the basic values, appends
+// the eta factor, and maintains the degeneracy/fallback state.
+func (e *engine) pivot(r, enter int, w []rat.Rat) error {
+	if e.blandOn {
+		e.info.BlandPivots++
+	}
+	theta := e.xB[r].Div(w[r])
+	degenerate := theta.IsZero()
+	if !degenerate {
+		// A degenerate pivot moves nothing: the basic values are
+		// unchanged (the paper's LPs have all-zero equality rows, so
+		// phase 1 is almost entirely degenerate — skipping the update
+		// is a measurable share of the solve).
+		for i := range e.xB {
+			if i == r || w[i].IsZero() {
+				continue
+			}
+			e.xB[i] = e.xB[i].Sub(theta.Mul(w[i]))
+		}
+		e.xB[r] = theta
+	}
+	e.pushEta(r, w)
+	e.inB[e.basis[r]] = false
+	e.basis[r] = enter
+	e.inB[enter] = true
+	e.info.Pivots++
+	if degenerate {
+		e.degen++
+		if !e.par.noFallback && e.degen >= e.par.blandAfter {
+			e.blandOn = true
+		}
+	} else {
+		e.degen = 0
+		e.blandOn = false
+	}
+	if len(e.etas) >= reinvertEvery {
+		if err := e.reinvert(); err != nil {
+			return err
+		}
+		e.recomputeXB()
+	}
+	return nil
+}
+
+// banArtificials excludes artificial columns after phase 1, pivoting
+// out any artificial that is still (degenerately) basic and removing
+// rows that turn out to be redundant.
+func (e *engine) banArtificials() error {
+	for j := range e.s.cols {
+		if e.s.cols[j].kind == colArtificial {
+			e.banned[j] = true
+		}
+	}
+	for i := 0; i < len(e.basis); i++ {
+		if e.s.cols[e.basis[i]].kind != colArtificial {
+			continue
+		}
+		// Row i of B^-1 A: any unbanned nonbasic column with a nonzero
+		// entry can replace the artificial (xB[i] is 0, so the pivot is
+		// degenerate and sign-free).
+		rho := e.unitBtran(i)
+		pivoted := false
+		for j := range e.s.cols {
+			if e.banned[j] || e.inB[j] {
+				continue
+			}
+			alpha := rat.Zero()
+			for _, en := range e.s.cols[j].nz {
+				if !rho[en.row].IsZero() {
+					alpha = alpha.Add(rho[en.row].Mul(en.v))
+				}
+			}
+			if alpha.IsZero() {
+				continue
+			}
+			w := e.colFtran(j)
+			if err := e.pivot(i, j, w); err != nil {
+				return err
+			}
+			pivoted = true
+			break
+		}
+		if !pivoted {
+			// Redundant row: remove it (and the artificial with it).
+			e.dropRow(i)
+			i--
+		}
+	}
+	return nil
+}
+
+// dropRow removes row position i and refactors the shrunk basis.
+func (e *engine) dropRow(i int) {
+	e.inB[e.basis[i]] = false
+	e.basis = append(e.basis[:i], e.basis[i+1:]...)
+	e.xB = append(e.xB[:i], e.xB[i+1:]...)
+	e.s.removeRow(i)
+	e.etas = e.etas[:0]
+	if err := e.reinvert(); err != nil {
+		// The surviving basis of a dropped dependent row is
+		// nonsingular by construction.
+		panic(err)
+	}
+	e.recomputeXB()
+}
+
+// --- basis factorization ---------------------------------------------
+
+// pushEta appends the product-form factor for a pivot at row r with
+// FTRANed column w.
+func (e *engine) pushEta(r int, w []rat.Rat) {
+	diag := w[r].Inv()
+	var nz []centry
+	for i := range w {
+		if i == r || w[i].IsZero() {
+			continue
+		}
+		nz = append(nz, centry{row: i, v: w[i].Mul(diag).Neg()})
+	}
+	e.etas = append(e.etas, eta{r: r, diag: diag, nz: nz})
+}
+
+// ftran computes x <- B^-1 x by applying the eta file in order.
+func (e *engine) ftran(x []rat.Rat) {
+	for k := range e.etas {
+		E := &e.etas[k]
+		xr := x[E.r]
+		if xr.IsZero() {
+			continue
+		}
+		for _, en := range E.nz {
+			x[en.row] = x[en.row].Add(en.v.Mul(xr))
+		}
+		x[E.r] = xr.Mul(E.diag)
+	}
+}
+
+// btran computes y <- y B^-1 by applying the eta file in reverse.
+func (e *engine) btran(y []rat.Rat) {
+	for k := len(e.etas) - 1; k >= 0; k-- {
+		E := &e.etas[k]
+		v := y[E.r].Mul(E.diag)
+		for _, en := range E.nz {
+			if !y[en.row].IsZero() {
+				v = v.Add(y[en.row].Mul(en.v))
+			}
+		}
+		y[E.r] = v
+	}
+}
+
+// colFtran returns B^-1 a_j in the engine's shared scratch vector
+// (valid until the next colFtran call; pushEta copies what it keeps).
+func (e *engine) colFtran(j int) []rat.Rat {
+	mRows := len(e.s.rows)
+	if cap(e.w) < mRows {
+		e.w = make([]rat.Rat, mRows)
+	}
+	w := e.w[:mRows]
+	zero := rat.Zero()
+	for i := range w {
+		w[i] = zero
+	}
+	for _, en := range e.s.cols[j].nz {
+		w[en.row] = en.v
+	}
+	e.ftran(w)
+	return w
+}
+
+// unitBtran returns e_r B^-1 (row r of the basis inverse) in a
+// second shared scratch vector, independent of colFtran's.
+func (e *engine) unitBtran(r int) []rat.Rat {
+	mRows := len(e.s.rows)
+	if cap(e.rho) < mRows {
+		e.rho = make([]rat.Rat, mRows)
+	}
+	rho := e.rho[:mRows]
+	zero := rat.Zero()
+	for i := range rho {
+		rho[i] = zero
+	}
+	rho[r] = rat.One()
+	e.btran(rho)
+	return rho
+}
+
+// reinvert refactors the current basis from scratch (sparser columns
+// first), replacing the eta file with one factor per basic column.
+// The row assignment may permute; callers must recomputeXB.
+func (e *engine) reinvert() error {
+	mRows := len(e.s.rows)
+	order := append([]int(nil), e.basis...)
+	sort.Slice(order, func(a, b int) bool {
+		na, nb := len(e.s.cols[order[a]].nz), len(e.s.cols[order[b]].nz)
+		if na != nb {
+			return na < nb
+		}
+		return order[a] < order[b]
+	})
+	e.etas = e.etas[:0]
+	assigned := make([]bool, mRows)
+	newBasis := make([]int, mRows)
+	for _, j := range order {
+		w := e.colFtran(j)
+		r := -1
+		for i := 0; i < mRows; i++ {
+			if !assigned[i] && !w[i].IsZero() {
+				r = i
+				break
+			}
+		}
+		if r < 0 {
+			return errSingular
+		}
+		e.pushEta(r, w)
+		assigned[r] = true
+		newBasis[r] = j
+	}
+	e.basis = newBasis
+	return nil
+}
+
+// recomputeXB refreshes the basic values from the factorization.
+func (e *engine) recomputeXB() {
+	e.xB = append(e.xB[:0], e.s.b...)
+	e.ftran(e.xB)
+}
+
+// --- pricing helpers -------------------------------------------------
+
+// computeY refreshes the simplex multipliers y = c_B B^-1.
+func (e *engine) computeY() {
+	if cap(e.y) < len(e.basis) {
+		e.y = make([]rat.Rat, len(e.basis))
+	}
+	e.y = e.y[:len(e.basis)]
+	for i, bj := range e.basis {
+		e.y[i] = e.c[bj]
+	}
+	e.btran(e.y)
+}
+
+// reducedCost returns d_j = c_j - y . a_j for the current multipliers.
+func (e *engine) reducedCost(j int) rat.Rat {
+	d := e.c[j]
+	for _, en := range e.s.cols[j].nz {
+		if !e.y[en.row].IsZero() {
+			d = d.Sub(e.y[en.row].Mul(en.v))
+		}
+	}
+	return d
+}
+
+// setPhase1Costs installs the feasibility objective -(sum of
+// artificials).
+func (e *engine) setPhase1Costs() {
+	for j := range e.c {
+		if e.s.cols[j].kind == colArtificial {
+			e.c[j] = rat.FromInt(-1)
+		} else {
+			e.c[j] = rat.Zero()
+		}
+	}
+}
+
+// setPhase2Costs installs the model objective (negated for
+// minimization; split over the halves of free variables).
+func (e *engine) setPhase2Costs() {
+	for j := range e.c {
+		col := &e.s.cols[j]
+		if col.kind != colStruct {
+			e.c[j] = rat.Zero()
+			continue
+		}
+		c := e.s.m.obj[col.vr]
+		if col.neg {
+			c = c.Neg()
+		}
+		if e.s.m.sense == Minimize {
+			c = c.Neg()
+		}
+		e.c[j] = c
+	}
+}
+
+// --- solution extraction ---------------------------------------------
+
+// extract renders the optimal engine state as a Solution: primal
+// values from the basic variables, duals from the phase-2 simplex
+// multipliers, and the basis in model terms for warm re-solves.
+func (e *engine) extract() (*Solution, error) {
+	m := e.s.m
+	values := make([]rat.Rat, m.NumVars())
+	for i, bj := range e.basis {
+		col := &e.s.cols[bj]
+		if col.kind != colStruct {
+			continue
+		}
+		if col.neg {
+			values[col.vr] = values[col.vr].Sub(e.xB[i])
+		} else {
+			values[col.vr] = values[col.vr].Add(e.xB[i])
+		}
+	}
+	obj := m.ObjectiveAt(values)
+
+	e.computeY()
+	duals := make([]rat.Rat, m.NumCons())
+	for i := range e.s.rows {
+		r := &e.s.rows[i]
+		if r.conIdx < 0 {
+			continue
+		}
+		y := e.y[i]
+		if r.flipped {
+			y = y.Neg()
+		}
+		if m.sense == Minimize {
+			y = y.Neg()
+		}
+		duals[r.conIdx] = y
+	}
+
+	return &Solution{
+		Status:    Optimal,
+		Objective: obj,
+		Info:      e.info,
+		values:    values,
+		duals:     duals,
+		basis:     encodeBasis(e.s, e.basis),
+		model:     m,
+	}, nil
+}
+
+// primalFeasible reports every basic value non-negative.
+func (e *engine) primalFeasible() bool {
+	for i := range e.xB {
+		if e.xB[i].Sign() < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dualFeasible reports every nonbasic unbanned reduced cost
+// non-positive under the current costs.
+func (e *engine) dualFeasible() bool {
+	e.computeY()
+	for j := range e.s.cols {
+		if e.banned[j] || e.inB[j] {
+			continue
+		}
+		if e.reducedCost(j).Sign() > 0 {
+			return false
+		}
+	}
+	return true
+}

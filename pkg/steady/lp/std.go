@@ -1,0 +1,199 @@
+package lp
+
+import "repro/internal/rat"
+
+// colKind distinguishes computational-form columns for extraction,
+// duals and basis encoding.
+type colKind int8
+
+const (
+	colStruct     colKind = iota
+	colSlack              // +1 coefficient in its row (LE rows)
+	colSurplus            // -1 coefficient in its row (GE rows)
+	colArtificial         // +1 coefficient in its row (GE/EQ rows)
+)
+
+// centry is one nonzero of a sparse column: the coefficient v at row
+// position row.
+type centry struct {
+	row int
+	v   rat.Rat
+}
+
+// column is one computational-form column: its identity (which model
+// variable or which row's logical column it is) plus its sparse
+// constraint coefficients. Row positions in nz are kept current when
+// redundant rows are removed.
+type column struct {
+	kind colKind
+	vr   Var  // colStruct: the model variable
+	neg  bool // colStruct: the negative part of a free variable
+	row  int  // slack/surplus/artificial: the *origin* row index
+	nz   []centry
+}
+
+// stdRow is a standardized constraint row (rhs >= 0).
+type stdRow struct {
+	op       Op
+	rhs      rat.Rat
+	conIdx   int  // index into model.cons, or -1 for an upper-bound row
+	boundVar Var  // for conIdx == -1: the bounded variable
+	flipped  bool // row was negated to make rhs >= 0
+	origin   int  // row index at construction (before removals)
+}
+
+// stdForm is the sparse computational form of a Model: equational
+// constraints with non-negative right-hand sides, columns stored
+// sparse, and an all-identity starting basis of slacks/artificials.
+type stdForm struct {
+	m    *Model
+	cols []column
+	rows []stdRow
+	b    []rat.Rat
+}
+
+// standardize converts the model to sparse computational form. Column
+// order (structural columns first, split free variables adjacent,
+// then per-row logical columns in row order) and row order
+// (constraints, then upper bounds) are deterministic and match the
+// historical dense tableau, so pivot sequences are reproducible.
+func (m *Model) standardize() *stdForm {
+	var cols []column
+	structOf := make([]int, m.NumVars()) // var -> first (positive) column
+	for v := 0; v < m.NumVars(); v++ {
+		structOf[v] = len(cols)
+		cols = append(cols, column{kind: colStruct, vr: Var(v)})
+		if m.free[v] {
+			cols = append(cols, column{kind: colStruct, vr: Var(v), neg: true})
+		}
+	}
+
+	var rows []stdRow
+	var b []rat.Rat
+	addRow := func(coefVar map[Var]rat.Rat, op Op, rhs rat.Rat, conIdx int, boundVar Var) {
+		flipped := rhs.Sign() < 0
+		if flipped {
+			rhs = rhs.Neg()
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		r := len(rows)
+		for v, c := range coefVar {
+			if c.IsZero() {
+				continue
+			}
+			if flipped {
+				c = c.Neg()
+			}
+			j := structOf[v]
+			cols[j].nz = append(cols[j].nz, centry{row: r, v: c})
+			if m.free[v] {
+				cols[j+1].nz = append(cols[j+1].nz, centry{row: r, v: c.Neg()})
+			}
+		}
+		rows = append(rows, stdRow{op: op, rhs: rhs, conIdx: conIdx, boundVar: boundVar, flipped: flipped, origin: r})
+		b = append(b, rhs)
+	}
+	for i, c := range m.cons {
+		cv := make(map[Var]rat.Rat, len(c.Expr))
+		for _, term := range c.Expr {
+			cv[term.Var] = cv[term.Var].Add(term.Coef)
+		}
+		addRow(cv, c.Op, c.RHS, i, -1)
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		if m.hasUp[v] {
+			addRow(map[Var]rat.Rat{Var(v): rat.One()}, LE, m.upper[v], -1, Var(v))
+		}
+	}
+
+	// Logical columns in row order, exactly like the historical
+	// tableau: LE gets a slack, GE a surplus and an artificial, EQ an
+	// artificial.
+	for i, r := range rows {
+		switch r.op {
+		case LE:
+			cols = append(cols, column{kind: colSlack, row: i, nz: []centry{{row: i, v: rat.One()}}})
+		case GE:
+			cols = append(cols, column{kind: colSurplus, row: i, nz: []centry{{row: i, v: rat.FromInt(-1)}}})
+			cols = append(cols, column{kind: colArtificial, row: i, nz: []centry{{row: i, v: rat.One()}}})
+		case EQ:
+			cols = append(cols, column{kind: colArtificial, row: i, nz: []centry{{row: i, v: rat.One()}}})
+		}
+	}
+
+	return &stdForm{m: m, cols: cols, rows: rows, b: b}
+}
+
+// identityBasis returns the all-slack/artificial starting basis: for
+// each row, the index of the logical column that is its identity
+// column (the slack of an LE row, the artificial of a GE/EQ row).
+func (s *stdForm) identityBasis() []int {
+	basis := make([]int, len(s.rows))
+	for j, col := range s.cols {
+		switch col.kind {
+		case colSlack, colArtificial:
+			basis[col.row] = j
+		}
+	}
+	return basis
+}
+
+// rowByOrigin finds the surviving row with the given original index,
+// or nil if it was removed as redundant.
+func (s *stdForm) rowByOrigin(orig int) *stdRow {
+	if orig < len(s.rows) && s.rows[orig].origin == orig {
+		return &s.rows[orig]
+	}
+	for i := range s.rows {
+		if s.rows[i].origin == orig {
+			return &s.rows[i]
+		}
+	}
+	return nil
+}
+
+// removeRow deletes row position r (a redundant row discovered after
+// phase 1), remapping every column's sparse entries.
+func (s *stdForm) removeRow(r int) {
+	s.rows = append(s.rows[:r], s.rows[r+1:]...)
+	s.b = append(s.b[:r], s.b[r+1:]...)
+	for j := range s.cols {
+		nz := s.cols[j].nz[:0]
+		for _, e := range s.cols[j].nz {
+			switch {
+			case e.row == r:
+				// dropped
+			case e.row > r:
+				nz = append(nz, centry{row: e.row - 1, v: e.v})
+			default:
+				nz = append(nz, e)
+			}
+		}
+		s.cols[j].nz = nz
+	}
+}
+
+// densify materializes the constraint matrix and rhs as dense
+// float64 slices, for the float64 comparison solver.
+func (s *stdForm) densify() (a [][]float64, b []float64) {
+	mRows, n := len(s.rows), len(s.cols)
+	a = make([][]float64, mRows)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := range s.cols {
+		for _, e := range s.cols[j].nz {
+			a[e.row][j] = e.v.Float64()
+		}
+	}
+	b = make([]float64, mRows)
+	for i, v := range s.b {
+		b[i] = v.Float64()
+	}
+	return a, b
+}

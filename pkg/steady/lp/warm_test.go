@@ -1,0 +1,223 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rat"
+)
+
+// randomSeededLEModel builds a structurally fixed LP from seed: the
+// sparsity pattern, operators and bounds depend only on seed, while
+// perturb shifts the constraint coefficients and right-hand sides
+// slightly — exactly the shape of a sweep family, where platform
+// costs move but the platform graph does not.
+func randomSeededLEModel(seed, perturb int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	nVars, nCons := 6+rng.Intn(5), 4+rng.Intn(5)
+	vars := make([]Var, nVars)
+	for i := range vars {
+		vars[i] = m.VarRange("x", ri(int64(rng.Intn(8)+1)))
+	}
+	obj := Expr{}
+	for _, v := range vars {
+		obj = append(obj, Term{v, ri(int64(rng.Intn(11) - 3))})
+	}
+	m.Objective(Maximize, obj)
+	for c := 0; c < nCons; c++ {
+		e := Expr{}
+		for _, v := range vars {
+			if rng.Intn(2) == 0 {
+				num := int64(rng.Intn(9) + 1)
+				den := int64(rng.Intn(3)+1) * 97
+				e = append(e, Term{v, rr(num*97+perturb, den)})
+			}
+		}
+		if len(e) == 0 {
+			e = append(e, Term{vars[0], ri(1)})
+		}
+		rhs := int64(rng.Intn(20)+1) * 97
+		m.Le("r", e, rr(rhs+perturb, 97))
+	}
+	return m
+}
+
+// TestSolveFromIdenticalModel: warm-starting a model from its own
+// optimal basis must confirm optimality without a single pivot and
+// return the identical solution.
+func TestSolveFromIdenticalModel(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		m := randomSeededLEModel(seed, 0)
+		cold, err := m.Solve()
+		if err != nil || cold.Status != Optimal {
+			t.Fatalf("seed %d: cold %v %v", seed, cold, err)
+		}
+		if cold.Info.WarmStarted {
+			t.Fatalf("seed %d: cold solve claims warm start", seed)
+		}
+		if cold.Basis() == nil {
+			t.Fatalf("seed %d: optimal solution has no basis", seed)
+		}
+		m2 := randomSeededLEModel(seed, 0)
+		warm, err := m2.SolveFrom(cold.Basis())
+		if err != nil || warm.Status != Optimal {
+			t.Fatalf("seed %d: warm %v %v", seed, warm, err)
+		}
+		if !warm.Info.WarmStarted {
+			t.Fatalf("seed %d: warm solve fell back to cold", seed)
+		}
+		if warm.Info.Pivots != 0 {
+			t.Fatalf("seed %d: re-solving the identical model took %d pivots, want 0", seed, warm.Info.Pivots)
+		}
+		if !warm.Objective.Equal(cold.Objective) {
+			t.Fatalf("seed %d: warm obj %v != cold obj %v", seed, warm.Objective, cold.Objective)
+		}
+		for v := 0; v < m.NumVars(); v++ {
+			if !warm.Value(Var(v)).Equal(cold.Value(Var(v))) {
+				t.Fatalf("seed %d: var %d: warm %v != cold %v", seed, v, warm.Value(Var(v)), cold.Value(Var(v)))
+			}
+		}
+	}
+}
+
+// TestSolveFromSweepFamily re-solves perturbed neighbors from the
+// previous optimal basis and checks (a) exactness — the warm optimum
+// equals an independent cold solve's optimum — and (b) the
+// acceptance bar: warm re-solves take >= 5x fewer pivots than cold
+// solves across the family.
+func TestSolveFromSweepFamily(t *testing.T) {
+	coldPivots, warmPivots, warmSolves := 0, 0, 0
+	for seed := int64(1); seed < 9; seed++ {
+		var basis *Basis
+		for step := int64(0); step < 6; step++ {
+			cold, err := randomSeededLEModel(seed, step).Solve()
+			if err != nil || cold.Status != Optimal {
+				t.Fatalf("seed %d step %d: cold %v %v", seed, step, cold, err)
+			}
+			warm, err := randomSeededLEModel(seed, step).SolveFrom(basis)
+			if err != nil || warm.Status != Optimal {
+				t.Fatalf("seed %d step %d: warm %v %v", seed, step, warm, err)
+			}
+			if !warm.Objective.Equal(cold.Objective) {
+				t.Fatalf("seed %d step %d: warm obj %v != cold obj %v", seed, step, warm.Objective, cold.Objective)
+			}
+			if err := randomSeededLEModel(seed, step).CheckFeasible(warm.Values()); err != nil {
+				t.Fatalf("seed %d step %d: warm point infeasible: %v", seed, step, err)
+			}
+			if step > 0 {
+				coldPivots += cold.Info.Pivots
+				warmPivots += warm.Info.Pivots
+				if warm.Info.WarmStarted {
+					warmSolves++
+				}
+			}
+			basis = warm.Basis()
+		}
+	}
+	if warmSolves == 0 {
+		t.Fatalf("no re-solve accepted its warm basis")
+	}
+	t.Logf("cold pivots %d, warm pivots %d over %d warm re-solves", coldPivots, warmPivots, warmSolves)
+	if warmPivots*5 > coldPivots {
+		t.Fatalf("warm re-solves took %d pivots vs %d cold — want >= 5x reduction", warmPivots, coldPivots)
+	}
+}
+
+// TestSolveFromMismatchedBasis: a basis from a differently shaped
+// model must be rejected and the solve must fall back to a correct
+// cold solve.
+func TestSolveFromMismatchedBasis(t *testing.T) {
+	donor, err := randomSeededLEModel(3, 0).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel()
+	x := m.Var("x")
+	m.Objective(Maximize, Expr{{x, rat.FromInt(1)}})
+	m.Le("cap", Expr{{x, rat.FromInt(2)}}, rat.FromInt(9))
+	s, err := m.SolveFrom(donor.Basis())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Info.WarmStarted {
+		t.Fatalf("mismatched basis was accepted")
+	}
+	if s.Status != Optimal || !s.Objective.Equal(rat.New(9, 2)) {
+		t.Fatalf("fallback solve wrong: %v %v", s.Status, s.Objective)
+	}
+}
+
+// TestSolveFromWithRedundantRows: a cold solve of a model with
+// duplicated equalities drops the redundant rows, so its basis names
+// fewer columns than the re-standardized model has rows. Warm start
+// must pad the uncovered rows (with banned artificials pinned at
+// zero) and still return the exact optimum.
+func TestSolveFromWithRedundantRows(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x, y := m.Var("x"), m.Var("y")
+		m.Objective(Maximize, Expr{{x, rat.FromInt(1)}})
+		m.Eq("e1", Expr{{x, rat.FromInt(1)}, {y, rat.FromInt(1)}}, rat.FromInt(2))
+		m.Eq("e2", Expr{{x, rat.FromInt(1)}, {y, rat.FromInt(1)}}, rat.FromInt(2))
+		m.Eq("e3", Expr{{x, rat.FromInt(2)}, {y, rat.FromInt(2)}}, rat.FromInt(4))
+		return m
+	}
+	cold, err := build().Solve()
+	if err != nil || cold.Status != Optimal {
+		t.Fatalf("cold: %v %v", cold, err)
+	}
+	if cold.Basis().Len() >= build().NumCons() {
+		t.Fatalf("expected a shrunk basis (redundant rows removed), got %d entries", cold.Basis().Len())
+	}
+	warm, err := build().SolveFrom(cold.Basis())
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm: %v %v", warm, err)
+	}
+	if !warm.Objective.Equal(rat.FromInt(2)) {
+		t.Fatalf("warm objective %v, want 2", warm.Objective)
+	}
+	if err := build().CheckFeasible(warm.Values()); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Info.WarmStarted {
+		t.Fatalf("padding path fell back to cold")
+	}
+}
+
+// TestSolveFromAfterRHSShift exercises the dual-simplex repair path:
+// shrinking a binding right-hand side keeps the old basis dual
+// feasible but primal infeasible, which warm start must repair
+// without a cold restart.
+func TestSolveFromAfterRHSShift(t *testing.T) {
+	build := func(cap int64) *Model {
+		m := NewModel()
+		x, y := m.Var("x"), m.Var("y")
+		m.Objective(Maximize, Expr{{x, rat.FromInt(3)}, {y, rat.FromInt(5)}})
+		m.Le("c1", Expr{{x, rat.FromInt(1)}}, rat.FromInt(4))
+		m.Le("c2", Expr{{y, rat.FromInt(2)}}, rat.FromInt(12))
+		m.Le("c3", Expr{{x, rat.FromInt(3)}, {y, rat.FromInt(2)}}, rat.FromInt(cap))
+		return m
+	}
+	first, err := build(18).Solve()
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("cold: %v %v", first, err)
+	}
+	warm, err := build(12).SolveFrom(first.Basis())
+	if err != nil || warm.Status != Optimal {
+		t.Fatalf("warm: %v %v", warm, err)
+	}
+	if !warm.Info.WarmStarted {
+		t.Fatalf("rhs shift fell back to cold")
+	}
+	want, err := build(12).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Objective.Equal(want.Objective) {
+		t.Fatalf("warm obj %v != cold obj %v", warm.Objective, want.Objective)
+	}
+	if warm.Info.Pivots >= want.Info.Pivots {
+		t.Fatalf("dual repair took %d pivots, cold %d — no win", warm.Info.Pivots, want.Info.Pivots)
+	}
+}

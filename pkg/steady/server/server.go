@@ -284,8 +284,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.Do(r.Context(), key, func() (*steady.Result, error) {
-		return s.gatedSolve(r.Context(), solver, p)
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context) (*steady.Result, error) {
+		return s.gatedSolve(sctx, solver, p)
 	})
 	elapsed := time.Since(start)
 	s.metrics.observe(solver.Name(), elapsed, err != nil, hit)
@@ -396,8 +396,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.Do(r.Context(), key, func() (*steady.Result, error) {
-		return s.gatedSolve(r.Context(), solver, p)
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context) (*steady.Result, error) {
+		return s.gatedSolve(sctx, solver, p)
 	})
 	s.metrics.observe(solver.Name(), time.Since(start), err != nil, hit)
 	if err != nil {
@@ -616,6 +616,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		InFlightSolves: cs.InFlight,
 		Cache:          cacheStatsJSON(cs),
+		LP:             lpStatsJSON(cs),
 		Simulations:    s.simMetrics.snapshot(),
 		Solvers:        s.metrics.snapshot(),
 	})

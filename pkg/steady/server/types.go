@@ -267,6 +267,24 @@ type CacheStatsJSON struct {
 	Shards   int     `json:"shards"`
 }
 
+// LPStatsJSON is the LP-engine section of GET /v1/stats: exact
+// simplex pivot counts and warm-start traffic across every solve
+// that went through the server's shared cache (/v1/solve, /v1/sweep,
+// /v1/simulate, /v1/simsweep). A warm solve reused the optimal basis
+// of the solver's previous instance (see pkg/steady/lp); the spread
+// between warm and cold pivots-per-solve is the warm-start win.
+type LPStatsJSON struct {
+	// PivotsTotal is the simplex pivot count summed over all solves.
+	PivotsTotal int64 `json:"pivots_total"`
+	// WarmSolves / ColdSolves split cache-miss solves by whether a
+	// cached basis was accepted.
+	WarmSolves int64 `json:"warm_solves"`
+	ColdSolves int64 `json:"cold_solves"`
+	// WarmPivots / ColdPivots split PivotsTotal the same way.
+	WarmPivots int64 `json:"warm_pivots"`
+	ColdPivots int64 `json:"cold_pivots"`
+}
+
 // SolverStatsJSON is one solver's latency histogram in GET /v1/stats.
 type SolverStatsJSON struct {
 	// Count is the number of requests observed for this solver
@@ -292,6 +310,8 @@ type StatsResponse struct {
 	// InFlightSolves is the number of LPs running right now.
 	InFlightSolves int64          `json:"in_flight_solves"`
 	Cache          CacheStatsJSON `json:"cache"`
+	// LP reports simplex pivot and warm-start counters.
+	LP LPStatsJSON `json:"lp"`
 	// Simulations counts simulation traffic (POST /v1/simulate and
 	// /v1/simsweep).
 	Simulations SimStatsJSON `json:"simulations"`
@@ -338,5 +358,15 @@ func cacheStatsJSON(cs batch.CacheStats) CacheStatsJSON {
 		InFlight: cs.InFlight,
 		Entries:  cs.Entries,
 		Shards:   cs.Shards,
+	}
+}
+
+func lpStatsJSON(cs batch.CacheStats) LPStatsJSON {
+	return LPStatsJSON{
+		PivotsTotal: cs.Pivots,
+		WarmSolves:  cs.WarmSolves,
+		ColdSolves:  cs.Solves - cs.WarmSolves,
+		WarmPivots:  cs.WarmPivots,
+		ColdPivots:  cs.Pivots - cs.WarmPivots,
 	}
 }

@@ -119,6 +119,8 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 	}
 	if ctl != nil {
 		rep.Resolves = ctl.Resolves
+		rep.WarmResolves = ctl.WarmResolves
+		rep.LPPivots = ctl.Pivots
 	}
 	return rep, nil
 }

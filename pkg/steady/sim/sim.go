@@ -154,9 +154,16 @@ type Report struct {
 
 	// Makespan, Done and Resolves describe dynamic runs: simulated
 	// end time, tasks completed, and adaptive LP re-solves.
-	Makespan float64 `json:"makespan,omitempty"`
-	Done     int     `json:"done,omitempty"`
-	Resolves int     `json:"resolves,omitempty"`
+	// WarmResolves is the subset of Resolves that warm-started from
+	// the previous epoch's optimal basis, and LPPivots the total
+	// simplex pivots across all of them — the order-of-magnitude
+	// spread between pivots-per-cold-solve and pivots-per-warm-resolve
+	// is what basis carry-over buys the §5.5 adaptive loop.
+	Makespan     float64 `json:"makespan,omitempty"`
+	Done         int     `json:"done,omitempty"`
+	Resolves     int     `json:"resolves,omitempty"`
+	WarmResolves int     `json:"warm_resolves,omitempty"`
+	LPPivots     int64   `json:"lp_pivots,omitempty"`
 }
 
 // Run simulates the solved result under the scenario. Static

@@ -46,6 +46,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/platform"
 	"repro/internal/rat"
+	"repro/pkg/steady/lp"
 )
 
 // PortModel selects the communication model: the paper's base model
@@ -193,9 +194,25 @@ type Result struct {
 	// Trees is, for multicast-trees only, the number of candidate
 	// Steiner arborescences enumerated by the exact packing.
 	Trees int
+	// Pivots is the simplex pivot count of the underlying LP solve
+	// and WarmStarted reports whether that solve started from a warm
+	// basis (see WithWarmStart). A warm-started solve returns a
+	// certified optimal vertex that can differ from the cold solve's
+	// when the optimum is not unique — same exact Throughput, same
+	// verified feasibility, possibly different activity variables.
+	Pivots      int
+	WarmStarted bool
 
-	raw any // underlying internal/core solution, for reconstruction
+	basis *lp.Basis // optimal LP basis, for warm-started re-solves
+	raw   any       // underlying internal/core solution, for reconstruction
 }
+
+// Basis returns the optimal basis of the LP behind this result (nil
+// for solvers that do not expose one). Feed it to WithWarmStart when
+// solving a structurally identical platform — same node/edge counts
+// and the same spec — to re-solve in a handful of pivots.
+// pkg/steady/batch does this automatically for sweep families.
+func (r *Result) Basis() *lp.Basis { return r.basis }
 
 // ThroughputFloat returns the objective as the nearest float64, for
 // display; exact comparisons must use Throughput.
@@ -226,7 +243,29 @@ type Factory func(Spec) (Solver, error)
 // ctxKey keys context values defined by this package.
 type ctxKey int
 
-const solveDoneKey ctxKey = iota
+const (
+	solveDoneKey ctxKey = iota
+	warmBasisKey
+)
+
+// WithWarmStart returns a context asking the built-in solvers to
+// warm-start their LP from the given basis (normally Result.Basis()
+// of a structurally identical platform solved with the same spec).
+// A basis that does not fit the model is silently discarded and the
+// solve runs cold; Result.WarmStarted reports which path ran. A nil
+// basis is a no-op.
+func WithWarmStart(ctx context.Context, b *lp.Basis) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, warmBasisKey, b)
+}
+
+// warmBasis extracts the WithWarmStart hint, if any.
+func warmBasis(ctx context.Context) *lp.Basis {
+	b, _ := ctx.Value(warmBasisKey).(*lp.Basis)
+	return b
+}
 
 // WithSolveDone returns a context carrying a hook that a built-in
 // solver invokes exactly once per Solve call, when the underlying
@@ -293,10 +332,11 @@ func New(spec Spec) (Solver, error) {
 }
 
 // builtin is the Solver for all built-in problems: a spec plus a
-// solve function over resolved node indices.
+// solve function over resolved node indices and LP options (the
+// warm-start hint from the context, when present).
 type builtin struct {
 	spec Spec
-	run  func(p *platform.Platform, root int, targets []int, spec Spec) (*Result, error)
+	run  func(p *platform.Platform, root int, targets []int, spec Spec, opts *lp.Options) (*Result, error)
 }
 
 func (b *builtin) Name() string { return b.spec.name() }
@@ -321,6 +361,10 @@ func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, err
 		done()
 		return nil, err
 	}
+	var opts *lp.Options
+	if wb := warmBasis(ctx); wb != nil {
+		opts = &lp.Options{WarmBasis: wb}
+	}
 	// The exact simplex is synchronous; run it aside so cancellation
 	// returns promptly. An abandoned solve finishes in the background
 	// and is discarded (the platform is never mutated); the
@@ -331,7 +375,7 @@ func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, err
 	}
 	ch := make(chan reply, 1)
 	go func() {
-		res, err := b.run(p, root, targets, b.spec)
+		res, err := b.run(p, root, targets, b.spec, opts)
 		ch <- reply{res, err}
 	}()
 	select {
@@ -421,24 +465,30 @@ func baseModelOnly(spec Spec) error {
 
 func fromScatter(sc *core.Scatter) *Result {
 	return &Result{
-		Throughput: sc.Throughput,
-		Links:      linkActivities(sc.P, sc.S),
-		raw:        sc,
+		Throughput:  sc.Throughput,
+		Links:       linkActivities(sc.P, sc.S),
+		Pivots:      sc.LP.Pivots,
+		WarmStarted: sc.LP.WarmStarted,
+		basis:       sc.Basis,
+		raw:         sc,
 	}
 }
 
 func init() {
 	Register("masterslave", func(spec Spec) (Solver, error) {
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, spec Spec) (*Result, error) {
-			ms, err := core.SolveMasterSlavePort(p, root, spec.Model.core())
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, spec Spec, opts *lp.Options) (*Result, error) {
+			ms, err := core.SolveMasterSlavePortOpts(p, root, spec.Model.core(), opts)
 			if err != nil {
 				return nil, err
 			}
 			return &Result{
-				Throughput: ms.Throughput,
-				Nodes:      nodeActivities(p, ms.Alpha),
-				Links:      linkActivities(p, ms.S),
-				raw:        ms,
+				Throughput:  ms.Throughput,
+				Nodes:       nodeActivities(p, ms.Alpha),
+				Links:       linkActivities(p, ms.S),
+				Pivots:      ms.LP.Pivots,
+				WarmStarted: ms.LP.WarmStarted,
+				basis:       ms.Basis,
+				raw:         ms,
 			}, nil
 		}}, nil
 	})
@@ -446,8 +496,8 @@ func init() {
 		if err := needTargets(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, spec Spec) (*Result, error) {
-			sc, err := core.SolveScatterPort(p, root, targets, spec.Model.core())
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, spec Spec, opts *lp.Options) (*Result, error) {
+			sc, err := core.SolveScatterPortOpts(p, root, targets, spec.Model.core(), opts)
 			if err != nil {
 				return nil, err
 			}
@@ -461,8 +511,8 @@ func init() {
 		if err := baseModelOnly(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
-			sc, err := core.SolveMulticastBound(p, root, targets)
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec, opts *lp.Options) (*Result, error) {
+			sc, err := core.SolveMulticastBoundOpts(p, root, targets, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -476,8 +526,8 @@ func init() {
 		if err := baseModelOnly(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
-			sc, err := core.SolveMulticastSum(p, root, targets)
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec, opts *lp.Options) (*Result, error) {
+			sc, err := core.SolveMulticastSumOpts(p, root, targets, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -491,20 +541,27 @@ func init() {
 		if err := baseModelOnly(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec) (*Result, error) {
-			pack, err := core.SolveTreePacking(p, root, targets)
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, targets []int, _ Spec, opts *lp.Options) (*Result, error) {
+			pack, err := core.SolveTreePackingOpts(p, root, targets, opts)
 			if err != nil {
 				return nil, err
 			}
-			return &Result{Throughput: pack.Throughput, Trees: pack.NumTrees, raw: pack}, nil
+			return &Result{
+				Throughput:  pack.Throughput,
+				Trees:       pack.NumTrees,
+				Pivots:      pack.LP.Pivots,
+				WarmStarted: pack.LP.WarmStarted,
+				basis:       pack.Basis,
+				raw:         pack,
+			}, nil
 		}}, nil
 	})
 	Register("broadcast", func(spec Spec) (Solver, error) {
 		if err := baseModelOnly(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec) (*Result, error) {
-			sc, err := core.SolveBroadcastBound(p, root)
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec, opts *lp.Options) (*Result, error) {
+			sc, err := core.SolveBroadcastBoundOpts(p, root, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -515,8 +572,8 @@ func init() {
 		if err := baseModelOnly(spec); err != nil {
 			return nil, err
 		}
-		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec) (*Result, error) {
-			sc, err := core.SolveReduceBound(p, root)
+		return &builtin{spec: spec, run: func(p *platform.Platform, root int, _ []int, _ Spec, opts *lp.Options) (*Result, error) {
+			sc, err := core.SolveReduceBoundOpts(p, root, opts)
 			if err != nil {
 				return nil, err
 			}
