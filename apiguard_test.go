@@ -1,0 +1,229 @@
+package repro
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPublicAPIReferencesNoInternalTypes is the layering guard of the
+// public API: no exported identifier in any pkg/... package may
+// mention a repro/internal/... type anywhere in its exported surface
+// (signatures, exported struct fields, exported methods, embedded
+// types, type arguments). Internal packages may still back the
+// implementation — but only behind unexported code, so an external
+// module importing pkg/... can use every exported name it sees.
+//
+// The check type-checks every pkg/... package from source with
+// go/types and walks the exported object graph. If it fails, either
+// promote the internal package the offender leaks (as was done for
+// internal/platform and internal/rat) or hide the reference behind
+// unexported code.
+func TestPublicAPIReferencesNoInternalTypes(t *testing.T) {
+	for _, pkg := range typeCheckPublic(t) {
+		g := &apiGuard{pkg: pkg, seen: map[types.Type]bool{}}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			g.checkObject(t, pkg.Path()+"."+name, obj)
+		}
+	}
+}
+
+// typeCheckPublic type-checks every non-test package under pkg/ from
+// source, once per test binary (the API guard and the API surface
+// golden share the result).
+func typeCheckPublic(t *testing.T) []*types.Package {
+	t.Helper()
+	publicOnce.Do(func() {
+		var paths []string
+		publicErr = filepath.WalkDir("pkg", func(path string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+					paths = append(paths, "repro/"+filepath.ToSlash(path))
+					break
+				}
+			}
+			return nil
+		})
+		if publicErr != nil {
+			return
+		}
+		if len(paths) < 5 {
+			publicErr = fmt.Errorf("found only %d pkg/... packages (%v); the walk is broken", len(paths), paths)
+			return
+		}
+		imp := importer.ForCompiler(token.NewFileSet(), "source", nil)
+		for _, path := range paths {
+			pkg, err := imp.Import(path)
+			if err != nil {
+				publicErr = fmt.Errorf("type-check %s: %w", path, err)
+				return
+			}
+			publicPkgs = append(publicPkgs, pkg)
+		}
+	})
+	if publicErr != nil {
+		t.Fatal(publicErr)
+	}
+	return publicPkgs
+}
+
+var (
+	publicOnce sync.Once
+	publicPkgs []*types.Package
+	publicErr  error
+)
+
+// apiGuard walks the exported type surface of one package.
+type apiGuard struct {
+	pkg  *types.Package
+	seen map[types.Type]bool
+}
+
+func (g *apiGuard) checkObject(t *testing.T, label string, obj types.Object) {
+	t.Helper()
+	switch obj := obj.(type) {
+	case *types.Func:
+		g.checkType(t, label, obj.Type())
+	case *types.TypeName:
+		// The declared type: walk its exported structure and its
+		// exported method set (value and pointer receivers alike).
+		g.checkDeclared(t, label, obj)
+	default: // *types.Var, *types.Const
+		g.checkType(t, label, obj.Type())
+	}
+}
+
+// checkDeclared validates an exported (or surface-reachable) type
+// declaration: underlying structure filtered to exported members,
+// plus exported methods.
+func (g *apiGuard) checkDeclared(t *testing.T, label string, obj *types.TypeName) {
+	t.Helper()
+	typ := obj.Type()
+	if named, ok := typ.(*types.Named); ok {
+		g.walkStructure(t, label, named.Underlying())
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			if m.Exported() {
+				g.checkType(t, label+"."+m.Name(), m.Type())
+			}
+		}
+		return
+	}
+	// Alias or basic: the type itself is the surface.
+	g.checkType(t, label, typ)
+}
+
+// checkType walks a type reference appearing directly in the exported
+// surface (a signature, a field type, an element type).
+func (g *apiGuard) checkType(t *testing.T, label string, typ types.Type) {
+	t.Helper()
+	if g.seen[typ] {
+		return
+	}
+	g.seen[typ] = true
+
+	switch typ := typ.(type) {
+	case *types.Named:
+		g.checkNamed(t, label, typ)
+	case *types.Alias:
+		g.checkType(t, label, types.Unalias(typ))
+	case *types.Pointer:
+		g.checkType(t, label, typ.Elem())
+	case *types.Slice:
+		g.checkType(t, label, typ.Elem())
+	case *types.Array:
+		g.checkType(t, label, typ.Elem())
+	case *types.Chan:
+		g.checkType(t, label, typ.Elem())
+	case *types.Map:
+		g.checkType(t, label, typ.Key())
+		g.checkType(t, label, typ.Elem())
+	case *types.Signature:
+		g.checkTuple(t, label, typ.Params())
+		g.checkTuple(t, label, typ.Results())
+	case *types.Struct, *types.Interface:
+		g.walkStructure(t, label, typ)
+	}
+}
+
+// checkNamed judges one named-type reference and decides whether to
+// descend.
+func (g *apiGuard) checkNamed(t *testing.T, label string, named *types.Named) {
+	t.Helper()
+	obj := named.Obj()
+	if pkg := obj.Pkg(); pkg != nil {
+		if strings.Contains(pkg.Path(), "/internal/") || strings.HasPrefix(pkg.Path(), "internal/") {
+			t.Errorf("%s references internal type %s.%s — external modules cannot import it",
+				label, pkg.Path(), obj.Name())
+			return
+		}
+	}
+	if args := named.TypeArgs(); args != nil {
+		for i := 0; i < args.Len(); i++ {
+			g.checkType(t, fmt.Sprintf("%s[%d]", label, i), args.At(i))
+		}
+	}
+	// An exported named type of the package under test is checked as
+	// its own scope entry; named types of other (non-internal)
+	// packages are opaque here — their own module-visibility is their
+	// business. But an unexported local named type reachable from an
+	// exported identifier has no scope entry of its own, so its
+	// surface is this identifier's surface: descend.
+	if obj.Pkg() == g.pkg && !obj.Exported() {
+		g.checkDeclared(t, label+"/"+obj.Name(), obj)
+	}
+}
+
+// walkStructure descends into a struct or interface, exported members
+// only: unexported fields and methods are exactly where internal
+// types are allowed to live.
+func (g *apiGuard) walkStructure(t *testing.T, label string, typ types.Type) {
+	t.Helper()
+	switch typ := typ.(type) {
+	case *types.Struct:
+		for i := 0; i < typ.NumFields(); i++ {
+			f := typ.Field(i)
+			if f.Exported() {
+				g.checkType(t, label+"."+f.Name(), f.Type())
+			}
+		}
+	case *types.Interface:
+		for i := 0; i < typ.NumExplicitMethods(); i++ {
+			m := typ.ExplicitMethod(i)
+			if m.Exported() {
+				g.checkType(t, label+"."+m.Name(), m.Type())
+			}
+		}
+		for i := 0; i < typ.NumEmbeddeds(); i++ {
+			g.checkType(t, label, typ.EmbeddedType(i))
+		}
+	default:
+		g.checkType(t, label, typ)
+	}
+}
+
+// checkTuple checks every element of a parameter or result tuple.
+func (g *apiGuard) checkTuple(t *testing.T, label string, tup *types.Tuple) {
+	t.Helper()
+	for i := 0; i < tup.Len(); i++ {
+		g.checkType(t, label, tup.At(i).Type())
+	}
+}

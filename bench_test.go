@@ -23,13 +23,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 	serverpkg "repro/pkg/steady/server"
 	simpkg "repro/pkg/steady/sim"
 )

@@ -30,9 +30,9 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/server"
 	"repro/pkg/steady/sim"
 )

@@ -24,8 +24,8 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 	"repro/pkg/steady/sim"
 )
 

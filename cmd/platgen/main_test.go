@@ -5,7 +5,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 )
 

@@ -24,8 +24,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 func main() {

@@ -13,7 +13,7 @@ import (
 	"log"
 
 	"repro/internal/divisible"
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 func main() {

@@ -1,7 +1,8 @@
 // End-to-end grid campaign: the full §5 pipeline on a platform whose
-// topology is *not* known in advance. All steady-state solving goes
-// through the public pkg/steady facade; discovery, adaptive control,
-// and simulation are the repository's §5 machinery.
+// topology is *not* known in advance. All steady-state solving and
+// the drifting deployment go through the public pkg/... API; only
+// topology discovery (§5.3, internal/discovery) has no public surface
+// yet — it is the ROADMAP's remaining internal-only stage.
 //
 //  1. probe the hidden platform ENV-style and reconstruct the
 //     macroscopic tree (§5.3);
@@ -9,8 +10,8 @@
 //  2. solve the steady-state LP on the reconstructed model (§3.1) and
 //     rebuild the periodic schedule (§4.1);
 //
-//  3. deploy: run the LP-guided quota policy online, with epoch
-//     re-planning when the real platform drifts (§5.5);
+//  3. deploy: replay the plan online with epoch re-planning when the
+//     real platform drifts (§5.5), via pkg/steady/sim;
 //
 //  4. compare against what the naive ping model would have promised.
 //
@@ -22,12 +23,11 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/adaptive"
 	"repro/internal/discovery"
-	"repro/internal/platform"
-	"repro/internal/rat"
-	"repro/internal/sim"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
+	"repro/pkg/steady/sim"
 )
 
 // solve runs the facade's master-slave solver rooted at the named
@@ -89,29 +89,23 @@ func main() {
 	fmt.Printf("periodic plan on the reconstructed model: %v\n\n", per.Summary)
 
 	// --- 3. deploy with drift -----------------------------------------
-	tree, err := sim.ShortestPathTree(hidden, m)
-	if err != nil {
-		log.Fatal(err)
-	}
-	edgeLoad := make([]*sim.Trace, hidden.NumEdges())
-	// The R1 subtree's uplink degrades 3x halfway through.
-	edgeLoad[hidden.FindEdge(m, r1)] = sim.StepTrace([]float64{0, 300}, []float64{1, 3})
-
-	ctl, pol, err := adaptive.NewController(hidden, m, tree)
-	if err != nil {
-		log.Fatal(err)
-	}
-	res, err := sim.RunOnlineMasterSlave(sim.OnlineConfig{
-		Platform: hidden, Tree: tree, Master: m, Horizon: 600,
-		Policy: pol, EdgeLoad: edgeLoad,
-		EpochLength: 50, OnEpoch: ctl.OnEpoch,
+	// The R1 subtree's uplink degrades 3x halfway through; the §5.5
+	// adaptive controller re-solves the LP every 50 time-units.
+	eng := sim.New(sim.Config{})
+	rep, err := eng.Run(context.Background(), trueRes, sim.Scenario{
+		Name:    "deploy",
+		Horizon: 600,
+		Slowdowns: []sim.Slowdown{
+			{Edge: sim.EdgeKey("M", "R1"), Factor: 3, From: 300},
+		},
+		Adaptive:    true,
+		EpochLength: 50,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("deployment over 600 time-units with a drift at t=300:\n")
-	fmt.Printf("  %d tasks completed (%d LP re-solves)\n", res.Done, ctl.Resolves)
-	fmt.Printf("  final platform estimate: ntask = %v (true pre-drift %v)\n",
-		ctl.LastThroughput, trueRes.Throughput)
-	fmt.Printf("  per node: %v\n", res.PerNode)
+	fmt.Printf("  %d tasks completed (%d LP re-solves, %d warm)\n", rep.Done, rep.Resolves, rep.WarmResolves)
+	fmt.Printf("  achieved %.4f tasks/time-unit = %.2f of the pre-drift certified %v\n",
+		rep.AchievedValue, rep.RatioValue, trueRes.Throughput)
 }

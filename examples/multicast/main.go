@@ -1,39 +1,47 @@
 // Multicast counterexample: a guided tour of §3.3 and §4.3 on the
 // paper's Figure 2 platform, showing why the max-operator LP bound of
-// one message per time-unit cannot be met by any schedule.
+// one message per time-unit cannot be met by any schedule. The whole
+// tour runs through the public facade: the three registered multicast
+// solvers sandwich the truth.
 //
 //	go run ./examples/multicast
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/platform"
+	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 func main() {
 	p := platform.Figure2()
-	src := p.NodeByName("P0")
-	targets := platform.Figure2Targets(p)
+	targets := []string{"P5", "P6"}
 	fmt.Println("The Figure 2 platform (all edges cost 1, except P3->P4 which costs 2):")
 	fmt.Print(p)
 
+	solve := func(problem string) *steady.Result {
+		solver, err := steady.New(steady.Spec{Problem: problem, Root: "P0", Targets: targets})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := solver.Solve(context.Background(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
 	// The pessimistic formulation: treat the identical multicast
 	// messages as if they were distinct (scatter semantics).
-	sum, err := core.SolveMulticastSum(p, src, targets)
-	if err != nil {
-		log.Fatal(err)
-	}
+	sum := solve("multicast-sum")
 	fmt.Printf("\nsum-LP (distinct-message accounting): TP = %v\n", sum.Throughput)
 	fmt.Println("  achievable, but pessimistic: one transmission could serve both targets.")
 
 	// The optimistic formulation: replace the sum by a max.
-	bound, err := core.SolveMulticastBound(p, src, targets)
-	if err != nil {
-		log.Fatal(err)
-	}
+	bound := solve("multicast")
 	fmt.Printf("\nmax-LP (shared-transmission accounting): TP = %v\n", bound.Throughput)
 	fmt.Println("  matches the paper: 'a solution ... reaches the throughput of")
 	fmt.Println("  one message per time-unit' (Figure 3 flows).")
@@ -42,16 +50,17 @@ func main() {
 	// pack them optimally under the one-port constraints. (Exact
 	// multicast throughput is NP-hard in general [7]; Figure 2 is
 	// small enough to brute-force.)
-	pack, err := core.SolveTreePacking(p, src, targets)
+	pack := solve("multicast-trees")
+	fmt.Printf("\nexact optimum over %d candidate trees: TP = %v\n", pack.Trees, pack.Throughput)
+	sched, err := pack.Reconstruct()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexact optimum over %d candidate trees: TP = %v\n", pack.NumTrees, pack.Throughput)
-	for _, tr := range pack.Trees {
-		fmt.Printf("  rate %v via", tr.Rate)
-		for _, e := range tr.Edges {
-			ed := p.Edge(e)
-			fmt.Printf(" %s->%s", p.Name(ed.From), p.Name(ed.To))
+	fmt.Printf("its periodic schedule: %v\n", sched.Summary)
+	for i, s := range sched.Slots {
+		fmt.Printf("  slot %d (dur %v):", i, s.Dur)
+		for _, l := range s.Links {
+			fmt.Printf(" %s->%s", l[0], l[1])
 		}
 		fmt.Println()
 	}

@@ -11,15 +11,15 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func main() {
 	// 1. Describe the platform of §2: a master, a pure forwarder
 	//    (w = +inf) and two workers, with oriented weighted links.
-	//    (internal/platform is the facade's input type — platforms can
+	//    (pkg/steady/platform is the facade's input type — platforms can
 	//    also be loaded from JSON with platform.ReadJSON.)
 	p := platform.New()
 	master := p.AddNode("master", platform.WInt(4)) // 4 time units per task

@@ -1,74 +1,59 @@
-// Pipelined scatter: solve SSPS(G) (§3.2) on a random grid platform,
-// reconstruct the periodic schedule and print the per-type message
-// routes of one period.
+// Pipelined scatter: solve SSPS(G) (§3.2) on a random grid platform
+// through the public facade, reconstruct the periodic schedule and
+// print the busy links and communication orchestration of one period.
 //
 //	go run ./examples/scatter
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/schedule"
+	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(2004)) // the paper's year, for luck
 	p := platform.Grid(rng, 2, 3, 4, 3)
-	src := 0
-	targets := []int{2, 4, 5}
+	src := p.Name(0)
+	targets := []string{p.Name(2), p.Name(4), p.Name(5)}
 
 	fmt.Println("A 2x3 grid platform:")
 	fmt.Print(p)
-	fmt.Printf("\nsource %s scatters distinct messages to", p.Name(src))
-	for _, t := range targets {
-		fmt.Printf(" %s", p.Name(t))
-	}
-	fmt.Println()
+	fmt.Printf("\nsource %s scatters distinct messages to %v\n", src, targets)
 
-	sc, err := core.SolveScatter(p, src, targets)
+	solver, err := steady.New(steady.Spec{Problem: "scatter", Root: src, Targets: targets})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background(), p)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\noptimal pipelined throughput TP = %v = %.4f scatters/time-unit\n",
-		sc.Throughput, sc.Throughput.Float64())
+		res.Throughput, res.ThroughputFloat())
 
-	sp, err := schedule.ReconstructScatter(sc)
+	fmt.Println("\nper-link busy fractions of the LP witness (nonzero only):")
+	for _, l := range res.Links {
+		if !l.Busy.IsZero() {
+			fmt.Printf("  %s->%s: busy %v\n", l.From, l.To, l.Busy)
+		}
+	}
+
+	sched, err := res.Reconstruct()
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("periodic schedule: %v\n", sp)
-
-	fmt.Println("\nper-period message counts by edge and destination:")
-	for e := 0; e < p.NumEdges(); e++ {
-		any := false
-		for k := range targets {
-			if sp.Msgs[e][k].Sign() > 0 {
-				any = true
-			}
-		}
-		if !any {
-			continue
-		}
-		ed := p.Edge(e)
-		fmt.Printf("  %s->%s:", p.Name(ed.From), p.Name(ed.To))
-		for k, t := range targets {
-			if sp.Msgs[e][k].Sign() > 0 {
-				fmt.Printf("  %v msgs for %s", sp.Msgs[e][k], p.Name(t))
-			}
-		}
-		fmt.Println()
-	}
+	fmt.Printf("\nperiodic schedule: %v\n", sched.Summary)
 
 	fmt.Println("\ncommunication orchestration (each slot is a matching):")
-	for i, s := range sp.Slots {
+	for i, s := range sched.Slots {
 		fmt.Printf("  slot %d (dur %v):", i, s.Dur)
-		for _, e := range s.Edges {
-			ed := p.Edge(e)
-			fmt.Printf(" %s->%s", p.Name(ed.From), p.Name(ed.To))
+		for _, l := range s.Links {
+			fmt.Printf(" %s->%s", l[0], l[1])
 		}
 		fmt.Println()
 	}

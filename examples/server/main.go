@@ -20,7 +20,7 @@ import (
 	"net/http"
 	"time"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/server"
 )
 

@@ -13,8 +13,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 )
 

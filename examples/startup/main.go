@@ -4,62 +4,82 @@
 // communication round over m periods' worth of data, with
 // m ~ sqrt(n / ntask) for an n-task workload.
 //
+// Everything here goes through the public facade: solve with
+// pkg/steady, reconstruct the §4.1 periodic schedule, then use
+// Schedule.Grouped / EffectiveThroughput / StartupExtension for the
+// §5.2 arithmetic.
+//
 //	go run ./examples/startup
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/big"
 
-	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
-	"repro/internal/schedule"
+	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func main() {
-	p := platform.Figure1()
-	master := p.NodeByName("P1")
-	ms, err := core.SolveMasterSlave(p, master)
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
 	if err != nil {
 		log.Fatal(err)
 	}
-	per, err := schedule.Reconstruct(ms)
+	res, err := solver.Solve(context.Background(), platform.Figure1())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := res.Reconstruct()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	C := rat.FromInt(5) // start-up cost per communication round
-	startup := func(int) rat.Rat { return C }
+	startup := func(from, to string) rat.Rat { return C }
 
 	fmt.Printf("Figure 1: ntask(G) = %v; period T = %v with %d communication rounds\n",
-		per.Throughput, per.Period, len(per.Slots))
+		sched.Throughput, sched.Period(), len(sched.Slots))
 	fmt.Printf("start-up cost per round C = %v\n\n", C)
 
 	fmt.Printf("%-8s %-16s %-16s\n", "m", "eff. throughput", "fraction of opt")
 	for _, m := range []int64{1, 2, 4, 8, 16, 32, 128, 512} {
-		eff := per.Grouped(m).EffectiveThroughput(startup)
-		fmt.Printf("%-8d %-16.4f %.4f\n", m, eff.Float64(), eff.Div(per.Throughput).Float64())
+		g, err := sched.Grouped(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eff, err := g.EffectiveThroughput(startup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %-16.4f %.4f\n", m, eff.Float64(), eff.Div(sched.Throughput).Float64())
 	}
 
 	fmt.Println("\nthe sqrt rule of §5.2 for finite workloads:")
 	fmt.Printf("%-10s %-8s %-14s %-14s\n", "n", "m*", "makespan", "ratio vs n/ntask")
-	T, _ := new(big.Float).SetInt(per.Period).Float64()
+	T, _ := new(big.Float).SetInt(sched.Period()).Float64()
 	for _, n := range []float64{1e3, 1e4, 1e5, 1e6} {
 		// m* = ceil(sqrt(n / ntask) / T).
-		mStar := int64(math.Ceil(math.Sqrt(n/per.Throughput.Float64()) / T))
+		mStar := int64(math.Ceil(math.Sqrt(n/sched.Throughput.Float64()) / T))
 		if mStar < 1 {
 			mStar = 1
 		}
-		g := per.Grouped(mStar)
-		ext := g.StartupExtension(startup).Float64()
-		periodLen := float64(mStar)*T + ext
-		tasksPerPeriod, _ := new(big.Float).SetInt(g.TasksPerPeriod).Float64()
+		g, err := sched.Grouped(mStar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		extRat, err := g.StartupExtension(startup)
+		if err != nil {
+			log.Fatal(err)
+		}
+		periodLen := float64(mStar)*T + extRat.Float64()
+		tasksPerPeriod, _ := new(big.Float).SetInt(g.TasksPerPeriod()).Float64()
 		periods := math.Ceil(n / tasksPerPeriod)
 		makespan := periods * periodLen
-		lb := n / per.Throughput.Float64()
+		lb := n / sched.Throughput.Float64()
 		fmt.Printf("%-10.0f %-8d %-14.0f %.5f\n", n, mStar, makespan, makespan/lb)
 	}
 	fmt.Println("\nthe ratio tends to 1: start-up overheads vanish asymptotically (§5.2).")

@@ -4,9 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/sim"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // driftStar builds a star whose second worker's link degrades 5x at

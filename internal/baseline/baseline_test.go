@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/sim"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func star(t *testing.T) (*platform.Platform, []int) {

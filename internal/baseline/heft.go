@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 )
 
 // ListScheduleMakespan computes the makespan of the classical

@@ -12,7 +12,7 @@ package coloring
 import (
 	"fmt"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // Edge is a weighted bipartite edge between left node L and right

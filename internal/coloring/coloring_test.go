@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 func rr(n, d int64) rat.Rat { return rat.New(n, d) }

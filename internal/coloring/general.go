@@ -3,7 +3,7 @@ package coloring
 import (
 	"sort"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // GEdge is a weighted edge of a general (non-bipartite) graph, as

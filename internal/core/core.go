@@ -21,9 +21,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // PortModel selects the communication model of §2 (full overlap,

@@ -7,8 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 
-	"repro/internal/platform"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite the LP-format golden files")

@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // MasterSlave is the solved steady-state master-slave program SSMS(G)

@@ -5,9 +5,9 @@ import (
 	"math/bits"
 	"sort"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // SolveMulticastBound solves the §3.3 max-operator relaxation of

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // GreedyTreePacking is the heuristic companion of SolveTreePacking

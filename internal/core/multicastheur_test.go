@@ -4,8 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func TestGreedyPackingFigure2(t *testing.T) {

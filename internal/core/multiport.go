@@ -3,9 +3,9 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // PortCaps gives each node's number of network cards in the §5.1.2

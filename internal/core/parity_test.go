@@ -5,8 +5,8 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/platform"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
 )
 
 // TestExactFloatParityAllSolvers is the drift guard between the two

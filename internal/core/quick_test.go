@@ -4,8 +4,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // TestQuickStarLPMatchesClosedForm is the testing/quick form of the

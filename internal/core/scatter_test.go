@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 )
 
 func TestScatterSingleTarget(t *testing.T) {

@@ -3,8 +3,8 @@ package core
 import (
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // Failure injection: every independent verifier must reject tampered

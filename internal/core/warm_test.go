@@ -4,9 +4,9 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // perturbPlatform returns a platform with the same topology and

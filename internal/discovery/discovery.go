@@ -18,8 +18,8 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // Prober simulates probe traffic against a hidden platform. Routing

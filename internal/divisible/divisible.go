@@ -12,7 +12,7 @@ package divisible
 import (
 	"fmt"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // Star describes the divisible-load platform: a master that can

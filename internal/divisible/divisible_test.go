@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 func ri(n int64) rat.Rat    { return rat.FromInt(n) }

@@ -4,7 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // quickStar maps raw bytes to a star instance with 1..5 workers.

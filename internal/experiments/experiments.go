@@ -18,11 +18,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/discovery"
 	"repro/internal/divisible"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // Registry maps experiment ids to their runners, in presentation order.

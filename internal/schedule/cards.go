@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // ReconstructCards performs the §4.1 construction for the fixed-

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func TestReconstructCardsStar(t *testing.T) {

@@ -5,8 +5,8 @@ import (
 	"math/big"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // ScatterPeriodic is the reconstructed periodic schedule of a

@@ -18,9 +18,9 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // Slot is one time slice of the periodic communication orchestration:

@@ -6,8 +6,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func ri(n int64) rat.Rat    { return rat.FromInt(n) }

@@ -6,7 +6,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/core"
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // SendRecvEvaluation quantifies §5.1.1: under the send-OR-receive

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 )
 
 // ErrInterrupted reports that a simulation was aborted through

@@ -7,9 +7,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/schedule"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func mustPeriodic(t *testing.T, p *platform.Platform, master int) *schedule.Periodic {

@@ -27,8 +27,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 // Job pairs a platform with the solver to run on it.
@@ -238,8 +238,8 @@ func (e *Engine) solve(ctx context.Context, job Job) Outcome {
 		return o
 	}
 	o.Key = Key(steady.Fingerprint(job.Platform), o.Solver)
-	o.Result, o.Err, o.CacheHit = e.cache.DoSolve(ctx, o.Key, o.Solver, func(sctx context.Context) (*steady.Result, error) {
-		return job.Solver.Solve(sctx, job.Platform)
+	o.Result, o.Err, o.CacheHit = e.cache.DoSolve(ctx, o.Key, o.Solver, func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
+		return job.Solver.Solve(sctx, job.Platform, opts...)
 	})
 	o.Elapsed = time.Since(start)
 	return o

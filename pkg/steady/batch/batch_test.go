@@ -11,10 +11,10 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // blockingSolver counts how many Solve calls are running at once and
@@ -30,7 +30,7 @@ type blockingSolver struct {
 
 func (s *blockingSolver) Name() string { return "blocking" }
 
-func (s *blockingSolver) Solve(ctx context.Context, p *platform.Platform) (*steady.Result, error) {
+func (s *blockingSolver) Solve(ctx context.Context, p *platform.Platform, _ ...steady.SolveOption) (*steady.Result, error) {
 	s.mu.Lock()
 	s.running++
 	if s.running > s.peak {

@@ -171,8 +171,8 @@ func (c *Cache) Stats() CacheStats {
 
 // WarmBasis returns the optimal basis of the most recent successful
 // solve under the named solver, or nil. It is what DoSolve feeds to
-// steady.WithWarmStart; callers composing their own solve closures
-// can do the same.
+// the steady.WarmStart solve option; callers composing their own
+// solve closures can do the same.
 func (c *Cache) WarmBasis(solver string) *lp.Basis {
 	c.warmMu.Lock()
 	defer c.warmMu.Unlock()
@@ -198,19 +198,18 @@ func (c *Cache) NoteResult(solver string, res *steady.Result) {
 	}
 }
 
-// DoSolve is Do with basis reuse: on a miss it runs solve under a
-// context primed with the solver's most recent optimal basis (see
-// steady.WithWarmStart) and records the outcome for the next miss.
+// DoSolve is Do with basis reuse: on a miss it runs solve with a
+// steady.WarmStart option carrying the solver's most recent optimal
+// basis and records the outcome for the next miss.
 // Solvers in a sweep family thereby re-solve in a handful of pivots.
 // Note that a warm-started solve returns a certified optimal vertex
 // that can differ from the cold one when the LP's optimum is not
 // unique — same exact objective, possibly different activity
 // variables — so results depend (harmlessly, but observably) on
 // traffic order; Result.WarmStarted says which path produced one.
-func (c *Cache) DoSolve(ctx context.Context, key, solver string, solve func(context.Context) (*steady.Result, error)) (*steady.Result, error, bool) {
+func (c *Cache) DoSolve(ctx context.Context, key, solver string, solve func(context.Context, ...steady.SolveOption) (*steady.Result, error)) (*steady.Result, error, bool) {
 	return c.Do(ctx, key, func() (*steady.Result, error) {
-		sctx := steady.WithWarmStart(ctx, c.WarmBasis(solver))
-		res, err := solve(sctx)
+		res, err := solve(ctx, steady.WarmStart(c.WarmBasis(solver)))
 		if err == nil {
 			c.NoteResult(solver, res)
 		}

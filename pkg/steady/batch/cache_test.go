@@ -8,9 +8,9 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // fingerprintKeys returns n cache keys built from n platforms with

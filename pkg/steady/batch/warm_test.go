@@ -6,10 +6,10 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // familyPlatforms builds a (seed,size)-style sweep family: one

@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 // ExampleSolver_masterSlave solves the paper's §3.1 master-slave

@@ -5,7 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 )
 
 // Fingerprint returns a canonical content hash of the platform: two

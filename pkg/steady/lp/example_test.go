@@ -3,8 +3,8 @@ package lp_test
 import (
 	"fmt"
 
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/rat"
 )
 
 // ExampleModel builds and solves a two-variable LP with the exact

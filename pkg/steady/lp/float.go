@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // FloatSolution is the result of the float64 solver.

@@ -6,7 +6,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 func TestWriteLPSmoke(t *testing.T) {

@@ -40,7 +40,7 @@ package lp
 import (
 	"fmt"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // Sense selects the optimization direction.

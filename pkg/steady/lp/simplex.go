@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // ErrIterationLimit is returned when the pivot budget is exhausted

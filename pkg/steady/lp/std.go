@@ -1,6 +1,6 @@
 package lp
 
-import "repro/internal/rat"
+import "repro/pkg/steady/rat"
 
 // colKind distinguishes computational-form columns for extraction,
 // duals and basis encoding.

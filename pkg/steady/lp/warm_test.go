@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // randomSeededLEModel builds a structurally fixed LP from seed: the

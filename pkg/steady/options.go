@@ -1,0 +1,124 @@
+package steady
+
+import (
+	"context"
+
+	"repro/pkg/steady/lp"
+)
+
+// SolveOption tunes one Solve call. Options are applied in order, so
+// a later WarmStart overrides an earlier one; OnSolveDone hooks
+// accumulate instead. The zero set of options is a plain cold solve.
+type SolveOption func(*SolveConfig)
+
+// WarmStart asks the solver to warm-start its LP from the given basis
+// (normally Result.Basis() of a structurally identical platform
+// solved with the same spec). A basis that does not fit the model is
+// silently discarded and the solve runs cold; Result.WarmStarted
+// reports which path ran. A nil basis is a no-op, so callers can pass
+// a cache lookup's result unconditionally.
+func WarmStart(b *lp.Basis) SolveOption {
+	return func(c *SolveConfig) {
+		if b != nil {
+			c.WarmBasis = b
+		}
+	}
+}
+
+// OnSolveDone registers a hook that the solver invokes exactly once
+// per Solve call, when the underlying computation has truly finished:
+// at return for a completed (or immediately rejected) solve, or when
+// the abandoned background LP finally exits for a canceled one.
+// Solve itself returns promptly on cancellation, but the exact
+// simplex it started cannot be interrupted mid-pivot — the hook is
+// how a caller that meters CPU (pkg/steady/server's concurrency gate)
+// keeps its accounting tied to the real computation instead of to
+// Solve's return. Multiple hooks all fire, in registration order.
+func OnSolveDone(fn func()) SolveOption {
+	return func(c *SolveConfig) {
+		if fn != nil {
+			c.done = append(c.done, fn)
+		}
+	}
+}
+
+// SolveConfig is the resolved per-call configuration a Solver sees
+// after applying its options. Custom Solver implementations should
+// build one with NewSolveConfig (which also honors the deprecated
+// context carriers) and call Done exactly once when their computation
+// has truly finished; the built-in solvers do.
+type SolveConfig struct {
+	// WarmBasis is the warm-start hint, or nil for a cold solve.
+	WarmBasis *lp.Basis
+
+	done []func()
+}
+
+// Done fires the completion hooks (see OnSolveDone). Calling it with
+// no hooks registered is a no-op, so solvers can call it
+// unconditionally.
+func (c *SolveConfig) Done() {
+	for _, fn := range c.done {
+		fn()
+	}
+}
+
+// NewSolveConfig resolves a Solve call's options. For compatibility
+// it first adopts the deprecated context carriers (WithWarmStart,
+// WithSolveDone), then applies opts in order, so explicit options
+// take precedence over context values.
+func NewSolveConfig(ctx context.Context, opts ...SolveOption) *SolveConfig {
+	cfg := &SolveConfig{}
+	if b, ok := ctx.Value(warmBasisKey).(*lp.Basis); ok && b != nil {
+		cfg.WarmBasis = b
+	}
+	if fn, ok := ctx.Value(solveDoneKey).(func()); ok && fn != nil {
+		cfg.done = append(cfg.done, fn)
+	}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	return cfg
+}
+
+// lpOptions renders the config as options for the exact LP engine
+// (nil when the solve is fully default, letting the engine take its
+// own defaults without an allocation).
+func (c *SolveConfig) lpOptions() *lp.Options {
+	if c.WarmBasis == nil {
+		return nil
+	}
+	return &lp.Options{WarmBasis: c.WarmBasis}
+}
+
+// ctxKey keys the deprecated context carriers.
+type ctxKey int
+
+const (
+	solveDoneKey ctxKey = iota
+	warmBasisKey
+)
+
+// WithWarmStart returns a context asking the built-in solvers to
+// warm-start their LP from the given basis. A nil basis is a no-op.
+//
+// Deprecated: pass the WarmStart option to Solve instead. This
+// context carrier remains for one release so existing callers keep
+// working; an explicit WarmStart option overrides it.
+func WithWarmStart(ctx context.Context, b *lp.Basis) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, warmBasisKey, b)
+}
+
+// WithSolveDone returns a context carrying a completion hook that a
+// built-in solver invokes exactly once per Solve call, when the
+// underlying computation has truly finished.
+//
+// Deprecated: pass the OnSolveDone option to Solve instead. This
+// context carrier remains for one release so existing callers keep
+// working; it composes with OnSolveDone hooks (all fire).
+func WithSolveDone(ctx context.Context, fn func()) context.Context {
+	return context.WithValue(ctx, solveDoneKey, fn)
+}

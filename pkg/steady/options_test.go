@@ -1,0 +1,165 @@
+package steady_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+)
+
+// TestWarmStartOption pins the functional-option warm-start path: a
+// second solve of the same instance seeded with the first result's
+// basis runs warm and certifies the same exact throughput.
+func TestWarmStartOption(t *testing.T) {
+	solver, err := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := solver.Solve(context.Background(), platform.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStarted {
+		t.Fatal("cold solve claims a warm start")
+	}
+	if cold.Basis() == nil {
+		t.Fatal("cold solve exposes no basis")
+	}
+
+	warm, err := solver.Solve(context.Background(), platform.Figure1(),
+		steady.WarmStart(cold.Basis()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("WarmStart option ignored")
+	}
+	if !warm.Throughput.Equal(cold.Throughput) {
+		t.Fatalf("warm throughput %v != cold %v", warm.Throughput, cold.Throughput)
+	}
+	if warm.Pivots > cold.Pivots {
+		t.Fatalf("warm re-solve of the identical LP took %d pivots, cold took %d", warm.Pivots, cold.Pivots)
+	}
+
+	// A nil basis is a documented no-op, not a crash or a warm claim.
+	again, err := solver.Solve(context.Background(), platform.Figure1(), steady.WarmStart(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.WarmStarted {
+		t.Fatal("WarmStart(nil) claims a warm start")
+	}
+}
+
+// TestOnSolveDoneOption checks the option form of the completion
+// hook: exactly one firing per Solve call, for completed and for
+// immediately rejected solves alike, and multiple hooks all fire.
+func TestOnSolveDoneOption(t *testing.T) {
+	solver, _ := steady.New(steady.Spec{Problem: "masterslave"})
+
+	fired := 0
+	if _, err := solver.Solve(context.Background(), platform.Figure1(),
+		steady.OnSolveDone(func() { fired++ })); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("completed solve fired the hook %d times, want 1", fired)
+	}
+
+	fired = 0
+	if _, err := solver.Solve(context.Background(), nil,
+		steady.OnSolveDone(func() { fired++ })); err == nil {
+		t.Fatal("nil platform accepted")
+	}
+	if fired != 1 {
+		t.Fatalf("rejected solve fired the hook %d times, want 1", fired)
+	}
+
+	var order []string
+	_, err := solver.Solve(context.Background(), platform.Figure1(),
+		steady.OnSolveDone(func() { order = append(order, "a") }),
+		steady.OnSolveDone(func() { order = append(order, "b") }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("hooks fired as %v, want [a b]", order)
+	}
+}
+
+// TestDeprecatedContextCarriers keeps the one-release compatibility
+// promise: WithWarmStart and WithSolveDone still work through the
+// context, and explicit options compose with (hooks) or override
+// (basis) them.
+func TestDeprecatedContextCarriers(t *testing.T) {
+	solver, _ := steady.New(steady.Spec{Problem: "masterslave", Root: "P1"})
+	cold, err := solver.Solve(context.Background(), platform.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := steady.WithWarmStart(context.Background(), cold.Basis())
+	warm, err := solver.Solve(ctx, platform.Figure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStarted {
+		t.Fatal("deprecated WithWarmStart carrier ignored")
+	}
+
+	ctxFired, optFired := 0, 0
+	ctx = steady.WithSolveDone(context.Background(), func() { ctxFired++ })
+	if _, err := solver.Solve(ctx, platform.Figure1(),
+		steady.OnSolveDone(func() { optFired++ })); err != nil {
+		t.Fatal(err)
+	}
+	if ctxFired != 1 || optFired != 1 {
+		t.Fatalf("hook firings ctx=%d opt=%d, want 1 and 1", ctxFired, optFired)
+	}
+}
+
+// TestTypedErrors pins the sentinel-error contract of New, Validate
+// and Solve: callers branch with errors.Is, the HTTP service maps all
+// three to 400.
+func TestTypedErrors(t *testing.T) {
+	if _, err := steady.New(steady.Spec{Problem: "nope"}); !errors.Is(err, steady.ErrUnknownProblem) {
+		t.Fatalf("unknown problem: %v does not wrap ErrUnknownProblem", err)
+	}
+	if _, err := steady.New(steady.Spec{Problem: "scatter"}); !errors.Is(err, steady.ErrBadSpec) {
+		t.Fatalf("scatter without targets: %v does not wrap ErrBadSpec", err)
+	}
+	if _, err := steady.New(steady.Spec{Problem: "broadcast", Model: steady.SendOrReceive}); !errors.Is(err, steady.ErrBadSpec) {
+		t.Fatalf("broadcast under send-or-receive: %v does not wrap ErrBadSpec", err)
+	}
+	if _, err := steady.New(steady.Spec{Problem: "masterslave", Model: steady.PortModel(7)}); !errors.Is(err, steady.ErrBadSpec) {
+		t.Fatalf("undefined port model: %v does not wrap ErrBadSpec", err)
+	}
+
+	for _, spec := range []steady.Spec{
+		{Problem: "nope"},
+		{Problem: "scatter"},
+		{Problem: "masterslave", Model: steady.PortModel(7)},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", spec)
+		}
+	}
+	if err := (steady.Spec{Problem: "masterslave", Root: "P1"}).Validate(); err != nil {
+		t.Fatalf("Validate rejected a good spec: %v", err)
+	}
+	// Validate resolves node names only at Solve time, by design.
+	if err := (steady.Spec{Problem: "masterslave", Root: "ZZZ"}).Validate(); err != nil {
+		t.Fatalf("Validate rejected a spec whose root only a platform can judge: %v", err)
+	}
+
+	solver, _ := steady.New(steady.Spec{Problem: "masterslave", Root: "ZZZ"})
+	if _, err := solver.Solve(context.Background(), platform.Figure1()); !errors.Is(err, steady.ErrNoSuchNode) {
+		t.Fatalf("unknown root: %v does not wrap ErrNoSuchNode", err)
+	}
+	solver, _ = steady.New(steady.Spec{Problem: "scatter", Root: "P1", Targets: []string{"P9"}})
+	if _, err := solver.Solve(context.Background(), platform.Figure1()); !errors.Is(err, steady.ErrNoSuchNode) {
+		t.Fatalf("unknown target: %v does not wrap ErrNoSuchNode", err)
+	}
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // Figure1 builds the example platform of the paper's Figure 1: six

@@ -1,0 +1,111 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/pkg/steady/rat"
+)
+
+// ErrInvalid marks a platform that violates the model's structural
+// invariants: non-positive node weights or edge costs, self-loops,
+// edges naming unknown nodes, duplicate node names, or an empty
+// graph. ReadJSON and Validate wrap it with detail — match with
+// errors.Is. The builder methods (AddNode, AddEdge) still panic on
+// the same violations: they guard programmer-constructed platforms,
+// while ErrInvalid guards decoded input, which is data, not code.
+var ErrInvalid = errors.New("platform: invalid")
+
+// jsonPlatform is the serialized form used by the cmd tools.
+type jsonPlatform struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name string `json:"name"`
+	W    string `json:"w"` // rational or "inf"
+}
+
+type jsonEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	C    string `json:"c"`
+}
+
+// WriteJSON serializes the platform.
+func (p *Platform) WriteJSON(w io.Writer) error {
+	jp := jsonPlatform{}
+	for i := 0; i < p.NumNodes(); i++ {
+		jp.Nodes = append(jp.Nodes, jsonNode{Name: p.Name(i), W: p.Weight(i).String()})
+	}
+	for _, e := range p.Edges() {
+		jp.Edges = append(jp.Edges, jsonEdge{
+			From: p.Name(e.From), To: p.Name(e.To), C: e.C.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jp)
+}
+
+// ReadJSON deserializes a platform written by WriteJSON. Decoded
+// input is data, not code, so every model violation — not just the
+// ones Validate can see after the fact — is checked before the graph
+// is built and reported as an error wrapping ErrInvalid; ReadJSON
+// never panics on malformed input (pkg/steady/server feeds request
+// bodies straight into it).
+func ReadJSON(r io.Reader) (*Platform, error) {
+	var jp jsonPlatform
+	if err := json.NewDecoder(r).Decode(&jp); err != nil {
+		return nil, fmt.Errorf("platform: decode: %w", err)
+	}
+	p := New()
+	idx := make(map[string]int, len(jp.Nodes))
+	for _, n := range jp.Nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("%w: node with empty name", ErrInvalid)
+		}
+		if _, dup := idx[n.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate node name %q", ErrInvalid, n.Name)
+		}
+		var w Weight
+		if n.W == "inf" {
+			w = WInf()
+		} else {
+			v, err := rat.Parse(n.W)
+			if err != nil {
+				return nil, fmt.Errorf("%w: node %s: %v", ErrInvalid, n.Name, err)
+			}
+			if v.Sign() <= 0 {
+				return nil, fmt.Errorf("%w: node %s: weight %s is not positive", ErrInvalid, n.Name, n.W)
+			}
+			w = W(v)
+		}
+		idx[n.Name] = p.AddNode(n.Name, w)
+	}
+	for _, e := range jp.Edges {
+		from, okF := idx[e.From]
+		to, okT := idx[e.To]
+		if !okF || !okT {
+			return nil, fmt.Errorf("%w: edge %s->%s references unknown node", ErrInvalid, e.From, e.To)
+		}
+		if from == to {
+			return nil, fmt.Errorf("%w: edge %s->%s is a self-loop", ErrInvalid, e.From, e.To)
+		}
+		c, err := rat.Parse(e.C)
+		if err != nil {
+			return nil, fmt.Errorf("%w: edge %s->%s: %v", ErrInvalid, e.From, e.To, err)
+		}
+		if c.Sign() <= 0 {
+			return nil, fmt.Errorf("%w: edge %s->%s: cost %s is not positive", ErrInvalid, e.From, e.To, e.C)
+		}
+		p.AddEdge(from, to, c)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

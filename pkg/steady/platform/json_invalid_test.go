@@ -1,0 +1,58 @@
+package platform_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/pkg/steady/platform"
+)
+
+// TestReadJSONInvalidInputs feeds ReadJSON every class of model
+// violation a decoded platform can carry. Each must come back as an
+// error wrapping platform.ErrInvalid — never a panic: the HTTP
+// service pipes request bodies straight into ReadJSON, so a panic
+// here was a remotely triggerable crash of /v1/solve.
+func TestReadJSONInvalidInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"zero weight", `{"nodes":[{"name":"A","w":"0"}],"edges":[]}`},
+		{"negative weight", `{"nodes":[{"name":"A","w":"-3"}],"edges":[]}`},
+		{"unparsable weight", `{"nodes":[{"name":"A","w":"fast"}],"edges":[]}`},
+		{"empty node name", `{"nodes":[{"name":"","w":"1"}],"edges":[]}`},
+		{"duplicate node name", `{"nodes":[{"name":"A","w":"1"},{"name":"A","w":"2"}],"edges":[]}`},
+		{"empty platform", `{"nodes":[],"edges":[]}`},
+		{"zero cost", `{"nodes":[{"name":"A","w":"1"},{"name":"B","w":"1"}],"edges":[{"from":"A","to":"B","c":"0"}]}`},
+		{"negative cost", `{"nodes":[{"name":"A","w":"1"},{"name":"B","w":"1"}],"edges":[{"from":"A","to":"B","c":"-1/2"}]}`},
+		{"unparsable cost", `{"nodes":[{"name":"A","w":"1"},{"name":"B","w":"1"}],"edges":[{"from":"A","to":"B","c":"slow"}]}`},
+		{"self loop", `{"nodes":[{"name":"A","w":"1"}],"edges":[{"from":"A","to":"A","c":"1"}]}`},
+		{"unknown endpoint", `{"nodes":[{"name":"A","w":"1"}],"edges":[{"from":"A","to":"B","c":"1"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadJSON panicked: %v", r)
+				}
+			}()
+			p, err := platform.ReadJSON(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("accepted invalid platform: %v", p)
+			}
+			if !errors.Is(err, platform.ErrInvalid) {
+				t.Fatalf("error %v does not wrap platform.ErrInvalid", err)
+			}
+		})
+	}
+}
+
+// TestReadJSONSyntaxError keeps malformed JSON (as opposed to a
+// well-formed description of an invalid platform) a plain decode
+// error.
+func TestReadJSONSyntaxError(t *testing.T) {
+	if _, err := platform.ReadJSON(strings.NewReader(`{"nodes": [`)); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}

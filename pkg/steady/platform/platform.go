@@ -10,7 +10,7 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/rat"
+	"repro/pkg/steady/rat"
 )
 
 // Weight is a node computation weight: time per task. Inf marks a
@@ -166,21 +166,22 @@ func (p *Platform) Reverse() *Platform {
 }
 
 // Validate checks structural invariants (parallel edges are allowed;
-// the model's +inf node weights are allowed).
+// the model's +inf node weights are allowed). Violations are reported
+// as errors wrapping ErrInvalid.
 func (p *Platform) Validate() error {
 	if len(p.names) == 0 {
-		return fmt.Errorf("platform: empty")
+		return fmt.Errorf("%w: empty", ErrInvalid)
 	}
 	seen := make(map[string]bool, len(p.names))
 	for _, n := range p.names {
 		if seen[n] {
-			return fmt.Errorf("platform: duplicate node name %q", n)
+			return fmt.Errorf("%w: duplicate node name %q", ErrInvalid, n)
 		}
 		seen[n] = true
 	}
 	for i, e := range p.edges {
 		if e.C.Sign() <= 0 {
-			return fmt.Errorf("platform: edge %d has non-positive cost", i)
+			return fmt.Errorf("%w: edge %d has non-positive cost", ErrInvalid, i)
 		}
 	}
 	return nil

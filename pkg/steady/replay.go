@@ -5,9 +5,9 @@ import (
 	"math/big"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/internal/schedule"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // Replay is a problem-independent description of one period of a

@@ -5,9 +5,9 @@ import (
 	"math/big"
 
 	"repro/internal/core"
-	"repro/internal/rat"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/pkg/steady/rat"
 )
 
 // Slot is one time slice of a reconstructed periodic schedule: the
@@ -36,6 +36,96 @@ type Schedule struct {
 	// periodic is the underlying master-slave schedule, retained so
 	// Simulate can execute it; nil for the other problems.
 	periodic *schedule.Periodic
+}
+
+// Period returns the integer period T of a reconstructed masterslave
+// schedule (nil for the other problems, whose facade schedules carry
+// only slots and throughput). The returned value is a copy.
+func (s *Schedule) Period() *big.Int {
+	if s.periodic == nil {
+		return nil
+	}
+	return new(big.Int).Set(s.periodic.Period)
+}
+
+// TasksPerPeriod returns T * ntask(G), the integral number of tasks
+// one period completes in steady state (nil for non-masterslave
+// schedules). The returned value is a copy.
+func (s *Schedule) TasksPerPeriod() *big.Int {
+	if s.periodic == nil {
+		return nil
+	}
+	return new(big.Int).Set(s.periodic.TasksPerPeriod)
+}
+
+// Grouped returns the m-period grouping of §5.2: the period becomes
+// m*T and every slot and count is scaled by m, so the number of
+// communication rounds per (longer) period is unchanged and per-round
+// start-up costs are amortized over m periods' worth of data. It is
+// available for masterslave schedules only.
+func (s *Schedule) Grouped(m int64) (*Schedule, error) {
+	if s.periodic == nil {
+		return nil, fmt.Errorf("steady: only masterslave schedules support grouping")
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("steady: grouping factor %d must be >= 1", m)
+	}
+	g := s.periodic.Grouped(m)
+	return &Schedule{
+		Summary:    g.String(),
+		Slots:      periodicSlots(g),
+		Throughput: g.Throughput,
+		periodic:   g,
+	}, nil
+}
+
+// StartupExtension returns the extra time one period costs when every
+// communication round pays a start-up (§5.2): each slot is extended
+// by the largest start-up cost among its links, since transfers
+// within a slot run in parallel. startup maps a link (by endpoint
+// names) to its per-round cost. Masterslave schedules only.
+func (s *Schedule) StartupExtension(startup func(from, to string) rat.Rat) (rat.Rat, error) {
+	if s.periodic == nil {
+		return rat.Zero(), fmt.Errorf("steady: only masterslave schedules model start-up costs")
+	}
+	return s.periodic.StartupExtension(s.edgeStartup(startup)), nil
+}
+
+// EffectiveThroughput returns the steady-state throughput when each
+// period is stretched by its start-up extension: tasks / (T + ext).
+// Grouping first (see Grouped) amortizes the extension, which is the
+// §5.2 story: effective throughput climbs back toward the LP optimum
+// as m grows. Masterslave schedules only.
+func (s *Schedule) EffectiveThroughput(startup func(from, to string) rat.Rat) (rat.Rat, error) {
+	if s.periodic == nil {
+		return rat.Zero(), fmt.Errorf("steady: only masterslave schedules model start-up costs")
+	}
+	return s.periodic.EffectiveThroughput(s.edgeStartup(startup)), nil
+}
+
+// edgeStartup adapts a by-name startup cost to the internal by-edge-
+// index form.
+func (s *Schedule) edgeStartup(startup func(from, to string) rat.Rat) func(int) rat.Rat {
+	p := s.periodic.P
+	return func(e int) rat.Rat {
+		ed := p.Edge(e)
+		return startup(p.Name(ed.From), p.Name(ed.To))
+	}
+}
+
+// periodicSlots renders a periodic schedule's slots in facade form.
+func periodicSlots(per *schedule.Periodic) []Slot {
+	p := per.P
+	out := make([]Slot, len(per.Slots))
+	for i, s := range per.Slots {
+		out[i].Dur = s.Dur
+		out[i].Links = make([][2]string, len(s.Edges))
+		for j, e := range s.Edges {
+			ed := p.Edge(e)
+			out[i].Links[j] = [2]string{p.Name(ed.From), p.Name(ed.To)}
+		}
+	}
+	return out
 }
 
 // Simulation is the outcome of executing a reconstructed schedule

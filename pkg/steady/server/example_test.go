@@ -7,7 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 
-	"repro/internal/platform"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/server"
 )
 

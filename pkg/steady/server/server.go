@@ -35,9 +35,9 @@ import (
 	"runtime"
 	"time"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 )
 
@@ -197,19 +197,18 @@ func (s *Server) release() { <-s.sem }
 // gatedSolve runs one solve under the concurrency gate and the
 // per-solve timeout. It is the only path on which LPs run, for both
 // endpoints, so MaxInFlight bounds the whole server. The slot is
-// released through the steady.WithSolveDone hook rather than at
-// return: a timed-out request answers 504 promptly, but its
+// released through the steady.OnSolveDone completion hook rather
+// than at return: a timed-out request answers 504 promptly, but its
 // uninterruptible simplex keeps its slot until it actually exits, so
 // retry storms of worst-case platforms queue instead of piling up
 // unbounded background LPs.
-func (s *Server) gatedSolve(ctx context.Context, solver steady.Solver, p *platform.Platform) (*steady.Result, error) {
+func (s *Server) gatedSolve(ctx context.Context, solver steady.Solver, p *platform.Platform, opts ...steady.SolveOption) (*steady.Result, error) {
 	if err := s.acquire(ctx); err != nil {
 		return nil, err
 	}
-	sctx := steady.WithSolveDone(ctx, s.release)
-	sctx, cancel := context.WithTimeout(sctx, s.cfg.SolveTimeout)
+	sctx, cancel := context.WithTimeout(ctx, s.cfg.SolveTimeout)
 	defer cancel()
-	return solver.Solve(sctx, p)
+	return solver.Solve(sctx, p, append(opts, steady.OnSolveDone(s.release))...)
 }
 
 // gatedSolver adapts gatedSolve to the steady.Solver interface for
@@ -222,8 +221,8 @@ type gatedSolver struct {
 
 func (g gatedSolver) Name() string { return g.inner.Name() }
 
-func (g gatedSolver) Solve(ctx context.Context, p *platform.Platform) (*steady.Result, error) {
-	return g.s.gatedSolve(ctx, g.inner, p)
+func (g gatedSolver) Solve(ctx context.Context, p *platform.Platform, opts ...steady.SolveOption) (*steady.Result, error) {
+	return g.s.gatedSolve(ctx, g.inner, p, opts...)
 }
 
 // --- handlers ---------------------------------------------------------
@@ -284,8 +283,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context) (*steady.Result, error) {
-		return s.gatedSolve(sctx, solver, p)
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
+		return s.gatedSolve(sctx, solver, p, opts...)
 	})
 	elapsed := time.Since(start)
 	s.metrics.observe(solver.Name(), elapsed, err != nil, hit)
@@ -396,8 +395,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context) (*steady.Result, error) {
-		return s.gatedSolve(sctx, solver, p)
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
+		return s.gatedSolve(sctx, solver, p, opts...)
 	})
 	s.metrics.observe(solver.Name(), time.Since(start), err != nil, hit)
 	if err != nil {
@@ -645,9 +644,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 
 // statusFor maps a solve-path error to an HTTP status: size limits
 // to 413, the server-side solve timeout to 504, client cancellation
-// to 499 (nginx convention; the client is gone anyway), everything
-// else — unknown nodes, infeasible instances, malformed platforms —
-// to 400.
+// to 499 (nginx convention; the client is gone anyway). The facade's
+// typed request errors — steady.ErrUnknownProblem, steady.ErrBadSpec,
+// steady.ErrNoSuchNode, platform.ErrInvalid — all mean the request
+// was wrong, so they map to 400, as does everything else (infeasible
+// instances, malformed JSON): the solver itself cannot fail on a
+// well-formed request.
 func statusFor(err error) int {
 	switch {
 	case errors.As(err, &errTooLarge{}):
@@ -656,6 +658,11 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499
+	case errors.Is(err, steady.ErrUnknownProblem),
+		errors.Is(err, steady.ErrBadSpec),
+		errors.Is(err, steady.ErrNoSuchNode),
+		errors.Is(err, platform.ErrInvalid):
+		return http.StatusBadRequest
 	default:
 		return http.StatusBadRequest
 	}

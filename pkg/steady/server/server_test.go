@@ -13,9 +13,9 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/server"
 	"repro/pkg/steady/sim"
 )

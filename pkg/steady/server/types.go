@@ -5,9 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 )
 
@@ -75,7 +75,7 @@ type LinkActivityJSON struct {
 }
 
 // SolveResponse is the body of a successful POST /v1/solve. All
-// rational quantities are strings rendered by internal/rat, byte-
+// rational quantities are strings rendered by pkg/steady/rat, byte-
 // identical to what the in-process facade returns — the service
 // never converts through floats (Value is a display convenience
 // only).

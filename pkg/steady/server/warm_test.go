@@ -6,8 +6,8 @@ import (
 	"net/http"
 	"testing"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 	"repro/pkg/steady/server"
 )
 

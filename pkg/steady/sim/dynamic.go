@@ -8,9 +8,9 @@ import (
 	"sort"
 
 	"repro/internal/adaptive"
-	"repro/internal/platform"
 	isim "repro/internal/sim"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 )
 
 // defaultEpoch is the re-planning epoch of adaptive scenarios that do

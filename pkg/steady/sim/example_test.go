@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 )
 

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math/big"
 
-	"repro/internal/rat"
 	"repro/pkg/steady"
+	"repro/pkg/steady/rat"
 )
 
 // replayStats is the outcome of an exact periodic replay.

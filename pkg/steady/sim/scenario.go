@@ -7,8 +7,8 @@ import (
 	"math/rand"
 	"strings"
 
-	"repro/internal/platform"
 	isim "repro/internal/sim"
+	"repro/pkg/steady/platform"
 )
 
 // Scenario describes the conditions a solved schedule is simulated

@@ -35,9 +35,9 @@ import (
 	"math/big"
 	"time"
 
-	"repro/internal/rat"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/rat"
 )
 
 // Config tunes an Engine. The zero value selects sensible defaults.

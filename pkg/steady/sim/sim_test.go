@@ -8,9 +8,9 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 func solveOn(t *testing.T, spec steady.Spec, p *platform.Platform) *steady.Result {

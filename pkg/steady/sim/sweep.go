@@ -10,9 +10,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 )
 
 // Cell is one (platform, solver spec, scenario) cell of a simulation

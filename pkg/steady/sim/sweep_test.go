@@ -9,9 +9,9 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"repro/internal/platform"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/platform"
 )
 
 // sweepCells builds a scenario grid over two platforms: every

@@ -1,6 +1,6 @@
 // Package steady is the public facade over the repository's
 // steady-state scheduling solvers (internal/core, internal/schedule,
-// internal/lp) for the linear programs of Beaumont, Legrand, Marchal
+// pkg/steady/lp) for the linear programs of Beaumont, Legrand, Marchal
 // and Robert, "Assessing the impact and limits of steady-state
 // scheduling for mixed task and data parallelism on heterogeneous
 // platforms" (IPDPS 2004).
@@ -16,7 +16,7 @@
 // targets, which port model); Solve applies it to a concrete
 // platform graph and returns a Result carrying the optimal
 // steady-state throughput together with the per-node and per-link
-// activity variables, all as exact rationals (see internal/rat — the
+// activity variables, all as exact rationals (see pkg/steady/rat — the
 // schedule period is the lcm of the solution's denominators, so
 // floating point is never used on the solve path).
 //
@@ -44,9 +44,9 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/platform"
-	"repro/internal/rat"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
 )
 
 // PortModel selects the communication model: the paper's base model
@@ -95,6 +95,18 @@ type Spec struct {
 	// Model is the port model; only masterslave and scatter support
 	// SendOrReceive.
 	Model PortModel
+}
+
+// Validate checks the spec against the registry without solving
+// anything: the problem must be registered (ErrUnknownProblem), the
+// port model defined and supported, and problem-specific requirements
+// met — e.g. scatter and the multicast variants need targets
+// (ErrBadSpec). Node names are not checked here: they resolve against
+// each platform at Solve time (ErrNoSuchNode). Match the reported
+// errors with errors.Is.
+func (s Spec) Validate() error {
+	_, err := New(s)
+	return err
 }
 
 // name renders the spec as a compact canonical string: the problem
@@ -196,7 +208,7 @@ type Result struct {
 	Trees int
 	// Pivots is the simplex pivot count of the underlying LP solve
 	// and WarmStarted reports whether that solve started from a warm
-	// basis (see WithWarmStart). A warm-started solve returns a
+	// basis (see the WarmStart option). A warm-started solve returns a
 	// certified optimal vertex that can differ from the cold solve's
 	// when the optimum is not unique — same exact Throughput, same
 	// verified feasibility, possibly different activity variables.
@@ -208,7 +220,8 @@ type Result struct {
 }
 
 // Basis returns the optimal basis of the LP behind this result (nil
-// for solvers that do not expose one). Feed it to WithWarmStart when
+// for solvers that do not expose one). Feed it to the WarmStart
+// solve option when
 // solving a structurally identical platform — same node/edge counts
 // and the same spec — to re-solve in a handful of pivots.
 // pkg/steady/batch does this automatically for sweep families.
@@ -228,65 +241,19 @@ type Solver interface {
 	Name() string
 	// Solve runs the problem on p and returns the certified result.
 	// Solve honors ctx cancellation; the platform is not mutated.
-	// Implementations should invoke the WithSolveDone hook, if the
-	// ctx carries one, exactly once per call when their computation
-	// has truly finished (the built-in solvers do) —
-	// pkg/steady/server's concurrency gate depends on it.
-	Solve(ctx context.Context, p *platform.Platform) (*Result, error)
+	// Options tune the one call: WarmStart seeds the LP basis,
+	// OnSolveDone registers a completion hook. Implementations should
+	// resolve the options with NewSolveConfig and call its Done
+	// exactly once when their computation has truly finished (the
+	// built-in solvers do) — pkg/steady/server's concurrency gate
+	// depends on it.
+	Solve(ctx context.Context, p *platform.Platform, opts ...SolveOption) (*Result, error)
 }
 
 // Factory builds a Solver from a Spec; it validates the spec (e.g.
 // scatter requires targets) but resolves node names only at Solve
 // time.
 type Factory func(Spec) (Solver, error)
-
-// ctxKey keys context values defined by this package.
-type ctxKey int
-
-const (
-	solveDoneKey ctxKey = iota
-	warmBasisKey
-)
-
-// WithWarmStart returns a context asking the built-in solvers to
-// warm-start their LP from the given basis (normally Result.Basis()
-// of a structurally identical platform solved with the same spec).
-// A basis that does not fit the model is silently discarded and the
-// solve runs cold; Result.WarmStarted reports which path ran. A nil
-// basis is a no-op.
-func WithWarmStart(ctx context.Context, b *lp.Basis) context.Context {
-	if b == nil {
-		return ctx
-	}
-	return context.WithValue(ctx, warmBasisKey, b)
-}
-
-// warmBasis extracts the WithWarmStart hint, if any.
-func warmBasis(ctx context.Context) *lp.Basis {
-	b, _ := ctx.Value(warmBasisKey).(*lp.Basis)
-	return b
-}
-
-// WithSolveDone returns a context carrying a hook that a built-in
-// solver invokes exactly once per Solve call, when the underlying
-// computation has truly finished: at return for a completed (or
-// immediately rejected) solve, or when the abandoned background LP
-// finally exits for a canceled one. Solve itself returns promptly on
-// cancellation, but the exact simplex it started cannot be
-// interrupted mid-pivot — the hook is how a caller that meters CPU
-// (pkg/steady/server's concurrency gate) keeps its accounting tied
-// to the real computation instead of to Solve's return.
-func WithSolveDone(ctx context.Context, fn func()) context.Context {
-	return context.WithValue(ctx, solveDoneKey, fn)
-}
-
-// solveDone extracts the WithSolveDone hook, defaulting to a no-op.
-func solveDone(ctx context.Context) func() {
-	if fn, ok := ctx.Value(solveDoneKey).(func()); ok && fn != nil {
-		return fn
-	}
-	return func() {}
-}
 
 var (
 	regMu    sync.RWMutex
@@ -319,14 +286,19 @@ func Problems() []string {
 	return out
 }
 
-// New builds a Solver for the given spec from the registry.
+// New builds a Solver for the given spec from the registry. A
+// rejected spec reports ErrUnknownProblem or ErrBadSpec (match with
+// errors.Is).
 func New(spec Spec) (Solver, error) {
 	regMu.RLock()
 	f, ok := registry[spec.Problem]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("steady: unknown problem %q (have %s)",
-			spec.Problem, strings.Join(Problems(), ", "))
+		return nil, fmt.Errorf("%w %q (have %s)",
+			ErrUnknownProblem, spec.Problem, strings.Join(Problems(), ", "))
+	}
+	if spec.Model != SendAndReceive && spec.Model != SendOrReceive {
+		return nil, fmt.Errorf("%w: undefined port model %d", ErrBadSpec, spec.Model)
 	}
 	return f(spec)
 }
@@ -341,34 +313,31 @@ type builtin struct {
 
 func (b *builtin) Name() string { return b.spec.name() }
 
-func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, error) {
-	done := solveDone(ctx)
+func (b *builtin) Solve(ctx context.Context, p *platform.Platform, solveOpts ...SolveOption) (*Result, error) {
+	cfg := NewSolveConfig(ctx, solveOpts...)
 	if p == nil {
-		done()
+		cfg.Done()
 		return nil, fmt.Errorf("steady: nil platform")
 	}
 	if err := ctx.Err(); err != nil {
-		done()
+		cfg.Done()
 		return nil, err
 	}
 	root, err := resolveNode(p, b.spec.Root)
 	if err != nil {
-		done()
+		cfg.Done()
 		return nil, err
 	}
 	targets, err := resolveTargets(p, b.spec.Targets)
 	if err != nil {
-		done()
+		cfg.Done()
 		return nil, err
 	}
-	var opts *lp.Options
-	if wb := warmBasis(ctx); wb != nil {
-		opts = &lp.Options{WarmBasis: wb}
-	}
+	opts := cfg.lpOptions()
 	// The exact simplex is synchronous; run it aside so cancellation
 	// returns promptly. An abandoned solve finishes in the background
 	// and is discarded (the platform is never mutated); the
-	// WithSolveDone hook fires only once it has.
+	// completion hooks (OnSolveDone) fire only once it has.
 	type reply struct {
 		res *Result
 		err error
@@ -382,11 +351,11 @@ func (b *builtin) Solve(ctx context.Context, p *platform.Platform) (*Result, err
 	case <-ctx.Done():
 		go func() {
 			<-ch
-			done()
+			cfg.Done()
 		}()
 		return nil, ctx.Err()
 	case out := <-ch:
-		done()
+		cfg.Done()
 		if out.err != nil {
 			return nil, out.err
 		}
@@ -406,7 +375,7 @@ func resolveNode(p *platform.Platform, name string) (int, error) {
 	}
 	id := p.NodeByName(name)
 	if id < 0 {
-		return 0, fmt.Errorf("steady: unknown node %q", name)
+		return 0, fmt.Errorf("%w: unknown node %q", ErrNoSuchNode, name)
 	}
 	return id, nil
 }
@@ -419,7 +388,7 @@ func resolveTargets(p *platform.Platform, names []string) ([]int, error) {
 	for _, name := range names {
 		id := p.NodeByName(strings.TrimSpace(name))
 		if id < 0 {
-			return nil, fmt.Errorf("steady: unknown target %q", name)
+			return nil, fmt.Errorf("%w: unknown target %q", ErrNoSuchNode, name)
 		}
 		out = append(out, id)
 	}
@@ -449,7 +418,7 @@ func linkActivities(p *platform.Platform, s []rat.Rat) []LinkActivity {
 // needTargets validates at New time that the spec names targets.
 func needTargets(spec Spec) error {
 	if len(spec.Targets) == 0 {
-		return fmt.Errorf("steady: %s requires targets", spec.Problem)
+		return fmt.Errorf("%w: %s requires targets", ErrBadSpec, spec.Problem)
 	}
 	return nil
 }
@@ -458,7 +427,7 @@ func needTargets(spec Spec) error {
 // LPs are only formulated under the base model.
 func baseModelOnly(spec Spec) error {
 	if spec.Model != SendAndReceive {
-		return fmt.Errorf("steady: %s supports only the send-and-receive model", spec.Problem)
+		return fmt.Errorf("%w: %s supports only the send-and-receive model", ErrBadSpec, spec.Problem)
 	}
 	return nil
 }
