@@ -3,10 +3,20 @@
 // entry per benchmark with its name, ns/op, and any custom metrics
 // (the LP benchmarks report pivots/solve and pivots/resolve). CI
 // pipes the bench-smoke job through it and archives the result as
-// BENCH_PR4.json, so perf regressions are visible in history instead
+// BENCH_PR6.json, so perf regressions are visible in history instead
 // of scrolling away in a log.
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -out BENCH.json
+//
+// With -diff, the fresh run is compared against a checked-in
+// baseline: a benchmark that exists in the baseline but not in the
+// run fails the diff (a bench silently rotted away), as does drift in
+// any deterministic trajectory metric (pivot and fallback counts —
+// those are properties of the algorithm, not the machine). ns/op is
+// reported but never gated: CI runners are too noisy to assert on
+// wall time.
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | benchjson -diff BENCH_PR6.json
 package main
 
 import (
@@ -21,12 +31,30 @@ import (
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	diff := flag.String("diff", "", "baseline JSON to diff the run against: fail on missing benchmarks or pivot-metric drift (ns/op stays informational)")
 	flag.Parse()
 
 	results, err := Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *diff != "" {
+		f, err := os.Open(*diff)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base []Result
+		err = json.NewDecoder(f).Decode(&base)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+		if !Diff(os.Stderr, base, results) {
+			os.Exit(1)
+		}
 	}
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -62,6 +90,63 @@ type Result struct {
 	// Metrics holds every reported unit (ns/op and pivots included),
 	// keyed by unit name.
 	Metrics map[string]float64 `json:"metrics"`
+}
+
+// gatedUnit reports whether a metric unit is a deterministic
+// trajectory metric that -diff must hold fixed. Pivot and fallback
+// counts are functions of the platform seeds and the (deterministic)
+// pivot rules; they cannot legitimately drift without a code change
+// that should also regenerate the baseline.
+func gatedUnit(unit string) bool {
+	return strings.Contains(unit, "pivots") || strings.Contains(unit, "fallbacks")
+}
+
+// Diff compares a fresh run against a baseline, writing a report to
+// w. It returns false — the diff fails — when a baseline benchmark is
+// missing from the run or a gated metric drifted. Benchmarks new in
+// the run and ns/op movement are reported but never fail the diff.
+func Diff(w io.Writer, base, run []Result) bool {
+	byName := map[string]Result{}
+	for _, r := range run {
+		byName[r.Name] = r
+	}
+	ok := true
+	for _, b := range base {
+		r, found := byName[b.Name]
+		if !found {
+			fmt.Fprintf(w, "benchjson: FAIL %s: in baseline but missing from this run\n", b.Name)
+			ok = false
+			continue
+		}
+		for unit, want := range b.Metrics {
+			if !gatedUnit(unit) {
+				continue
+			}
+			got, has := r.Metrics[unit]
+			switch {
+			case !has:
+				fmt.Fprintf(w, "benchjson: FAIL %s: metric %s gone (baseline %g)\n", b.Name, unit, want)
+				ok = false
+			case got != want:
+				fmt.Fprintf(w, "benchjson: FAIL %s: %s drifted %g -> %g\n", b.Name, unit, want, got)
+				ok = false
+			}
+		}
+		if b.NsPerOp > 0 && r.NsPerOp > 0 {
+			fmt.Fprintf(w, "benchjson: %s ns/op %.0f -> %.0f (%.2fx, informational)\n",
+				b.Name, b.NsPerOp, r.NsPerOp, r.NsPerOp/b.NsPerOp)
+		}
+	}
+	inBase := map[string]bool{}
+	for _, b := range base {
+		inBase[b.Name] = true
+	}
+	for _, r := range run {
+		if !inBase[r.Name] {
+			fmt.Fprintf(w, "benchjson: new benchmark %s (not in baseline)\n", r.Name)
+		}
+	}
+	return ok
 }
 
 // Parse reads `go test -bench` output and extracts every benchmark

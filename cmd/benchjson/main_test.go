@@ -48,6 +48,75 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	base := []Result{
+		{Name: "LPColdVsWarm/Cold", NsPerOp: 3e6, Metrics: map[string]float64{"ns/op": 3e6, "pivots/solve": 20}},
+		{Name: "LPFloatFirstCold/FloatFirst", NsPerOp: 9e6, Metrics: map[string]float64{"ns/op": 9e6, "float_pivots/solve": 106, "fallbacks/solve": 0}},
+	}
+	clone := func() []Result {
+		out := make([]Result, len(base))
+		for i, b := range base {
+			m := map[string]float64{}
+			for k, v := range b.Metrics {
+				m[k] = v
+			}
+			out[i] = Result{Name: b.Name, NsPerOp: b.NsPerOp, Metrics: m}
+		}
+		return out
+	}
+
+	var buf strings.Builder
+	if !Diff(&buf, base, clone()) {
+		t.Fatalf("identical run failed the diff:\n%s", buf.String())
+	}
+
+	// ns/op movement alone is informational, never a failure.
+	run := clone()
+	run[0].NsPerOp *= 10
+	run[0].Metrics["ns/op"] *= 10
+	buf.Reset()
+	if !Diff(&buf, base, run) {
+		t.Fatalf("ns/op drift failed the diff:\n%s", buf.String())
+	}
+
+	// A pivot metric drifting is a failure.
+	run = clone()
+	run[0].Metrics["pivots/solve"] = 21
+	buf.Reset()
+	if Diff(&buf, base, run) {
+		t.Fatal("pivot drift passed the diff")
+	}
+	if !strings.Contains(buf.String(), "drifted 20 -> 21") {
+		t.Fatalf("drift report missing:\n%s", buf.String())
+	}
+
+	// So is a fallback count appearing where the baseline had none.
+	run = clone()
+	run[1].Metrics["fallbacks/solve"] = 1
+	if Diff(&strings.Builder{}, base, run) {
+		t.Fatal("fallback drift passed the diff")
+	}
+
+	// A baseline benchmark missing from the run is a failure ...
+	buf.Reset()
+	if Diff(&buf, base, clone()[:1]) {
+		t.Fatal("missing benchmark passed the diff")
+	}
+	if !strings.Contains(buf.String(), "missing from this run") {
+		t.Fatalf("missing-bench report absent:\n%s", buf.String())
+	}
+
+	// ... but a benchmark new in the run is only informational.
+	run = append(clone(), Result{Name: "Brand/New", NsPerOp: 1, Metrics: map[string]float64{"ns/op": 1}})
+	buf.Reset()
+	if !Diff(&buf, base, run) {
+		t.Fatalf("new benchmark failed the diff:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "new benchmark Brand/New") {
+		t.Fatalf("new-bench note absent:\n%s", buf.String())
+	}
+}
+
 func TestParseLineRejectsGarbage(t *testing.T) {
 	for _, line := range []string{
 		"",

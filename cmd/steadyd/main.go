@@ -47,6 +47,7 @@ func main() {
 		simTasks   = flag.Int("max-sim-tasks", 0, "largest accepted dynamic-scenario task count (0 = default)")
 		simHorizon = flag.Float64("max-sim-horizon", 0, "largest accepted dynamic-scenario horizon, in time units (0 = default)")
 		grace      = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
+		floatFirst = flag.Bool("float-first", true, "run LP searches in float64 with exact basis certification (results stay exact; disable to force the pure-exact engine)")
 	)
 	flag.Parse()
 
@@ -64,6 +65,8 @@ func main() {
 		MaxSimPeriods: *simPeriods,
 		MaxSimTasks:   *simTasks,
 		MaxSimHorizon: *simHorizon,
+
+		DisableFloatFirst: !*floatFirst,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

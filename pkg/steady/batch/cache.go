@@ -56,6 +56,15 @@ type Cache struct {
 	warmSolves atomic.Int64
 	pivots     atomic.Int64
 	warmPivots atomic.Int64
+
+	// noFloatFirst disables the float-first LP path for cache misses
+	// (see SetFloatFirst; the zero value means float-first is ON).
+	noFloatFirst atomic.Bool
+
+	floatSolves    atomic.Int64
+	floatPivots    atomic.Int64
+	repairPivots   atomic.Int64
+	exactFallbacks atomic.Int64
 }
 
 type cacheShard struct {
@@ -88,9 +97,22 @@ type CacheStats struct {
 	WarmSolves int64
 	// Pivots is the total simplex pivot count across all solves, and
 	// WarmPivots the share spent in warm-started ones — the spread
-	// against cold solves is what basis reuse buys.
+	// against cold solves is what basis reuse buys. Pivots counts only
+	// exact rational pivots (float-first search pivots are reported
+	// separately in FloatPivots).
 	Pivots     int64
 	WarmPivots int64
+	// FloatSolves is the number of solves that ran the float-first
+	// path (see Cache.SetFloatFirst), FloatPivots their float64 search
+	// pivots, and RepairPivots the exact pivots spent repairing float
+	// bases during certification. ExactFallbacks counts float-first
+	// solves whose certification was abandoned for a pure-exact
+	// re-solve (Result.CertifiedCold) — every cached result is exact
+	// and certified either way.
+	FloatSolves    int64
+	FloatPivots    int64
+	RepairPivots   int64
+	ExactFallbacks int64
 }
 
 // HitRate is Hits / (Hits + Solves), or 0 before any traffic.
@@ -166,8 +188,24 @@ func (c *Cache) Stats() CacheStats {
 		WarmSolves: c.warmSolves.Load(),
 		Pivots:     c.pivots.Load(),
 		WarmPivots: c.warmPivots.Load(),
+
+		FloatSolves:    c.floatSolves.Load(),
+		FloatPivots:    c.floatPivots.Load(),
+		RepairPivots:   c.repairPivots.Load(),
+		ExactFallbacks: c.exactFallbacks.Load(),
 	}
 }
+
+// SetFloatFirst enables or disables the float-first LP path for cache
+// misses. It is ON by default: batch sweeps are exactly the workload
+// the float-search/exact-certificate split is for, and every result
+// is certified exact either way (see steady.FloatFirst). Disable it
+// to reproduce the pure-exact engine's pivot trajectory, e.g. when
+// comparing warm-start pivot counts against true cold solves.
+func (c *Cache) SetFloatFirst(enabled bool) { c.noFloatFirst.Store(!enabled) }
+
+// FloatFirst reports whether cache misses run the float-first path.
+func (c *Cache) FloatFirst() bool { return !c.noFloatFirst.Load() }
 
 // WarmBasis returns the optimal basis of the most recent successful
 // solve under the named solver, or nil. It is what DoSolve feeds to
@@ -191,6 +229,14 @@ func (c *Cache) NoteResult(solver string, res *steady.Result) {
 		c.warmSolves.Add(1)
 		c.warmPivots.Add(int64(res.Pivots))
 	}
+	if res.FloatPivots > 0 || res.CertifiedCold {
+		c.floatSolves.Add(1)
+		c.floatPivots.Add(int64(res.FloatPivots))
+		c.repairPivots.Add(int64(res.RepairPivots))
+		if res.CertifiedCold {
+			c.exactFallbacks.Add(1)
+		}
+	}
 	if b := res.Basis(); b != nil {
 		c.warmMu.Lock()
 		c.warm[solver] = b
@@ -207,9 +253,22 @@ func (c *Cache) NoteResult(solver string, res *steady.Result) {
 // unique — same exact objective, possibly different activity
 // variables — so results depend (harmlessly, but observably) on
 // traffic order; Result.WarmStarted says which path produced one.
+//
+// Unless SetFloatFirst(false) was called, misses without a usable
+// warm basis run the float-first path (steady.FloatFirst): the LP
+// search happens in float64 and only the exactly certified basis
+// result is returned — and therefore cached. An uncertifiable float
+// result never reaches the cache by construction: certification
+// failure re-solves pure-exact inside the same call (the result then
+// reports CertifiedCold), and a solve error is cached only as an
+// error, never as a value.
 func (c *Cache) DoSolve(ctx context.Context, key, solver string, solve func(context.Context, ...steady.SolveOption) (*steady.Result, error)) (*steady.Result, error, bool) {
 	return c.Do(ctx, key, func() (*steady.Result, error) {
-		res, err := solve(ctx, steady.WarmStart(c.WarmBasis(solver)))
+		opts := []steady.SolveOption{steady.WarmStart(c.WarmBasis(solver))}
+		if c.FloatFirst() {
+			opts = append(opts, steady.FloatFirst())
+		}
+		res, err := solve(ctx, opts...)
 		if err == nil {
 			c.NoteResult(solver, res)
 		}

@@ -51,8 +51,13 @@ func TestEngineWarmStartsSweepFamily(t *testing.T) {
 		jobs[i] = batch.Job{ID: fmt.Sprintf("fam%d", i), Platform: p, Solver: solver}
 	}
 	// One worker: deterministic solve order, so every job after the
-	// first finds its predecessor's basis in the cache.
+	// first finds its predecessor's basis in the cache. Float-first is
+	// disabled so the warm-vs-cold comparison below measures the exact
+	// engine's own pivot trajectory (with it on, the cold miss takes ~0
+	// exact pivots too and the comparison is vacuous — see
+	// TestFloatFirstSweepInterplay for that regime).
 	eng := batch.New(1)
+	eng.Cache().SetFloatFirst(false)
 	outs := eng.Run(context.Background(), jobs)
 	for i, o := range outs {
 		if o.Err != nil {

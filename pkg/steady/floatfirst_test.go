@@ -1,0 +1,119 @@
+package steady_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/pkg/steady"
+	"repro/pkg/steady/platform"
+)
+
+// parityPlatforms builds the property-test corpus: ≥50 platforms
+// drawn from every generator family (tree, grid, ring, clique, random
+// connected) under mixed seeds, sized so that even the exponential
+// tree-packing solver stays fast.
+func parityPlatforms() []*platform.Platform {
+	var out []*platform.Platform
+	for seed := int64(1); seed <= 10; seed++ {
+		out = append(out,
+			platform.Tree(rand.New(rand.NewSource(seed)), 2, 2, 5, 5),
+			platform.Grid(rand.New(rand.NewSource(seed)), 3, 3, 5, 5),
+			platform.Ring(rand.New(rand.NewSource(seed)), 8, 5, 5),
+			platform.Clique(rand.New(rand.NewSource(seed)), 5, 5, 5),
+			platform.RandomConnected(rand.New(rand.NewSource(seed)), 10, 8, 5, 5, 0.2),
+		)
+	}
+	return out
+}
+
+// paritySpecs renders every registered problem as a concrete spec for
+// the given platform (targets resolved to real node names), plus the
+// send-or-receive variants of the two problems that support them.
+func paritySpecs(t *testing.T, p *platform.Platform) []steady.Spec {
+	t.Helper()
+	targets := []string{p.Name(1), p.Name(p.NumNodes() - 1)}
+	specs := []steady.Spec{}
+	for _, problem := range steady.Problems() {
+		spec := steady.Spec{Problem: problem}
+		switch problem {
+		case "scatter", "multicast", "multicast-sum", "multicast-trees":
+			spec.Targets = targets
+		}
+		specs = append(specs, spec)
+	}
+	specs = append(specs,
+		steady.Spec{Problem: "masterslave", Model: steady.SendOrReceive},
+		steady.Spec{Problem: "scatter", Targets: targets, Model: steady.SendOrReceive},
+	)
+	return specs
+}
+
+// TestFloatFirstParityAllSolvers is the float-first parity property
+// test: on 50 generated platforms × every registered solver, the
+// float-first path must return byte-identical certified output to the
+// pure-exact engine — same Throughput, same per-node and per-link
+// activity values. The float search mirrors the exact engine's
+// pivot-for-pivot walk, so certification installs the exact engine's
+// own terminal basis; any float misjudgment surfaces as repair pivots
+// or an exact fallback, both of which still certify the same optimum
+// (the objective is always unique even when the vertex is not — a
+// divergence here would mean the certificate itself is broken).
+func TestFloatFirstParityAllSolvers(t *testing.T) {
+	ctx := context.Background()
+	plats := parityPlatforms()
+	if len(plats) < 50 {
+		t.Fatalf("corpus has %d platforms, want >= 50", len(plats))
+	}
+	solves, repairs, fallbacks := 0, 0, 0
+	for pi, p := range plats {
+		for _, spec := range paritySpecs(t, p) {
+			name := fmt.Sprintf("platform %d, spec %+v", pi, spec)
+			solver, err := steady.New(spec)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			cold, err := solver.Solve(ctx, p)
+			if err != nil {
+				t.Fatalf("%s: cold: %v", name, err)
+			}
+			ff, err := solver.Solve(ctx, p, steady.FloatFirst())
+			if err != nil {
+				t.Fatalf("%s: float-first: %v", name, err)
+			}
+			solves++
+			if !cold.Throughput.Equal(ff.Throughput) {
+				t.Fatalf("%s: throughput cold %v, float-first %v", name, cold.Throughput, ff.Throughput)
+			}
+			if len(cold.Nodes) != len(ff.Nodes) || len(cold.Links) != len(ff.Links) {
+				t.Fatalf("%s: activity shapes differ", name)
+			}
+			for i := range cold.Nodes {
+				if !cold.Nodes[i].Alpha.Equal(ff.Nodes[i].Alpha) {
+					t.Fatalf("%s: node %d alpha cold %v, float-first %v",
+						name, i, cold.Nodes[i].Alpha, ff.Nodes[i].Alpha)
+				}
+			}
+			for i := range cold.Links {
+				if !cold.Links[i].Busy.Equal(ff.Links[i].Busy) {
+					t.Fatalf("%s: link %d busy cold %v, float-first %v",
+						name, i, cold.Links[i].Busy, ff.Links[i].Busy)
+				}
+			}
+			if ff.FloatPivots == 0 && !ff.CertifiedCold && ff.Pivots > 0 {
+				t.Fatalf("%s: FloatFirst() had no effect: %+v", name, ff)
+			}
+			if cold.FloatPivots != 0 || cold.CertifiedCold {
+				t.Fatalf("%s: cold solve reports float-first counters: %+v", name, cold)
+			}
+			if ff.RepairPivots > 0 {
+				repairs++
+			}
+			if ff.CertifiedCold {
+				fallbacks++
+			}
+		}
+	}
+	t.Logf("platforms=%d solves=%d repaired=%d fallbacks=%d", len(plats), solves, repairs, fallbacks)
+}

@@ -1,0 +1,374 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/pkg/steady/rat"
+)
+
+// eps60 is 2^-60: a rational objective perturbation that vanishes when
+// rounded to float64 (1 + 2^-60 == 1.0 in float64, since the mantissa
+// carries 52 fraction bits). The float-first search cannot see it, so
+// any optimum that depends on it MUST come from the exact
+// certification — these are the adversarial models that force the
+// repair path.
+var eps60 = rat.New(1, 1<<60)
+
+// solveBoth runs the same model cold and float-first and returns both
+// solutions, failing the test on any solve error or status mismatch.
+func solveBoth(t *testing.T, build func() *Model, opts *Options) (cold, ff *Solution) {
+	t.Helper()
+	var err error
+	cold, err = build().Solve()
+	if err != nil {
+		t.Fatalf("cold solve: %v", err)
+	}
+	ffOpts := &Options{FloatFirst: true}
+	if opts != nil {
+		ffOpts = opts
+		ffOpts.FloatFirst = true
+	}
+	ff, err = build().SolveOpts(ffOpts)
+	if err != nil {
+		t.Fatalf("float-first solve: %v", err)
+	}
+	if cold.Status != ff.Status {
+		t.Fatalf("status: cold %v, float-first %v", cold.Status, ff.Status)
+	}
+	return cold, ff
+}
+
+// assertIdentical demands byte-identical certified output: objective,
+// every variable value, every dual.
+func assertIdentical(t *testing.T, m *Model, cold, ff *Solution) {
+	t.Helper()
+	if !cold.Objective.Equal(ff.Objective) {
+		t.Fatalf("objective: cold %v, float-first %v", cold.Objective, ff.Objective)
+	}
+	for v := 0; v < m.NumVars(); v++ {
+		if !cold.Value(Var(v)).Equal(ff.Value(Var(v))) {
+			t.Fatalf("value of var %d: cold %v, float-first %v", v, cold.Value(Var(v)), ff.Value(Var(v)))
+		}
+	}
+	for i := 0; i < m.NumCons(); i++ {
+		if !cold.Dual(i).Equal(ff.Dual(i)) {
+			t.Fatalf("dual of con %d: cold %v, float-first %v", i, cold.Dual(i), ff.Dual(i))
+		}
+	}
+}
+
+// TestFloatFirstRandomParity: across 200 random LPs, the float-first
+// path must return byte-identical status, objective, values and duals
+// to the pure-exact engine. The float search mirrors the exact
+// engine's Bland walk, so on these well-scaled models it lands on the
+// exact engine's own terminal basis and certification costs zero
+// repair pivots.
+func TestFloatFirstRandomParity(t *testing.T) {
+	repairs, fallbacks := 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		cold, err := randomSeededLEModel(seed, 0).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := randomSeededLEModel(seed, 0)
+		ff, err := m.SolveOpts(&Options{FloatFirst: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Status != ff.Status {
+			t.Fatalf("seed %d: status cold %v, float-first %v", seed, cold.Status, ff.Status)
+		}
+		if cold.Status != Optimal {
+			continue
+		}
+		assertIdentical(t, m, cold, ff)
+		if err := m.CheckFeasible(ff.Values()); err != nil {
+			t.Fatalf("seed %d: certified point infeasible: %v", seed, err)
+		}
+		if ff.Info.RepairPivots > 0 {
+			repairs++
+		}
+		if ff.Info.CertifiedCold {
+			fallbacks++
+		}
+	}
+	t.Logf("repaired=%d fallbacks=%d of 200", repairs, fallbacks)
+}
+
+// TestFloatFirstBealeCycling: Beale's classic cycling LP is maximally
+// degenerate — every phase-2 pivot of the cycle is degenerate. The
+// float-first path must agree with the exact engine byte for byte
+// under both pricing rules (under Dantzig, both engines fall back to
+// Bland after the degeneracy stall).
+func TestFloatFirstBealeCycling(t *testing.T) {
+	for _, pricing := range []Pricing{PricingBland, PricingDantzig} {
+		cold, err := bealeModel().SolveOpts(&Options{Pricing: pricing})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := bealeModel()
+		ff, err := m.SolveOpts(&Options{Pricing: pricing, FloatFirst: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Status != Optimal || ff.Status != Optimal {
+			t.Fatalf("pricing %v: status cold %v, float-first %v", pricing, cold.Status, ff.Status)
+		}
+		if want := rat.New(1, 20); !ff.Objective.Equal(want) {
+			t.Fatalf("pricing %v: objective %v, want 1/20", pricing, ff.Objective)
+		}
+		assertIdentical(t, m, cold, ff)
+	}
+}
+
+// TestFloatFirstEpsilonObjectiveForcesRepair: the objective prefers y
+// by 2^-60 — invisible in float64, so the float search stops at the
+// x-vertex. Certification must detect the exactly-positive reduced
+// cost and repair with exact pivots to the true optimum 1 + 2^-60.
+func TestFloatFirstEpsilonObjectiveForcesRepair(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x, y := m.Var("x"), m.Var("y")
+		m.Objective(Maximize, Expr{{x, ri(1)}, {y, ri(1).Add(eps60)}})
+		m.Le("cap", Expr{{x, ri(1)}, {y, ri(1)}}, ri(1))
+		return m
+	}
+	m := build()
+	cold, ff := solveBoth(t, build, nil)
+	if ff.Info.RepairPivots == 0 && !ff.Info.CertifiedCold {
+		t.Fatalf("float basis accepted unrepaired, but the float search cannot see the 2^-60 objective gap: %+v", ff.Info)
+	}
+	want := ri(1).Add(eps60)
+	if !ff.Objective.Equal(want) {
+		t.Fatalf("objective %v, want 1 + 2^-60", ff.Objective)
+	}
+	assertIdentical(t, m, cold, ff)
+}
+
+// TestFloatFirstRepairBudgetFallback: with three variables separated
+// by float-invisible objective gaps, repairing the float basis takes
+// two exact pivots; a RepairBudget of one forces the certification to
+// abandon the float work and re-solve pure-exact (CertifiedCold), and
+// the result must still be the true optimum.
+func TestFloatFirstRepairBudgetFallback(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x, y, z := m.Var("x"), m.Var("y"), m.Var("z")
+		m.Objective(Maximize, Expr{
+			{x, ri(1)},
+			{y, ri(1).Add(eps60)},
+			{z, ri(1).Add(eps60).Add(eps60)},
+		})
+		m.Le("cap", Expr{{x, ri(1)}, {y, ri(1)}, {z, ri(1)}}, ri(1))
+		return m
+	}
+	m := build()
+	cold, ff := solveBoth(t, build, &Options{RepairBudget: 1})
+	if !ff.Info.CertifiedCold {
+		t.Fatalf("RepairBudget=1 must force the exact fallback (the repair needs 2 pivots): %+v", ff.Info)
+	}
+	want := ri(1).Add(eps60).Add(eps60)
+	if !ff.Objective.Equal(want) {
+		t.Fatalf("objective %v, want 1 + 2^-59", ff.Objective)
+	}
+	assertIdentical(t, m, cold, ff)
+
+	// With an adequate budget the same model certifies via repair
+	// instead of falling back.
+	ff2, err := build().SolveOpts(&Options{FloatFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff2.Info.CertifiedCold || ff2.Info.RepairPivots == 0 {
+		t.Fatalf("default budget should repair in-place: %+v", ff2.Info)
+	}
+}
+
+// TestFloatFirstDegeneratePhase1Repair: a system with an all-zero row
+// and a duplicated equality exercises phase 1's artificial machinery
+// and the redundant-row drop in both engines, while the 2^-60
+// objective gap still forces the exact repair (or fallback) path.
+func TestFloatFirstDegeneratePhase1Repair(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x, y := m.Var("x"), m.Var("y")
+		m.Objective(Maximize, Expr{{x, ri(1)}, {y, ri(1).Add(eps60)}})
+		m.Eq("zero", Expr{}, ri(0)) // all-zero row: redundant, phase-1 artificial only
+		m.Eq("cap", Expr{{x, ri(1)}, {y, ri(1)}}, ri(1))
+		m.Eq("dup", Expr{{x, ri(1)}, {y, ri(1)}}, ri(1)) // duplicate: dropped after phase 1
+		return m
+	}
+	m := build()
+	cold, ff := solveBoth(t, build, nil)
+	if ff.Info.RepairPivots == 0 && !ff.Info.CertifiedCold {
+		t.Fatalf("degenerate model with float-invisible gap certified unrepaired: %+v", ff.Info)
+	}
+	want := ri(1).Add(eps60)
+	if !ff.Objective.Equal(want) {
+		t.Fatalf("objective %v, want 1 + 2^-60", ff.Objective)
+	}
+	assertIdentical(t, m, cold, ff)
+}
+
+// TestFloatFirstIllConditionedConstraints: two near-parallel
+// constraints whose coefficients differ by 2^-60 are
+// indistinguishable in float64. The float search optimizes against
+// the wrong (collapsed) geometry; the exact certification must
+// detect the exactly-infeasible or suboptimal basis and repair or
+// fall back, landing on the true vertex y = 1/(1+2^-60).
+func TestFloatFirstIllConditionedConstraints(t *testing.T) {
+	build := func() *Model {
+		m := NewModel()
+		x, y := m.Var("x"), m.Var("y")
+		m.Objective(Maximize, Expr{{x, ri(1)}, {y, ri(2)}})
+		m.Le("r1", Expr{{x, ri(1)}, {y, ri(1)}}, ri(1))
+		m.Le("r2", Expr{{x, ri(1)}, {y, ri(1).Add(eps60)}}, ri(1))
+		return m
+	}
+	m := build()
+	cold, ff := solveBoth(t, build, nil)
+	if ff.Info.RepairPivots == 0 && !ff.Info.CertifiedCold {
+		t.Fatalf("float basis accepted against exactly-tighter constraint: %+v", ff.Info)
+	}
+	want := ri(2).Div(ri(1).Add(eps60))
+	if !ff.Objective.Equal(want) {
+		t.Fatalf("objective %v, want 2/(1+2^-60)", ff.Objective)
+	}
+	assertIdentical(t, m, cold, ff)
+	if err := m.CheckFeasible(ff.Values()); err != nil {
+		t.Fatalf("certified point infeasible: %v", err)
+	}
+}
+
+// TestFloatFirstInfeasibleAndUnbounded: non-Optimal statuses are
+// never trusted from the float phase — both must be re-derived by the
+// exact engine (CertifiedCold) and agree with the cold solve.
+func TestFloatFirstInfeasibleAndUnbounded(t *testing.T) {
+	infeasible := func() *Model {
+		m := NewModel()
+		x := m.Var("x")
+		m.Objective(Maximize, Expr{{x, ri(1)}})
+		m.Le("lo", Expr{{x, ri(1)}}, ri(-1))
+		return m
+	}
+	_, ff := solveBoth(t, infeasible, nil)
+	if ff.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", ff.Status)
+	}
+	if !ff.Info.CertifiedCold {
+		t.Fatalf("infeasible status must be certified by the exact engine: %+v", ff.Info)
+	}
+
+	unbounded := func() *Model {
+		m := NewModel()
+		x := m.Var("x")
+		m.Objective(Maximize, Expr{{x, ri(1)}})
+		m.Ge("lo", Expr{{x, ri(1)}}, ri(1))
+		return m
+	}
+	_, ff = solveBoth(t, unbounded, nil)
+	if ff.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", ff.Status)
+	}
+}
+
+// FuzzFloatFirstParity drives the random-LP generator from fuzzed
+// (seed, perturb) pairs and cross-checks the float-first path against
+// the pure-exact engine: same status, byte-identical objective, and
+// an exactly feasible certified point. Run with `go test -fuzz
+// FuzzFloatFirstParity ./pkg/steady/lp` to search beyond the corpus.
+func FuzzFloatFirstParity(f *testing.F) {
+	f.Add(int64(0), int64(0))
+	f.Add(int64(1), int64(0))
+	f.Add(int64(7), int64(3))
+	f.Add(int64(42), int64(-5))
+	f.Add(int64(1<<40), int64(97))
+	f.Add(int64(-1), int64(1))
+	f.Fuzz(func(t *testing.T, seed, perturb int64) {
+		if perturb > 1<<30 || perturb < -(1<<30) {
+			return // keep rationals small enough to solve fast
+		}
+		cold, err := randomSeededLEModel(seed, perturb).Solve()
+		if err != nil {
+			t.Skip() // budget-class errors affect both paths alike
+		}
+		m := randomSeededLEModel(seed, perturb)
+		ff, err := m.SolveOpts(&Options{FloatFirst: true})
+		if err != nil {
+			t.Fatalf("seed %d/%d: float-first errored where exact succeeded: %v", seed, perturb, err)
+		}
+		if cold.Status != ff.Status {
+			t.Fatalf("seed %d/%d: status cold %v, float-first %v", seed, perturb, cold.Status, ff.Status)
+		}
+		if cold.Status != Optimal {
+			return
+		}
+		if !cold.Objective.Equal(ff.Objective) {
+			t.Fatalf("seed %d/%d: objective cold %v, float-first %v", seed, perturb, cold.Objective, ff.Objective)
+		}
+		if err := m.CheckFeasible(ff.Values()); err != nil {
+			t.Fatalf("seed %d/%d: certified point infeasible: %v", seed, perturb, err)
+		}
+	})
+}
+
+// TestFloatFirstWarmInteraction: a warm basis takes precedence over
+// FloatFirst — re-solving a perturbed neighbor from a float-first
+// solve's certified basis must accept the warm start, skip the float
+// phase entirely, and finish in (near) zero exact pivots; when the
+// warm basis cannot be mapped, the solve must fall back to the
+// float-first path, not the pure-exact cold solve.
+func TestFloatFirstWarmInteraction(t *testing.T) {
+	first, err := randomSeededLEModel(11, 0).SolveOpts(&Options{FloatFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != Optimal || first.Basis() == nil {
+		t.Fatalf("seed solve: status %v, basis %v", first.Status, first.Basis())
+	}
+	if first.Info.Pivots != 0 && first.Info.RepairPivots != first.Info.Pivots {
+		t.Fatalf("float-first cold solve took unexplained exact pivots: %+v", first.Info)
+	}
+
+	// Perturbed neighbor, warm + float-first: the warm path must win.
+	warm, err := randomSeededLEModel(11, 1).SolveOpts(&Options{
+		WarmBasis:  first.Basis(),
+		FloatFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Info.WarmStarted {
+		t.Fatalf("warm basis rejected for a same-shape neighbor: %+v", warm.Info)
+	}
+	if warm.Info.FloatPivots != 0 || warm.Info.CertifiedCold {
+		t.Fatalf("accepted warm start must skip the float phase: %+v", warm.Info)
+	}
+	coldNeighbor, err := randomSeededLEModel(11, 1).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Objective.Equal(coldNeighbor.Objective) {
+		t.Fatalf("warm objective %v != cold %v", warm.Objective, coldNeighbor.Objective)
+	}
+	if warm.Info.Pivots*5 > coldNeighbor.Info.Pivots {
+		t.Fatalf("warm re-solve took %d pivots vs cold %d — basis reuse bought nothing",
+			warm.Info.Pivots, coldNeighbor.Info.Pivots)
+	}
+
+	// A basis from a structurally different model is rejected; the
+	// solve must then run float-first, not pure-exact.
+	other, err := randomSeededLEModel(12, 0).SolveOpts(&Options{
+		WarmBasis:  first.Basis(),
+		FloatFirst: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Info.WarmStarted {
+		t.Fatalf("foreign basis accepted: %+v", other.Info)
+	}
+	if other.Status == Optimal && other.Info.FloatPivots == 0 && !other.Info.CertifiedCold {
+		t.Fatalf("rejected warm basis skipped the float-first path: %+v", other.Info)
+	}
+}

@@ -220,6 +220,21 @@ type SolveInfo struct {
 	// mismatch, singular, or too infeasible to repair) the solver
 	// falls back to a cold solve and WarmStarted stays false.
 	WarmStarted bool
+	// FloatPivots is the number of float64 pivots the float-first
+	// search phase took (0 unless Options.FloatFirst ran; see the
+	// package comment of floatfirst.go). Float pivots are cheap —
+	// Pivots counts only exact rational pivots.
+	FloatPivots int
+	// RepairPivots is the number of exact pivots spent repairing the
+	// float-optimal basis during certification (a subset of Pivots; 0
+	// when the float basis was exactly optimal as installed).
+	RepairPivots int
+	// CertifiedCold reports that a float-first solve could not certify
+	// the float basis (float failure, singular install, or repair
+	// budget exhausted) and the returned solution came from the
+	// pure-exact fallback instead. It is always false when FloatFirst
+	// was not requested.
+	CertifiedCold bool
 }
 
 // Solution is the result of an exact solve.

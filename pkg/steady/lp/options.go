@@ -67,6 +67,38 @@ type Options struct {
 	// pivots — is silently discarded and the solve proceeds cold;
 	// Solution.Info.WarmStarted reports which path ran.
 	WarmBasis *Basis
+	// FloatFirst runs the simplex *search* in sparse float64 and only
+	// the *certificate* in exact rationals: the float-optimal basis is
+	// reinstalled exactly, primal and dual feasibility are verified in
+	// big.Rat, and disagreements are repaired with at most RepairBudget
+	// exact pivots (SolveInfo.FloatPivots / RepairPivots report the
+	// split). Every returned value is exactly certified — identical
+	// guarantees to the pure-exact solve — and if the float phase
+	// fails in any way the solver silently falls back to the
+	// pure-exact path (SolveInfo.CertifiedCold). A warm basis, when
+	// also present and accepted, takes precedence: the float phase
+	// only runs for solves that would otherwise be cold.
+	FloatFirst bool
+	// RepairBudget caps the exact repair pivots of a float-first
+	// certification; beyond it the float basis is abandoned and the
+	// solve falls back to the pure-exact path. <= 0 selects
+	// DefaultRepairFloor + rows.
+	RepairBudget int
+}
+
+// DefaultRepairFloor is the constant part of the default float-first
+// repair budget (DefaultRepairFloor + rows): enough slack for the
+// handful of pivots a float/exact disagreement needs, far below a
+// full cold solve's pivot count on anything sizable.
+const DefaultRepairFloor = 32
+
+// resolveRepairBudget resolves Options.RepairBudget for a model with
+// nRows standardized rows.
+func resolveRepairBudget(o *Options, nRows int) int {
+	if o != nil && o.RepairBudget > 0 {
+		return o.RepairBudget
+	}
+	return DefaultRepairFloor + nRows
 }
 
 // params are the resolved per-solve knobs.

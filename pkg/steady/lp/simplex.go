@@ -80,7 +80,10 @@ func (m *Model) SolveOpts(opts *Options) (*Solution, error) {
 		if !errors.Is(err, errWarmReject) {
 			return nil, err
 		}
-		// Warm basis rejected: solve cold.
+		// Warm basis rejected: solve cold (float-first when asked).
+	}
+	if opts != nil && opts.FloatFirst {
+		return m.solveFloatFirst(opts)
 	}
 	return m.solveCold(opts)
 }

@@ -1,0 +1,109 @@
+package server_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
+	"repro/pkg/steady/server"
+)
+
+// TestStatsFloatFirstCounters: by default the server's cache runs the
+// float-first LP path; solving a sweep family through /v1/solve must
+// surface the float/repair/fallback traffic in the lp section of
+// GET /v1/stats, with the warm-start interplay keeping exact pivots
+// at (near) zero.
+func TestStatsFloatFirstCounters(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+
+	base := platform.RandomConnected(rand.New(rand.NewSource(5)), 8, 8, 5, 5, 0)
+	var throughputs []string
+	for step := int64(0); step < 3; step++ {
+		q := platform.New()
+		for i := 0; i < base.NumNodes(); i++ {
+			w := base.Weight(i)
+			if !w.Inf {
+				w = platform.W(w.Val.Add(rat.New(step, 103)))
+			}
+			q.AddNode(base.Name(i), w)
+		}
+		for _, ed := range base.Edges() {
+			q.AddEdge(ed.From, ed.To, ed.C.Add(rat.New(step, 101)))
+		}
+		res := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+			Problem:  "masterslave",
+			Platform: platformJSON(t, q),
+		}))
+		throughputs = append(throughputs, res.Throughput)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	lp := stats.LP
+	if !lp.FloatFirst {
+		t.Fatalf("lp.float_first = false on a default server: %+v", lp)
+	}
+	if lp.FloatSolves < 1 || lp.FloatPivots <= 0 {
+		t.Fatalf("float-first traffic missing from stats: %+v", lp)
+	}
+	if lp.WarmSolves != 2 || lp.ColdSolves != 1 {
+		t.Fatalf("lp solves = %+v, want 2 warm + 1 cold", lp)
+	}
+	if lp.ExactFallbacks != 0 {
+		t.Fatalf("unexpected exact fallbacks: %+v", lp)
+	}
+	// Float search on the miss, warm re-solves after: the family
+	// costs (near) zero exact pivots end to end.
+	if lp.PivotsTotal > 3 {
+		t.Fatalf("lp.pivots_total = %d, want ~0 under float-first + warm starts: %+v", lp.PivotsTotal, lp)
+	}
+
+	// Same family against a float-first-disabled server: identical
+	// exact throughputs, pure-exact counters.
+	ts2 := newTestServer(t, server.Config{DisableFloatFirst: true})
+	for step := int64(0); step < 3; step++ {
+		q := platform.New()
+		for i := 0; i < base.NumNodes(); i++ {
+			w := base.Weight(i)
+			if !w.Inf {
+				w = platform.W(w.Val.Add(rat.New(step, 103)))
+			}
+			q.AddNode(base.Name(i), w)
+		}
+		for _, ed := range base.Edges() {
+			q.AddEdge(ed.From, ed.To, ed.C.Add(rat.New(step, 101)))
+		}
+		res := decodeSolve(t, postJSON(t, ts2.URL+"/v1/solve", server.SolveRequest{
+			Problem:  "masterslave",
+			Platform: platformJSON(t, q),
+		}))
+		if res.Throughput != throughputs[step] {
+			t.Fatalf("step %d: float-first server %q != exact server %q", step, throughputs[step], res.Throughput)
+		}
+	}
+	resp2, err := http.Get(ts2.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var stats2 server.StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&stats2); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.LP.FloatFirst || stats2.LP.FloatSolves != 0 || stats2.LP.FloatPivots != 0 {
+		t.Fatalf("disabled server reports float traffic: %+v", stats2.LP)
+	}
+	if stats2.LP.PivotsTotal == 0 {
+		t.Fatalf("pure-exact server reports no pivots: %+v", stats2.LP)
+	}
+}

@@ -74,6 +74,13 @@ type Config struct {
 	MaxSimPeriods int64
 	MaxSimTasks   int
 	MaxSimHorizon float64
+	// DisableFloatFirst turns off the float-first LP path for cache
+	// misses (see batch.Cache.SetFloatFirst). The zero value keeps it
+	// enabled: the float64 search with an exact rational certificate
+	// returns the same certified-exact results an order of magnitude
+	// faster on large platforms; /v1/stats' lp section reports the
+	// float/repair/fallback traffic.
+	DisableFloatFirst bool
 }
 
 func (c Config) withDefaults() Config {
@@ -145,6 +152,7 @@ func New(cfg Config) *Server {
 		bound = 0 // batch.NewCache: <= 0 means unbounded
 	}
 	cache := batch.NewCache(cfg.CacheShards, bound)
+	cache.SetFloatFirst(!cfg.DisableFloatFirst)
 	engine := batch.NewWithCache(cfg.Workers, cache)
 	s := &Server{
 		cfg:    cfg,
@@ -615,7 +623,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds:  time.Since(s.start).Seconds(),
 		InFlightSolves: cs.InFlight,
 		Cache:          cacheStatsJSON(cs),
-		LP:             lpStatsJSON(cs),
+		LP:             lpStatsJSON(cs, s.cache.FloatFirst()),
 		Simulations:    s.simMetrics.snapshot(),
 		Solvers:        s.metrics.snapshot(),
 	})

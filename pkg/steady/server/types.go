@@ -283,6 +283,19 @@ type LPStatsJSON struct {
 	// WarmPivots / ColdPivots split PivotsTotal the same way.
 	WarmPivots int64 `json:"warm_pivots"`
 	ColdPivots int64 `json:"cold_pivots"`
+	// FloatFirst reports whether the float-search/exact-certificate
+	// path is enabled (Config.DisableFloatFirst). FloatSolves counts
+	// solves that ran it, FloatPivots their float64 search pivots (not
+	// part of PivotsTotal, which counts exact pivots only),
+	// RepairPivots the exact pivots spent repairing float bases during
+	// certification, and ExactFallbacks the float-first solves that
+	// fell back to a pure-exact re-solve. Results are certified exact
+	// on every path.
+	FloatFirst     bool  `json:"float_first"`
+	FloatSolves    int64 `json:"float_solves"`
+	FloatPivots    int64 `json:"float_pivots"`
+	RepairPivots   int64 `json:"repair_pivots"`
+	ExactFallbacks int64 `json:"exact_fallbacks"`
 }
 
 // SolverStatsJSON is one solver's latency histogram in GET /v1/stats.
@@ -361,12 +374,18 @@ func cacheStatsJSON(cs batch.CacheStats) CacheStatsJSON {
 	}
 }
 
-func lpStatsJSON(cs batch.CacheStats) LPStatsJSON {
+func lpStatsJSON(cs batch.CacheStats, floatFirst bool) LPStatsJSON {
 	return LPStatsJSON{
 		PivotsTotal: cs.Pivots,
 		WarmSolves:  cs.WarmSolves,
 		ColdSolves:  cs.Solves - cs.WarmSolves,
 		WarmPivots:  cs.WarmPivots,
 		ColdPivots:  cs.Pivots - cs.WarmPivots,
+
+		FloatFirst:     floatFirst,
+		FloatSolves:    cs.FloatSolves,
+		FloatPivots:    cs.FloatPivots,
+		RepairPivots:   cs.RepairPivots,
+		ExactFallbacks: cs.ExactFallbacks,
 	}
 }

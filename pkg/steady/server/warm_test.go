@@ -14,9 +14,11 @@ import (
 // TestStatsLPCounters: solving a family of structurally identical
 // platforms through /v1/solve must surface simplex pivots and
 // warm-start traffic in the lp section of GET /v1/stats — the second
-// and later misses reuse the first solve's optimal basis.
+// and later misses reuse the first solve's optimal basis. Float-first
+// is disabled so the counters reflect the pure-exact engine's pivot
+// trajectory (the float-first counters have their own test).
 func TestStatsLPCounters(t *testing.T) {
-	ts := newTestServer(t, server.Config{})
+	ts := newTestServer(t, server.Config{DisableFloatFirst: true})
 
 	base := platform.RandomConnected(rand.New(rand.NewSource(5)), 8, 8, 5, 5, 0)
 	for step := int64(0); step < 3; step++ {

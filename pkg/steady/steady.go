@@ -214,6 +214,14 @@ type Result struct {
 	// verified feasibility, possibly different activity variables.
 	Pivots      int
 	WarmStarted bool
+	// FloatPivots, RepairPivots and CertifiedCold report the
+	// float-first certification outcome when the FloatFirst option was
+	// used (see lp.SolveInfo): float64 search pivots, exact pivots
+	// spent repairing the float basis, and whether certification was
+	// abandoned for a pure-exact re-solve. All zero otherwise.
+	FloatPivots   int
+	RepairPivots  int
+	CertifiedCold bool
 
 	basis *lp.Basis // optimal LP basis, for warm-started re-solves
 	raw   any       // underlying internal/core solution, for reconstruction
@@ -434,12 +442,15 @@ func baseModelOnly(spec Spec) error {
 
 func fromScatter(sc *core.Scatter) *Result {
 	return &Result{
-		Throughput:  sc.Throughput,
-		Links:       linkActivities(sc.P, sc.S),
-		Pivots:      sc.LP.Pivots,
-		WarmStarted: sc.LP.WarmStarted,
-		basis:       sc.Basis,
-		raw:         sc,
+		Throughput:    sc.Throughput,
+		Links:         linkActivities(sc.P, sc.S),
+		Pivots:        sc.LP.Pivots,
+		WarmStarted:   sc.LP.WarmStarted,
+		FloatPivots:   sc.LP.FloatPivots,
+		RepairPivots:  sc.LP.RepairPivots,
+		CertifiedCold: sc.LP.CertifiedCold,
+		basis:         sc.Basis,
+		raw:           sc,
 	}
 }
 
@@ -451,13 +462,16 @@ func init() {
 				return nil, err
 			}
 			return &Result{
-				Throughput:  ms.Throughput,
-				Nodes:       nodeActivities(p, ms.Alpha),
-				Links:       linkActivities(p, ms.S),
-				Pivots:      ms.LP.Pivots,
-				WarmStarted: ms.LP.WarmStarted,
-				basis:       ms.Basis,
-				raw:         ms,
+				Throughput:    ms.Throughput,
+				Nodes:         nodeActivities(p, ms.Alpha),
+				Links:         linkActivities(p, ms.S),
+				Pivots:        ms.LP.Pivots,
+				WarmStarted:   ms.LP.WarmStarted,
+				FloatPivots:   ms.LP.FloatPivots,
+				RepairPivots:  ms.LP.RepairPivots,
+				CertifiedCold: ms.LP.CertifiedCold,
+				basis:         ms.Basis,
+				raw:           ms,
 			}, nil
 		}}, nil
 	})
@@ -516,12 +530,15 @@ func init() {
 				return nil, err
 			}
 			return &Result{
-				Throughput:  pack.Throughput,
-				Trees:       pack.NumTrees,
-				Pivots:      pack.LP.Pivots,
-				WarmStarted: pack.LP.WarmStarted,
-				basis:       pack.Basis,
-				raw:         pack,
+				Throughput:    pack.Throughput,
+				Trees:         pack.NumTrees,
+				Pivots:        pack.LP.Pivots,
+				WarmStarted:   pack.LP.WarmStarted,
+				FloatPivots:   pack.LP.FloatPivots,
+				RepairPivots:  pack.LP.RepairPivots,
+				CertifiedCold: pack.LP.CertifiedCold,
+				basis:         pack.Basis,
+				raw:           pack,
 			}, nil
 		}}, nil
 	})
