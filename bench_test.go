@@ -24,7 +24,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/schedule"
-	"repro/internal/sim"
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/lp"
@@ -32,6 +31,7 @@ import (
 	"repro/pkg/steady/rat"
 	serverpkg "repro/pkg/steady/server"
 	simpkg "repro/pkg/steady/sim"
+	"repro/pkg/steady/sim/event"
 )
 
 // benchExperiment times a full experiment regeneration.
@@ -126,9 +126,13 @@ func BenchmarkPeriodicSim100Periods(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	spec, err := per.EventSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.RunPeriodicMasterSlave(per, 100); err != nil {
+		if _, err := event.RunPeriodic(spec, 100, event.PeriodicOptions{PerPeriod: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -144,10 +148,14 @@ func BenchmarkMakespan100kTasks(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	spec, err := per.EventSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
 	n := big.NewInt(100000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.MakespanPeriods(per, n); err != nil {
+		if _, err := event.RunUntil(spec, n, event.PeriodicOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -46,6 +46,7 @@ func main() {
 		simPeriods = flag.Int64("max-sim-periods", 0, "largest accepted replay horizon, in periods (0 = default)")
 		simTasks   = flag.Int("max-sim-tasks", 0, "largest accepted dynamic-scenario task count (0 = default)")
 		simHorizon = flag.Float64("max-sim-horizon", 0, "largest accepted dynamic-scenario horizon, in time units (0 = default)")
+		simTrace   = flag.Int("max-trace-events", 0, "largest event trace a traced /v1/simulate may return (0 = default)")
 		grace      = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
 		floatFirst = flag.Bool("float-first", true, "run LP searches in float64 with exact basis certification (results stay exact; disable to force the pure-exact engine)")
 	)
@@ -65,6 +66,8 @@ func main() {
 		MaxSimPeriods: *simPeriods,
 		MaxSimTasks:   *simTasks,
 		MaxSimHorizon: *simHorizon,
+
+		MaxTraceEvents: *simTrace,
 
 		DisableFloatFirst: !*floatFirst,
 	})

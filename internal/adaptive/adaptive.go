@@ -12,10 +12,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forecast"
-	"repro/internal/sim"
 	"repro/pkg/steady/lp"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
+	sim "repro/pkg/steady/sim/event"
 )
 
 // maxDen bounds the denominators of measured values fed into the

@@ -4,20 +4,20 @@ import (
 	"testing"
 
 	"repro/internal/baseline"
-	"repro/internal/sim"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
+	sim "repro/pkg/steady/sim/event"
 )
 
 // driftStar builds a star whose second worker's link degrades 5x at
 // t=200 while the first improves: the kind of change §5.5 targets.
-func driftStar() (*platform.Platform, []*sim.Trace, []*sim.Trace) {
+func driftStar() (*platform.Platform, []*sim.LoadTrace, []*sim.LoadTrace) {
 	p := platform.Star(platform.WInt(20),
 		[]platform.Weight{platform.WInt(2), platform.WInt(2)},
 		[]rat.Rat{rat.FromInt(1), rat.FromInt(1)})
-	edgeLoad := []*sim.Trace{
-		sim.StepTrace([]float64{0, 200}, []float64{3, 1}),
-		sim.StepTrace([]float64{0, 200}, []float64{1, 5}),
+	edgeLoad := []*sim.LoadTrace{
+		sim.StepLoad([]float64{0, 200}, []float64{3, 1}),
+		sim.StepLoad([]float64{0, 200}, []float64{1, 5}),
 	}
 	return p, nil, edgeLoad
 }

@@ -5,9 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/core"
-	"repro/internal/sim"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
+	sim "repro/pkg/steady/sim/event"
 )
 
 func star(t *testing.T) (*platform.Platform, []int) {

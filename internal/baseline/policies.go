@@ -11,7 +11,7 @@ package baseline
 import (
 	"math/rand"
 
-	"repro/internal/sim"
+	sim "repro/pkg/steady/sim/event"
 )
 
 // FCFS serves child requests in arrival order.

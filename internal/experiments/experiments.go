@@ -19,10 +19,10 @@ import (
 	"repro/internal/discovery"
 	"repro/internal/divisible"
 	"repro/internal/schedule"
-	"repro/internal/sim"
 	"repro/pkg/steady/lp"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
+	sim "repro/pkg/steady/sim/event"
 )
 
 // Registry maps experiment ids to their runners, in presentation order.
@@ -80,7 +80,11 @@ func E1(w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "  reconstruction: %v\n", per)
-	stats, err := sim.RunPeriodicMasterSlave(per, 20)
+	spec, err := per.EventSpec()
+	if err != nil {
+		return err
+	}
+	stats, err := sim.RunPeriodic(spec, 20, sim.PeriodicOptions{PerPeriod: true})
 	if err != nil {
 		return err
 	}
@@ -234,9 +238,13 @@ func E5(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "Asymptotic optimality on Figure 1 (T=%v, %v tasks/period)\n",
 		per.Period, per.TasksPerPeriod)
+	spec, err := per.EventSpec()
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "  %-10s %-10s %-12s %-10s\n", "n", "periods", "makespan", "ratio")
 	for _, n := range []int64{100, 1000, 10000, 100000, 1000000} {
-		periods, err := sim.MakespanPeriods(per, big.NewInt(n))
+		periods, err := sim.RunUntil(spec, big.NewInt(n), sim.PeriodicOptions{})
 		if err != nil {
 			return err
 		}
@@ -304,10 +312,10 @@ func E8(w io.Writer) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(11))
-	edgeLoad := []*sim.Trace{
-		sim.StepTrace([]float64{0, 300}, []float64{4, 1}),
-		sim.StepTrace([]float64{0, 300}, []float64{1, 4}),
-		sim.RandomWalkTrace(rng, 900, 60, 1, 3),
+	edgeLoad := []*sim.LoadTrace{
+		sim.StepLoad([]float64{0, 300}, []float64{4, 1}),
+		sim.StepLoad([]float64{0, 300}, []float64{1, 4}),
+		sim.RandomWalkLoad(rng, 900, 60, 1, 3),
 	}
 	const horizon = 900
 	run := func(pol sim.Policy, epoch float64, onEpoch func(float64, *sim.EpochObservation)) (int, error) {
@@ -516,7 +524,11 @@ func E13(w io.Writer) error {
 	fmt.Fprintf(w, "%d tasks on Figure 1 (lower bound n/ntask = %.1f)\n",
 		n, float64(n)/ms.Throughput.Float64())
 
-	periods, err := sim.MakespanPeriods(per, big.NewInt(n))
+	spec, err := per.EventSpec()
+	if err != nil {
+		return err
+	}
+	periods, err := sim.RunUntil(spec, big.NewInt(n), sim.PeriodicOptions{})
 	if err != nil {
 		return err
 	}

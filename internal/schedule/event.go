@@ -1,0 +1,28 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/pkg/steady/sim/event"
+)
+
+// EventSpec converts the periodic schedule into the unified event
+// core's replay input: a single flow commodity rooted at the master
+// with the schedule's per-period edge and compute counts. The
+// conversion validates the schedule first, so a spec obtained here is
+// always runnable.
+func (per *Periodic) EventSpec() (*event.PeriodicSpec, error) {
+	if err := per.Check(); err != nil {
+		return nil, fmt.Errorf("schedule: invalid schedule: %w", err)
+	}
+	return &event.PeriodicSpec{
+		Platform: per.P,
+		Commodities: []event.Commodity{{
+			Name:      "tasks",
+			Source:    per.Master,
+			EdgeCount: per.EdgeTasks,
+			Consume:   per.ComputeTasks,
+			Quota:     per.TasksPerPeriod,
+		}},
+	}, nil
+}

@@ -6,8 +6,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/schedule"
-	"repro/internal/sim"
 	"repro/pkg/steady/rat"
+	sim "repro/pkg/steady/sim/event"
 )
 
 // Slot is one time slice of a reconstructed periodic schedule: the
@@ -150,7 +150,11 @@ func (s *Schedule) Simulate(periods int64) (*Simulation, error) {
 	if s.periodic == nil {
 		return nil, fmt.Errorf("steady: only masterslave schedules are simulatable")
 	}
-	st, err := sim.RunPeriodicMasterSlave(s.periodic, periods)
+	spec, err := s.periodic.EventSpec()
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.RunPeriodic(spec, periods, sim.PeriodicOptions{PerPeriod: true})
 	if err != nil {
 		return nil, err
 	}

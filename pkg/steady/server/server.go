@@ -39,6 +39,7 @@ import (
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
+	"repro/pkg/steady/sim/event"
 )
 
 // Config tunes a Server. The zero value selects sensible defaults
@@ -74,6 +75,10 @@ type Config struct {
 	MaxSimPeriods int64
 	MaxSimTasks   int
 	MaxSimHorizon float64
+	// MaxTraceEvents caps the structured event trace a traced
+	// /v1/simulate request may return; longer runs truncate the trace
+	// and set trace_truncated. 0 = 100000.
+	MaxTraceEvents int
 	// DisableFloatFirst turns off the float-first LP path for cache
 	// misses (see batch.Cache.SetFloatFirst). The zero value keeps it
 	// enabled: the float64 search with an exact rational certificate
@@ -122,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSimHorizon <= 0 {
 		c.MaxSimHorizon = 1e6
+	}
+	if c.MaxTraceEvents <= 0 {
+		c.MaxTraceEvents = 100000
 	}
 	return c
 }
@@ -370,7 +378,10 @@ func (s *Server) checkScenario(sc *sim.Scenario) error {
 	if sc.Horizon > s.cfg.MaxSimHorizon {
 		return errTooLarge{fmt.Sprintf("scenario horizon %g exceeds limit %g", sc.Horizon, s.cfg.MaxSimHorizon)}
 	}
-	if sc.Dynamic() && sc.Tasks == 0 && sc.Horizon == 0 && sim.DefaultDynamicTasks > s.cfg.MaxSimTasks {
+	if n := sc.Arrivals.NumArrivals(); n > s.cfg.MaxSimTasks {
+		return errTooLarge{fmt.Sprintf("scenario arrivals release %d tasks, limit %d", n, s.cfg.MaxSimTasks)}
+	}
+	if sc.Dynamic() && sc.Tasks == 0 && sc.Horizon == 0 && sc.Arrivals == nil && sim.DefaultDynamicTasks > s.cfg.MaxSimTasks {
 		sc.Tasks = s.cfg.MaxSimTasks
 	}
 	return nil
@@ -422,8 +433,17 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
+	var rec *event.MemoryRecorder
+	if req.Trace {
+		rec = &event.MemoryRecorder{Limit: s.cfg.MaxTraceEvents}
+	}
 	sctx, cancel := context.WithTimeout(r.Context(), s.cfg.SimTimeout)
-	rep, err := s.simEngine.Run(sctx, res, req.Scenario)
+	var rep *sim.Report
+	if rec != nil {
+		rep, err = s.simEngine.RunRecorded(sctx, res, req.Scenario, rec)
+	} else {
+		rep, err = s.simEngine.Run(sctx, res, req.Scenario)
+	}
 	cancel()
 	s.release()
 	if err != nil {
@@ -432,11 +452,16 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.simMetrics.observe(rep.Kind, false, false)
-	writeJSON(w, http.StatusOK, SimulateResponse{
+	resp := SimulateResponse{
 		Report:        rep,
 		CacheHit:      hit,
 		ElapsedMicros: time.Since(start).Microseconds(),
-	})
+	}
+	if rec != nil {
+		resp.Trace = rec.Records
+		resp.TraceTruncated = rec.Dropped > 0
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSimSweep(w http.ResponseWriter, r *http.Request) {

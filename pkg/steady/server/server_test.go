@@ -513,6 +513,68 @@ func TestSimulateDynamicScenario(t *testing.T) {
 	}
 }
 
+// TestSimulateTrace exercises the trace option end to end: the
+// response carries the structured event trace, two identical requests
+// return byte-identical traces, and a tight MaxTraceEvents cap
+// truncates with the flag set.
+func TestSimulateTrace(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	req := server.SimulateRequest{
+		Problem:  "masterslave",
+		Root:     "P1",
+		Platform: platformJSON(t, platform.Figure1()),
+		Scenario: sim.Scenario{
+			Tasks:     100,
+			Seed:      5,
+			Slowdowns: []sim.Slowdown{{Node: "P4", Factor: 2, From: 0, Until: 100}},
+		},
+		Trace: true,
+	}
+	fetch := func(url string) server.SimulateResponse {
+		t.Helper()
+		resp := postJSON(t, url+"/v1/simulate", req)
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("status %d: %s", resp.StatusCode, msg)
+		}
+		var out server.SimulateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	first := fetch(ts.URL)
+	if len(first.Trace) == 0 || first.TraceTruncated {
+		t.Fatalf("trace: %d records, truncated %v", len(first.Trace), first.TraceTruncated)
+	}
+	if first.Report.TraceEvents != int64(len(first.Trace)) {
+		t.Errorf("report counts %d trace events, response carries %d",
+			first.Report.TraceEvents, len(first.Trace))
+	}
+	for i, rec := range first.Trace {
+		if rec.Seq != int64(i) {
+			t.Fatalf("record %d has seq %d", i, rec.Seq)
+		}
+	}
+	second := fetch(ts.URL)
+	a, _ := json.Marshal(first.Trace)
+	b, _ := json.Marshal(second.Trace)
+	if string(a) != string(b) {
+		t.Error("same request, different traces")
+	}
+
+	// A tight cap truncates the trace but not the simulation.
+	capped := newTestServer(t, server.Config{MaxTraceEvents: 10})
+	got := fetch(capped.URL)
+	if len(got.Trace) != 10 || !got.TraceTruncated {
+		t.Errorf("capped trace: %d records, truncated %v", len(got.Trace), got.TraceTruncated)
+	}
+	if got.Report.Done != first.Report.Done {
+		t.Errorf("trace cap changed the simulation: done %d vs %d", got.Report.Done, first.Report.Done)
+	}
+}
+
 func TestSimulateRejections(t *testing.T) {
 	ts := newTestServer(t, server.Config{MaxSimPeriods: 100, MaxSimTasks: 50})
 	fig1 := platformJSON(t, platform.Figure1())
@@ -525,6 +587,9 @@ func TestSimulateRejections(t *testing.T) {
 			Scenario: sim.Scenario{Periods: 101}}, http.StatusRequestEntityTooLarge},
 		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
 			Scenario: sim.Scenario{Tasks: 51}}, http.StatusRequestEntityTooLarge},
+		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
+			Scenario: sim.Scenario{Arrivals: &sim.ArrivalSpec{Kind: "poisson", Rate: 1, Count: 51}}},
+			http.StatusRequestEntityTooLarge},
 		{server.SimulateRequest{Problem: "masterslave", Platform: fig1,
 			Scenario: sim.Scenario{NodeLoad: map[string]sim.TraceSpec{"P1": {Kind: "wat"}}}}, http.StatusBadRequest},
 		{server.SimulateRequest{Problem: "scatter", Root: "P1", Targets: []string{"P4"}, Platform: fig1,

@@ -9,6 +9,7 @@ import (
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
+	"repro/pkg/steady/sim/event"
 )
 
 // SolveRequest is the body of POST /v1/solve: a problem spec plus the
@@ -189,6 +190,9 @@ type SimulateRequest struct {
 	Platform json.RawMessage `json:"platform"`
 	// Scenario configures the simulation (see pkg/steady/sim).
 	Scenario sim.Scenario `json:"scenario"`
+	// Trace requests the structured event trace of the run in the
+	// response (bounded by Config.MaxTraceEvents).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // SimulateResponse is the body of a successful POST /v1/simulate. The
@@ -203,6 +207,15 @@ type SimulateResponse struct {
 	CacheHit bool `json:"cache_hit"`
 	// ElapsedMicros is solve plus simulation wall time.
 	ElapsedMicros int64 `json:"elapsed_us"`
+	// Trace is the structured event trace of the run, present when the
+	// request set trace: true (see event.Record for kinds). Two
+	// requests with the same platform, scenario, and seed return
+	// byte-identical traces.
+	Trace []event.Record `json:"trace,omitempty"`
+	// TraceTruncated reports that the run emitted more records than
+	// Config.MaxTraceEvents and the tail was dropped; the report's
+	// trace_events still counts every emitted record.
+	TraceTruncated bool `json:"trace_truncated,omitempty"`
 }
 
 // SimSweepRequest is the body of POST /v1/simsweep: a problem spec, a

@@ -8,22 +8,23 @@ import (
 	"sort"
 
 	"repro/internal/adaptive"
-	isim "repro/internal/sim"
 	"repro/pkg/steady"
 	"repro/pkg/steady/platform"
+	"repro/pkg/steady/sim/event"
 )
 
 // defaultEpoch is the re-planning epoch of adaptive scenarios that do
 // not set one.
 const defaultEpoch = 25.0
 
-// runDynamic executes a dynamic scenario on the float event-driven
+// runDynamic executes a dynamic scenario on the event core's online
 // one-port simulator: demand-driven master-slave tasking on a
-// shortest-path overlay, with per-resource load traces and optionally
-// the §5.5 adaptive re-solver. Only masterslave results under the
-// base model are dynamic-simulatable; the distribution problems ship
-// data, not tasks, and have no demand-driven online form here.
-func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenario) (*Report, error) {
+// shortest-path overlay, with per-resource load traces, arrival
+// processes, failure windows, and optionally the §5.5 adaptive
+// re-solver. Only masterslave results under the base model are
+// dynamic-simulatable; the distribution problems ship data, not
+// tasks, and have no demand-driven online form here.
+func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenario, l *event.Loop) (*Report, error) {
 	if res.Problem != "masterslave" {
 		return nil, fmt.Errorf("sim: dynamic scenarios require a masterslave result, got %s", res.Problem)
 	}
@@ -39,7 +40,7 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 	}
 	p := rp.Platform
 	master := rp.Commodities[0].Source
-	tree, err := isim.ShortestPathTree(p, master)
+	tree, err := event.ShortestPathTree(p, master)
 	if err != nil {
 		return nil, err
 	}
@@ -48,8 +49,12 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 	if err != nil {
 		return nil, err
 	}
+	nodeDown, edgeDown, err := sc.outages(p)
+	if err != nil {
+		return nil, err
+	}
 
-	cfg := isim.OnlineConfig{
+	cfg := event.OnlineConfig{
 		Platform:  p,
 		Tree:      tree,
 		Master:    master,
@@ -57,9 +62,19 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 		Horizon:   sc.Horizon,
 		NodeLoad:  nodeLoad,
 		EdgeLoad:  edgeLoad,
+		NodeDown:  nodeDown,
+		EdgeDown:  edgeDown,
 		Interrupt: ctx.Done(),
+		Loop:      l,
 	}
-	if cfg.Tasks == 0 && cfg.Horizon == 0 {
+	if sc.Arrivals != nil {
+		// Arrival times draw from their own seeded stream (seed+2) so
+		// adding an arrival process never perturbs the load traces.
+		arng := rand.New(rand.NewSource(sc.Seed + 2))
+		if cfg.Arrivals, err = sc.Arrivals.times(arng); err != nil {
+			return nil, err
+		}
+	} else if cfg.Tasks == 0 && cfg.Horizon == 0 {
 		cfg.Tasks = e.cfg.DefaultTasks
 	}
 
@@ -76,6 +91,22 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 			cfg.EpochLength = defaultEpoch
 		}
 		cfg.OnEpoch = ctl.OnEpoch
+		if l != nil && l.Recording() {
+			// Wrap the controller hook so each successful re-solve
+			// leaves a "resolve" record in the trace.
+			cfg.OnEpoch = func(now float64, obs *event.EpochObservation) {
+				resolves, warm, pivots := ctl.Resolves, ctl.WarmResolves, ctl.Pivots
+				ctl.OnEpoch(now, obs)
+				if ctl.Resolves > resolves {
+					note := "cold"
+					if ctl.WarmResolves > warm {
+						note = "warm"
+					}
+					l.Emit(event.Record{Kind: "resolve", Note: note,
+						Task: ctl.Pivots - pivots, Value: ctl.LastThroughput.Float64()})
+				}
+			}
+		}
 	} else {
 		// Fixed LP-quota policy: serve the child furthest behind the
 		// solved steady-state edge rates.
@@ -89,11 +120,11 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 		cfg.Policy = q
 	}
 
-	out, err := isim.RunOnlineMasterSlave(cfg)
+	out, err := event.RunOnlineMasterSlave(cfg)
 	if err != nil {
 		// Surface a timeout/cancellation as the context's error so
 		// callers (pkg/steady/server) map it to the right status.
-		if errors.Is(err, isim.ErrInterrupted) && ctx.Err() != nil {
+		if errors.Is(err, event.ErrInterrupted) && ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, err
@@ -110,6 +141,7 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 		SteadyAfter:    -1,
 		Makespan:       out.Makespan,
 		Done:           out.Done,
+		Arrived:        out.Arrived,
 	}
 	if out.Makespan > 0 {
 		rep.AchievedValue = float64(out.Done) / out.Makespan
@@ -127,7 +159,7 @@ func (e *Engine) runDynamic(ctx context.Context, res *steady.Result, sc *Scenari
 
 // loads materializes the scenario's traces against a concrete
 // platform, merging Slowdowns into the per-resource trace maps.
-func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*isim.Trace, err error) {
+func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*event.LoadTrace, err error) {
 	rng := rand.New(rand.NewSource(sc.Seed + 1))
 	var nodeSpecs = map[string]TraceSpec{}
 	for name, ts := range sc.NodeLoad {
@@ -156,7 +188,7 @@ func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*isim.Trace, err
 	// to different resources on every run, breaking the "same seed,
 	// same scenario" contract.
 	if len(nodeSpecs) > 0 {
-		nodes = make([]*isim.Trace, p.NumNodes())
+		nodes = make([]*event.LoadTrace, p.NumNodes())
 		for _, name := range sortedKeys(nodeSpecs) {
 			i := p.NodeByName(name)
 			if i < 0 {
@@ -168,7 +200,7 @@ func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*isim.Trace, err
 		}
 	}
 	if len(edgeSpecs) > 0 {
-		edges = make([]*isim.Trace, p.NumEdges())
+		edges = make([]*event.LoadTrace, p.NumEdges())
 		for _, key := range sortedKeys(edgeSpecs) {
 			fromName, toName, err := splitEdgeKey(key)
 			if err != nil {
@@ -190,6 +222,42 @@ func (sc *Scenario) loads(p *platform.Platform) (nodes, edges []*isim.Trace, err
 	return nodes, edges, nil
 }
 
+// outages resolves the scenario's failure windows against a concrete
+// platform into the event core's per-resource window lists.
+func (sc *Scenario) outages(p *platform.Platform) (nodes, edges [][]event.Window, err error) {
+	for _, f := range sc.Failures {
+		w := event.Window{From: f.From, Until: f.Until}
+		if f.Node != "" {
+			i := p.NodeByName(f.Node)
+			if i < 0 {
+				return nil, nil, fmt.Errorf("sim: failure names unknown node %q", f.Node)
+			}
+			if nodes == nil {
+				nodes = make([][]event.Window, p.NumNodes())
+			}
+			nodes[i] = append(nodes[i], w)
+			continue
+		}
+		fromName, toName, err := splitEdgeKey(f.Edge)
+		if err != nil {
+			return nil, nil, err
+		}
+		from, to := p.NodeByName(fromName), p.NodeByName(toName)
+		if from < 0 || to < 0 {
+			return nil, nil, fmt.Errorf("sim: failure names unknown edge %q", f.Edge)
+		}
+		e := p.FindEdge(from, to)
+		if e < 0 {
+			return nil, nil, fmt.Errorf("sim: platform has no edge %q", f.Edge)
+		}
+		if edges == nil {
+			edges = make([][]event.Window, p.NumEdges())
+		}
+		edges[e] = append(edges[e], w)
+	}
+	return nodes, edges, nil
+}
+
 func sortedKeys(m map[string]TraceSpec) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -207,7 +275,7 @@ type quotaPolicy struct {
 	tree []int
 }
 
-func (q *quotaPolicy) Pick(from int, pending []int, st *isim.OnlineState) int {
+func (q *quotaPolicy) Pick(from int, pending []int, st *event.OnlineState) int {
 	best, bestDef := 0, 0.0
 	for i, child := range pending {
 		e := q.tree[child]

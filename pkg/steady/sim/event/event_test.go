@@ -1,4 +1,4 @@
-package sim
+package event_test
 
 import (
 	"math"
@@ -10,6 +10,7 @@ import (
 	"repro/internal/schedule"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
+	"repro/pkg/steady/sim/event"
 )
 
 func mustPeriodic(t *testing.T, p *platform.Platform, master int) *schedule.Periodic {
@@ -25,11 +26,20 @@ func mustPeriodic(t *testing.T, p *platform.Platform, master int) *schedule.Peri
 	return per
 }
 
+func mustSpec(t *testing.T, per *schedule.Periodic) *event.PeriodicSpec {
+	t.Helper()
+	spec, err := per.EventSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
 func TestPeriodicSimReachesSteadyState(t *testing.T) {
 	p := platform.Figure1()
 	master := p.NodeByName("P1")
 	per := mustPeriodic(t, p, master)
-	stats, err := RunPeriodicMasterSlave(per, 30)
+	stats, err := event.RunPeriodic(mustSpec(t, per), 30, event.PeriodicOptions{PerPeriod: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,8 +58,8 @@ func TestPeriodicSimReachesSteadyState(t *testing.T) {
 	}
 	// Cold start can never beat the steady-state bound.
 	bound := new(big.Int).Mul(per.TasksPerPeriod, big.NewInt(30))
-	if stats.Done.Cmp(bound) > 0 {
-		t.Fatalf("simulation %v beats the steady-state bound %v", stats.Done, bound)
+	if stats.Ops.Cmp(bound) > 0 {
+		t.Fatalf("simulation %v beats the steady-state bound %v", stats.Ops, bound)
 	}
 }
 
@@ -58,7 +68,7 @@ func TestPeriodicSimRandomPlatforms(t *testing.T) {
 	for trial := 0; trial < 8; trial++ {
 		p := platform.RandomConnected(rng, 4+rng.Intn(4), rng.Intn(5), 4, 4, 0.1)
 		per := mustPeriodic(t, p, 0)
-		stats, err := RunPeriodicMasterSlave(per, 25)
+		stats, err := event.RunPeriodic(mustSpec(t, per), 25, event.PeriodicOptions{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -76,12 +86,13 @@ func TestAsymptoticOptimality(t *testing.T) {
 	p := platform.Figure1()
 	master := p.NodeByName("P1")
 	per := mustPeriodic(t, p, master)
+	spec := mustSpec(t, per)
 
 	depth := int64(p.MaxDepthFrom(master))
 	var prevRatio float64 = math.Inf(1)
 	for _, nTasks := range []int64{100, 1000, 10000, 100000} {
 		n := big.NewInt(nTasks)
-		periods, err := MakespanPeriods(per, n)
+		periods, err := event.RunUntil(spec, n, event.PeriodicOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,12 +125,14 @@ func TestAsymptoticOptimality(t *testing.T) {
 	}
 }
 
-func TestMakespanErrors(t *testing.T) {
+func TestRunUntilErrors(t *testing.T) {
 	p := platform.Figure1()
 	per := mustPeriodic(t, p, 0)
-	bad := *per
-	bad.TasksPerPeriod = big.NewInt(0)
-	if _, err := MakespanPeriods(&bad, big.NewInt(10)); err == nil {
+	spec := mustSpec(t, per)
+	bad := *spec
+	bad.Commodities = append([]event.Commodity(nil), spec.Commodities...)
+	bad.Commodities[0].Quota = big.NewInt(0)
+	if _, err := event.RunUntil(&bad, big.NewInt(10), event.PeriodicOptions{}); err == nil {
 		t.Fatal("expected error for broken schedule")
 	}
 }
@@ -127,18 +140,18 @@ func TestMakespanErrors(t *testing.T) {
 // fcfsPolicy serves pending requests in arrival order.
 type fcfsPolicy struct{}
 
-func (fcfsPolicy) Pick(from int, pending []int, st *OnlineState) int { return 0 }
-func (fcfsPolicy) Name() string                                      { return "fcfs" }
+func (fcfsPolicy) Pick(from int, pending []int, st *event.OnlineState) int { return 0 }
+func (fcfsPolicy) Name() string                                            { return "fcfs" }
 
 func TestOnlineStarCompletesAllTasks(t *testing.T) {
 	p := platform.Star(platform.WInt(5),
 		[]platform.Weight{platform.WInt(2), platform.WInt(3)},
 		[]rat.Rat{rat.One(), rat.One()})
-	tree, err := ShortestPathTree(p, 0)
+	tree, err := event.ShortestPathTree(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunOnlineMasterSlave(OnlineConfig{
+	res, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: 0, Tasks: 200, Policy: fcfsPolicy{},
 	})
 	if err != nil {
@@ -168,12 +181,12 @@ func TestOnlineNeverBeatsSteadyStateBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tree, err := ShortestPathTree(p, master)
+	tree, err := event.ShortestPathTree(p, master)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const tasks = 2000
-	res, err := RunOnlineMasterSlave(OnlineConfig{
+	res, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: master, Tasks: tasks, Policy: fcfsPolicy{},
 	})
 	if err != nil {
@@ -190,8 +203,8 @@ func TestOnlineNeverBeatsSteadyStateBound(t *testing.T) {
 func TestOnlineHorizonMode(t *testing.T) {
 	p := platform.Star(platform.WInt(2),
 		[]platform.Weight{platform.WInt(2)}, []rat.Rat{rat.One()})
-	tree, _ := ShortestPathTree(p, 0)
-	res, err := RunOnlineMasterSlave(OnlineConfig{
+	tree, _ := event.ShortestPathTree(p, 0)
+	res, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: 0, Horizon: 100, Policy: fcfsPolicy{},
 	})
 	if err != nil {
@@ -208,16 +221,16 @@ func TestOnlineWithLoadTraces(t *testing.T) {
 	// Slowing the worker's link by 4x must reduce its completed count.
 	p := platform.Star(platform.WInt(100),
 		[]platform.Weight{platform.WInt(1)}, []rat.Rat{rat.One()})
-	tree, _ := ShortestPathTree(p, 0)
-	base, err := RunOnlineMasterSlave(OnlineConfig{
+	tree, _ := event.ShortestPathTree(p, 0)
+	base, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: 0, Horizon: 200, Policy: fcfsPolicy{},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	slowed, err := RunOnlineMasterSlave(OnlineConfig{
+	slowed, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: 0, Horizon: 200, Policy: fcfsPolicy{},
-		EdgeLoad: []*Trace{ConstantTrace(4)},
+		EdgeLoad: []*event.LoadTrace{event.ConstantLoad(4)},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -231,13 +244,13 @@ func TestOnlineWithLoadTraces(t *testing.T) {
 func TestOnlineEpochObservations(t *testing.T) {
 	p := platform.Star(platform.WInt(2),
 		[]platform.Weight{platform.WInt(2)}, []rat.Rat{rat.One()})
-	tree, _ := ShortestPathTree(p, 0)
+	tree, _ := event.ShortestPathTree(p, 0)
 	var epochs int
 	var lastW float64
-	_, err := RunOnlineMasterSlave(OnlineConfig{
+	_, err := event.RunOnlineMasterSlave(event.OnlineConfig{
 		Platform: p, Tree: tree, Master: 0, Horizon: 100, Policy: fcfsPolicy{},
 		EpochLength: 10,
-		OnEpoch: func(now float64, obs *EpochObservation) {
+		OnEpoch: func(now float64, obs *event.EpochObservation) {
 			epochs++
 			if obs.EffectiveW[1] > 0 {
 				lastW = obs.EffectiveW[1]
@@ -258,21 +271,21 @@ func TestOnlineEpochObservations(t *testing.T) {
 
 func TestOnlineConfigErrors(t *testing.T) {
 	p := platform.Figure1()
-	tree, _ := ShortestPathTree(p, 0)
-	if _, err := RunOnlineMasterSlave(OnlineConfig{Platform: p, Tree: tree, Master: -1, Tasks: 1, Policy: fcfsPolicy{}}); err == nil {
+	tree, _ := event.ShortestPathTree(p, 0)
+	if _, err := event.RunOnlineMasterSlave(event.OnlineConfig{Platform: p, Tree: tree, Master: -1, Tasks: 1, Policy: fcfsPolicy{}}); err == nil {
 		t.Fatal("expected bad-master error")
 	}
-	if _, err := RunOnlineMasterSlave(OnlineConfig{Platform: p, Tree: tree[:2], Master: 0, Tasks: 1, Policy: fcfsPolicy{}}); err == nil {
+	if _, err := event.RunOnlineMasterSlave(event.OnlineConfig{Platform: p, Tree: tree[:2], Master: 0, Tasks: 1, Policy: fcfsPolicy{}}); err == nil {
 		t.Fatal("expected tree-size error")
 	}
-	if _, err := RunOnlineMasterSlave(OnlineConfig{Platform: p, Tree: tree, Master: 0, Policy: fcfsPolicy{}}); err == nil {
+	if _, err := event.RunOnlineMasterSlave(event.OnlineConfig{Platform: p, Tree: tree, Master: 0, Policy: fcfsPolicy{}}); err == nil {
 		t.Fatal("expected no-tasks-no-horizon error")
 	}
 }
 
 func TestShortestPathTree(t *testing.T) {
 	p := platform.Figure1()
-	tree, err := ShortestPathTree(p, 0)
+	tree, err := event.ShortestPathTree(p, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,47 +310,7 @@ func TestShortestPathTree(t *testing.T) {
 	q := platform.New()
 	q.AddNode("A", platform.WInt(1))
 	q.AddNode("B", platform.WInt(1))
-	if _, err := ShortestPathTree(q, 0); err == nil {
+	if _, err := event.ShortestPathTree(q, 0); err == nil {
 		t.Fatal("expected unreachable error")
-	}
-}
-
-func TestTraces(t *testing.T) {
-	tr := StepTrace([]float64{0, 10, 20}, []float64{1, 2, 4})
-	if tr.At(0) != 1 || tr.At(5) != 1 || tr.At(10) != 2 || tr.At(15) != 2 || tr.At(25) != 4 {
-		t.Fatal("StepTrace.At wrong")
-	}
-	if m := tr.Mean(20); m != 1.5 {
-		t.Fatalf("Mean = %v, want 1.5", m)
-	}
-	if ConstantTrace(3).At(1e9) != 3 {
-		t.Fatal("constant trace wrong")
-	}
-	var nilTrace *Trace
-	if nilTrace.At(5) != 1 || nilTrace.Mean(5) != 1 {
-		t.Fatal("nil trace must be identity")
-	}
-	rw := RandomWalkTrace(rand.New(rand.NewSource(2)), 100, 5, 1, 3)
-	for _, tm := range []float64{0, 17, 50, 99} {
-		if v := rw.At(tm); v < 1 || v > 3 {
-			t.Fatalf("random walk out of range at %v: %v", tm, v)
-		}
-	}
-}
-
-func TestTracePanics(t *testing.T) {
-	for _, f := range []func(){
-		func() { StepTrace([]float64{1}, []float64{1}) },
-		func() { StepTrace([]float64{0, 0}, []float64{1, 2}) },
-		func() { StepTrace([]float64{0}, []float64{1, 2}) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
 	}
 }

@@ -1,41 +1,43 @@
-package sim
+package event
 
 import (
 	"math/rand"
 	"sort"
 )
 
-// Trace is a piecewise-constant multiplier applied to a resource's
-// base cost (>1 = slower). It models the load variations that §5.5's
-// dynamic scheduling responds to; an NWS-like monitor observes it
-// only through measurements.
-type Trace struct {
+// LoadTrace is a piecewise-constant multiplier applied to a
+// resource's base cost (>1 = slower). It models the load variations
+// that §5.5's dynamic scheduling responds to; an NWS-like monitor
+// observes it only through measurements.
+type LoadTrace struct {
 	times []float64 // breakpoints, strictly increasing, starting at 0
 	mult  []float64 // multiplier on [times[i], times[i+1])
 }
 
-// ConstantTrace returns a trace with a fixed multiplier.
-func ConstantTrace(m float64) *Trace {
-	return &Trace{times: []float64{0}, mult: []float64{m}}
+// ConstantLoad returns a trace with a fixed multiplier.
+func ConstantLoad(m float64) *LoadTrace {
+	return &LoadTrace{times: []float64{0}, mult: []float64{m}}
 }
 
-// StepTrace returns a trace that switches multipliers at the given
+// StepLoad returns a trace that switches multipliers at the given
 // breakpoints: mult[i] applies from times[i] (times[0] must be 0).
-func StepTrace(times, mult []float64) *Trace {
+func StepLoad(times, mult []float64) *LoadTrace {
 	if len(times) != len(mult) || len(times) == 0 || times[0] != 0 {
-		panic("sim: malformed step trace")
+		panic("event: malformed step load trace")
 	}
 	for i := 1; i < len(times); i++ {
 		if times[i] <= times[i-1] {
-			panic("sim: trace breakpoints must increase")
+			panic("event: load trace breakpoints must increase")
 		}
 	}
-	return &Trace{times: append([]float64(nil), times...), mult: append([]float64(nil), mult...)}
+	return &LoadTrace{times: append([]float64(nil), times...), mult: append([]float64(nil), mult...)}
 }
 
-// RandomWalkTrace builds a load trace that re-draws a multiplier in
+// RandomWalkLoad builds a load trace that re-draws a multiplier in
 // [lo, hi] every step time units (a coarse model of ambient load).
-func RandomWalkTrace(rng *rand.Rand, horizon, step, lo, hi float64) *Trace {
+// All randomness comes from the caller-seeded rng, preserving the
+// package's determinism contract.
+func RandomWalkLoad(rng *rand.Rand, horizon, step, lo, hi float64) *LoadTrace {
 	var times, mult []float64
 	m := lo + rng.Float64()*(hi-lo)
 	for t := 0.0; t < horizon; t += step {
@@ -50,7 +52,7 @@ func RandomWalkTrace(rng *rand.Rand, horizon, step, lo, hi float64) *Trace {
 			m = 2*hi - m
 		}
 	}
-	return &Trace{times: times, mult: mult}
+	return &LoadTrace{times: times, mult: mult}
 }
 
 // At returns the multiplier in effect at time t. A nil or empty trace
@@ -58,7 +60,7 @@ func RandomWalkTrace(rng *rand.Rand, horizon, step, lo, hi float64) *Trace {
 // clamp to the first segment and times past the last breakpoint hold
 // the last multiplier, so callers may query any t without range
 // checks.
-func (tr *Trace) At(t float64) float64 {
+func (tr *LoadTrace) At(t float64) float64 {
 	if tr == nil || len(tr.mult) == 0 {
 		return 1
 	}
@@ -76,7 +78,7 @@ func (tr *Trace) At(t float64) float64 {
 
 // Mean returns the average multiplier over [0, horizon]. A nil or
 // empty trace means 1; a non-positive horizon degenerates to At(0).
-func (tr *Trace) Mean(horizon float64) float64 {
+func (tr *LoadTrace) Mean(horizon float64) float64 {
 	if tr == nil || len(tr.mult) == 0 {
 		return 1
 	}

@@ -1,0 +1,129 @@
+package event_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/pkg/steady/sim/event"
+)
+
+// The simulation engines query load traces at arbitrary times,
+// including before the first knot, past the horizon, and on traces
+// that never received a breakpoint; these tests pin the boundary
+// behavior they rely on.
+
+func TestLoadTraces(t *testing.T) {
+	tr := event.StepLoad([]float64{0, 10, 20}, []float64{1, 2, 4})
+	if tr.At(0) != 1 || tr.At(5) != 1 || tr.At(10) != 2 || tr.At(15) != 2 || tr.At(25) != 4 {
+		t.Fatal("StepLoad.At wrong")
+	}
+	if m := tr.Mean(20); m != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", m)
+	}
+	if event.ConstantLoad(3).At(1e9) != 3 {
+		t.Fatal("constant trace wrong")
+	}
+	var nilTrace *event.LoadTrace
+	if nilTrace.At(5) != 1 || nilTrace.Mean(5) != 1 {
+		t.Fatal("nil trace must be identity")
+	}
+	rw := event.RandomWalkLoad(rand.New(rand.NewSource(2)), 100, 5, 1, 3)
+	for _, tm := range []float64{0, 17, 50, 99} {
+		if v := rw.At(tm); v < 1 || v > 3 {
+			t.Fatalf("random walk out of range at %v: %v", tm, v)
+		}
+	}
+}
+
+func TestLoadTracePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { event.StepLoad([]float64{1}, []float64{1}) },
+		func() { event.StepLoad([]float64{0, 0}, []float64{1, 2}) },
+		func() { event.StepLoad([]float64{0}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLoadTraceAtBoundaries(t *testing.T) {
+	tr := event.StepLoad([]float64{0, 10, 20}, []float64{1, 2, 4})
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{-5, 1},  // before the first knot: clamp to the first segment
+		{0, 1},   // exactly the first knot
+		{5, 1},   // inside the first segment
+		{10, 2},  // exactly a breakpoint: the new segment applies
+		{15, 2},  // inside a middle segment
+		{20, 4},  // last breakpoint
+		{1e9, 4}, // far past the horizon: the last multiplier holds
+	}
+	for _, c := range cases {
+		if got := tr.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLoadTraceEmptyAndNil(t *testing.T) {
+	var nilTrace *event.LoadTrace
+	empty := &event.LoadTrace{}
+	for _, tr := range []*event.LoadTrace{nilTrace, empty} {
+		if got := tr.At(-1); got != 1 {
+			t.Errorf("At(-1) on empty/nil trace = %v, want 1", got)
+		}
+		if got := tr.At(42); got != 1 {
+			t.Errorf("At(42) on empty/nil trace = %v, want 1", got)
+		}
+		if got := tr.Mean(10); got != 1 {
+			t.Errorf("Mean(10) on empty/nil trace = %v, want 1", got)
+		}
+	}
+	// RandomWalkLoad with a degenerate horizon produces an empty
+	// trace; it must behave as the identity rather than panic.
+	rw := event.RandomWalkLoad(rand.New(rand.NewSource(1)), 0, 10, 1, 2)
+	if got := rw.At(3); got != 1 {
+		t.Errorf("degenerate random walk At(3) = %v, want 1", got)
+	}
+}
+
+func TestLoadTraceMeanBoundaries(t *testing.T) {
+	tr := event.StepLoad([]float64{0, 10}, []float64{1, 3})
+	if got := tr.Mean(20); got != 2 {
+		t.Errorf("Mean(20) = %v, want 2", got)
+	}
+	// Horizon inside the first segment.
+	if got := tr.Mean(10); got != 1 {
+		t.Errorf("Mean(10) = %v, want 1", got)
+	}
+	// Non-positive horizon degenerates to the instantaneous value.
+	if got := tr.Mean(0); got != 1 {
+		t.Errorf("Mean(0) = %v, want 1", got)
+	}
+	if got := tr.Mean(-1); got != 1 {
+		t.Errorf("Mean(-1) = %v, want 1", got)
+	}
+	// Constant traces are flat everywhere.
+	ct := event.ConstantLoad(2.5)
+	if got := ct.Mean(7); got != 2.5 {
+		t.Errorf("constant Mean(7) = %v, want 2.5", got)
+	}
+}
+
+func TestLoadTraceMeanPastLastKnot(t *testing.T) {
+	// Mean over a horizon far past the last knot weights the final
+	// multiplier by the remaining time.
+	tr := event.StepLoad([]float64{0, 10}, []float64{2, 4})
+	// [0,10): 2, [10,40): 4 -> (10*2 + 30*4) / 40 = 140/40 = 3.5
+	if got := tr.Mean(40); got != 3.5 {
+		t.Errorf("Mean(40) = %v, want 3.5", got)
+	}
+}

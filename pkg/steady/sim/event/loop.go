@@ -1,0 +1,170 @@
+// Package event is the deterministic discrete-event core shared by
+// every simulator in the repository: the exact big.Int periodic
+// replay of reconstructed steady-state schedules (periodic.go) and
+// the float64 online one-port simulator of §5.5 (online.go) both
+// schedule their work as events on one Loop.
+//
+// Determinism is the package contract, enforced by construction:
+//
+//   - events execute in strict (time, sequence) order, where the
+//     sequence number is assigned at scheduling time — simultaneous
+//     events run in the order they were scheduled, never in map or
+//     heap-internal order;
+//   - no wall clock is consulted anywhere; simulated time only
+//     advances to the timestamp of the next event;
+//   - all randomness is injected explicitly as seeded *rand.Rand
+//     streams (load traces, arrival processes); the loop itself draws
+//     no random numbers.
+//
+// Two runs of the same configuration therefore produce byte-identical
+// results and byte-identical structured event traces (trace.go), which
+// is what makes simulation output testable as data: golden traces are
+// checked in under pkg/steady/sim/testdata and any semantic drift in
+// the event loop shows up as a trace diff.
+package event
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInterrupted reports that a run was aborted through
+// RunConfig.Interrupt (typically a context's Done channel) before
+// completing.
+var ErrInterrupted = errors.New("event: interrupted")
+
+// item is one scheduled callback, ordered by (t, seq).
+type item struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type itemHeap []*item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x interface{}) { *h = append(*h, x.(*item)) }
+func (h *itemHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Loop is a deterministic discrete-event loop. The zero value is not
+// usable; construct with NewLoop. A Loop is single-goroutine: events
+// are executed synchronously inside Run, and all scheduling happens
+// either before Run or from within event callbacks.
+type Loop struct {
+	h      itemHeap
+	seq    int64
+	now    float64
+	rec    Recorder
+	recSeq int64
+}
+
+// NewLoop returns an empty loop at time zero.
+func NewLoop() *Loop { return &Loop{} }
+
+// SetRecorder attaches a structured-trace recorder; nil detaches it.
+func (l *Loop) SetRecorder(r Recorder) { l.rec = r }
+
+// Recording reports whether a recorder is attached, so event sources
+// can skip building Records nobody will see.
+func (l *Loop) Recording() bool { return l.rec != nil }
+
+// Now returns the current simulated time.
+func (l *Loop) Now() float64 { return l.now }
+
+// Events returns the number of trace records emitted so far.
+func (l *Loop) Events() int64 { return l.recSeq }
+
+// At schedules fn at absolute time t. Times before Now clamp to Now,
+// so a callback may safely schedule follow-up work "immediately".
+func (l *Loop) At(t float64, fn func()) {
+	if t < l.now {
+		t = l.now
+	}
+	l.seq++
+	heap.Push(&l.h, &item{t: t, seq: l.seq, fn: fn})
+}
+
+// After schedules fn d time units from Now.
+func (l *Loop) After(d float64, fn func()) { l.At(l.now+d, fn) }
+
+// Emit stamps the record with the current time and the next trace
+// sequence number and hands it to the recorder. It is a no-op without
+// a recorder, but callers on hot paths should guard with Recording()
+// to avoid building the Record at all.
+func (l *Loop) Emit(r Record) {
+	if l.rec == nil {
+		return
+	}
+	r.Seq = l.recSeq
+	r.T = l.now
+	l.recSeq++
+	l.rec.Record(r)
+}
+
+// RunConfig bounds one Run of the loop.
+type RunConfig struct {
+	// Horizon, when positive, stops the run before executing any
+	// event scheduled strictly after it and clamps Now to the horizon
+	// (the §5.5 "simulate for H time units" mode).
+	Horizon float64
+	// Stop, when non-nil, is evaluated after every executed event; a
+	// true return ends the run (the "N tasks done" mode).
+	Stop func() bool
+	// Interrupt, when non-nil, aborts the run with ErrInterrupted
+	// once it becomes receivable. It is polled every CheckEvery
+	// events, so long runs stop promptly without per-event overhead.
+	Interrupt <-chan struct{}
+	// CheckEvery is the interrupt polling stride; 0 means 256.
+	CheckEvery int
+}
+
+// Run executes events in (time, sequence) order until the queue
+// drains, the horizon is passed, Stop returns true, or Interrupt
+// fires. It may be called again to resume after a Stop or horizon
+// end; pending events stay queued.
+func (l *Loop) Run(rc RunConfig) error {
+	check := rc.CheckEvery
+	if check <= 0 {
+		check = 256
+	}
+	processed := 0
+	for len(l.h) > 0 {
+		if rc.Interrupt != nil && processed%check == 0 {
+			select {
+			case <-rc.Interrupt:
+				return ErrInterrupted
+			default:
+			}
+		}
+		processed++
+		ev := heap.Pop(&l.h).(*item)
+		if rc.Horizon > 0 && ev.t > rc.Horizon {
+			l.now = rc.Horizon
+			return nil
+		}
+		l.now = ev.t
+		ev.fn()
+		if rc.Stop != nil && rc.Stop() {
+			return nil
+		}
+		if math.IsInf(l.now, 0) {
+			return fmt.Errorf("event: time diverged")
+		}
+	}
+	return nil
+}

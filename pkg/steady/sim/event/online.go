@@ -1,17 +1,10 @@
-package sim
+package event
 
 import (
-	"container/heap"
-	"errors"
 	"fmt"
-	"math"
 
 	"repro/pkg/steady/platform"
 )
-
-// ErrInterrupted reports that a simulation was aborted through
-// OnlineConfig.Interrupt before completing.
-var ErrInterrupted = errors.New("sim: interrupted")
 
 // Policy decides, each time a node's send port becomes free, which
 // pending child request to serve next. Implementations live in
@@ -39,6 +32,26 @@ type OnlineState struct {
 	SentTo []int
 }
 
+// Window is one outage window: the resource is fully offline during
+// [From, Until) — no compute or transfer may start on it, though
+// operations already in flight complete (the failure takes effect at
+// the next scheduling decision, like a drained host).
+type Window struct {
+	From  float64 `json:"from"`
+	Until float64 `json:"until"`
+}
+
+// downUntil reports whether t falls inside one of the windows, and
+// until when.
+func downUntil(ws []Window, t float64) (float64, bool) {
+	for _, w := range ws {
+		if t >= w.From && t < w.Until {
+			return w.Until, true
+		}
+	}
+	return 0, false
+}
+
 // OnlineConfig configures an online master-slave run.
 type OnlineConfig struct {
 	Platform *platform.Platform
@@ -56,8 +69,18 @@ type OnlineConfig struct {
 	Policy Policy
 	// NodeLoad and EdgeLoad optionally slow resources over time
 	// (nil entries = constant 1).
-	NodeLoad []*Trace
-	EdgeLoad []*Trace
+	NodeLoad []*LoadTrace
+	EdgeLoad []*LoadTrace
+	// Arrivals, when non-nil, replaces the master's unbounded initial
+	// supply with a workload arrival process: one task becomes
+	// available at each listed time (ascending). With Arrivals set and
+	// neither Tasks nor Horizon, the run processes exactly the arrived
+	// tasks.
+	Arrivals []float64
+	// NodeDown[i] / EdgeDown[e] are per-resource outage windows
+	// (link failures, node churn). Nil slices mean always up.
+	NodeDown [][]Window
+	EdgeDown [][]Window
 	// RequestThreshold: a child re-requests work whenever its buffer
 	// falls below this many tasks (default 2, the classic
 	// double-buffering of demand-driven master-slave).
@@ -72,6 +95,11 @@ type OnlineConfig struct {
 	// adaptive re-planning).
 	EpochLength float64
 	OnEpoch     func(now float64, obs *EpochObservation)
+	// Loop, when non-nil, is the event loop to run on — callers
+	// attach a trace Recorder to it, and callbacks (OnEpoch, Policy)
+	// may Emit supplementary records through it. A fresh loop is
+	// created when nil. Each run needs its own loop.
+	Loop *Loop
 }
 
 // EpochObservation reports measured resource performance during the
@@ -96,53 +124,45 @@ type OnlineResult struct {
 	Done     int
 	PerNode  []int
 	PerEdge  []int
-}
-
-// event is a scheduled callback.
-type event struct {
-	t   float64
-	seq int64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	// Arrived is the number of tasks released by the arrival process
+	// (0 when the master's supply is unbounded).
+	Arrived int
 }
 
 // RunOnlineMasterSlave simulates demand-driven master-slave tasking
 // on a tree overlay under the one-port model: every node computes
 // continuously from its buffer, children request work when low, and
 // each node's send port serves one request at a time in policy order.
+// All events run on a single deterministic Loop; attach a Recorder to
+// cfg.Loop for a structured trace of the run.
 func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 	p := cfg.Platform
 	n := p.NumNodes()
 	if cfg.Master < 0 || cfg.Master >= n {
-		return nil, fmt.Errorf("sim: bad master")
+		return nil, fmt.Errorf("event: bad master")
 	}
 	if len(cfg.Tree) != n {
-		return nil, fmt.Errorf("sim: tree must have one entry per node")
+		return nil, fmt.Errorf("event: tree must have one entry per node")
+	}
+	if cfg.Arrivals != nil && cfg.Tasks <= 0 && cfg.Horizon <= 0 {
+		cfg.Tasks = len(cfg.Arrivals)
 	}
 	if cfg.Tasks <= 0 && cfg.Horizon <= 0 {
-		return nil, fmt.Errorf("sim: need Tasks or Horizon")
+		return nil, fmt.Errorf("event: need Tasks or Horizon")
+	}
+	if cfg.NodeDown != nil && len(cfg.NodeDown) != n {
+		return nil, fmt.Errorf("event: NodeDown must have one entry per node")
+	}
+	if cfg.EdgeDown != nil && len(cfg.EdgeDown) != p.NumEdges() {
+		return nil, fmt.Errorf("event: EdgeDown must have one entry per edge")
 	}
 	threshold := cfg.RequestThreshold
 	if threshold <= 0 {
 		threshold = 2
+	}
+	l := cfg.Loop
+	if l == nil {
+		l = NewLoop()
 	}
 
 	children := make([][]int, n) // node -> child node ids
@@ -153,9 +173,14 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		}
 		e := parentEdge[v]
 		if e < 0 || e >= p.NumEdges() || p.Edge(e).To != v {
-			return nil, fmt.Errorf("sim: tree edge %d does not enter node %d", e, v)
+			return nil, fmt.Errorf("event: tree edge %d does not enter node %d", e, v)
 		}
 		children[p.Edge(e).From] = append(children[p.Edge(e).From], v)
+	}
+
+	edgeName := func(e int) string {
+		ed := p.Edge(e)
+		return p.Name(ed.From) + "->" + p.Name(ed.To)
 	}
 
 	st := &OnlineState{
@@ -165,36 +190,45 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		SentTo: make([]int, p.NumEdges()),
 	}
 	var (
-		h         eventHeap
-		seq       int64
-		now       float64
-		remaining = cfg.Tasks // tasks left to hand out at the master
-		doneTotal int
-		computing = make([]bool, n)
-		sending   = make([]bool, n)
-		pending   = make([][]int, n) // node -> child ids waiting
-		requested = make([]bool, n)  // child has an outstanding request
-		busyCpu   = make([]float64, n)
-		busyEdge  = make([]float64, p.NumEdges())
-		epochDone = make([]int, n)
-		epochSent = make([]int, p.NumEdges())
+		remaining  = cfg.Tasks // tasks left to hand out at the master
+		masterPool int         // arrived-but-unclaimed tasks (Arrivals mode)
+		arrived    int
+		doneTotal  int
+		computing  = make([]bool, n)
+		sending    = make([]bool, n)
+		pending    = make([][]int, n) // node -> child ids waiting
+		requested  = make([]bool, n)  // child has an outstanding request
+		busyCpu    = make([]float64, n)
+		busyEdge   = make([]float64, p.NumEdges())
+		epochDone  = make([]int, n)
+		epochSent  = make([]int, p.NumEdges())
 	)
-	push := func(t float64, fn func()) {
-		seq++
-		heap.Push(&h, &event{t: t, seq: seq, fn: fn})
-	}
 
-	nodeLoad := func(i int) *Trace {
+	nodeLoad := func(i int) *LoadTrace {
 		if cfg.NodeLoad == nil {
 			return nil
 		}
 		return cfg.NodeLoad[i]
 	}
-	edgeLoad := func(e int) *Trace {
+	edgeLoad := func(e int) *LoadTrace {
 		if cfg.EdgeLoad == nil {
 			return nil
 		}
 		return cfg.EdgeLoad[e]
+	}
+	nodeUp := func(i int) bool {
+		if cfg.NodeDown == nil {
+			return true
+		}
+		_, down := downUntil(cfg.NodeDown[i], l.Now())
+		return !down
+	}
+	edgeUp := func(e int) bool {
+		if cfg.EdgeDown == nil {
+			return true
+		}
+		_, down := downUntil(cfg.EdgeDown[e], l.Now())
+		return !down
 	}
 
 	var tryCompute func(i int)
@@ -202,9 +236,17 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 	var request func(child int)
 
 	// takeTask withdraws one task at node i (master draws from the
-	// initial collection when Tasks is bounded; unbounded otherwise).
+	// arrival pool, the bounded initial collection, or an unbounded
+	// supply, in that order of configuration).
 	takeTask := func(i int) bool {
 		if i == cfg.Master {
+			if cfg.Arrivals != nil {
+				if masterPool == 0 {
+					return false
+				}
+				masterPool--
+				return true
+			}
 			if cfg.Tasks > 0 {
 				if remaining == 0 {
 					return false
@@ -222,21 +264,28 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 	}
 
 	tryCompute = func(i int) {
-		if computing[i] || !p.CanCompute(i) {
+		if computing[i] || !p.CanCompute(i) || !nodeUp(i) {
 			return
 		}
 		if !takeTask(i) {
 			return
 		}
 		computing[i] = true
+		now := l.Now()
 		dur := p.Weight(i).Val.Float64() * nodeLoad(i).At(now)
-		start := now
-		push(now+dur, func() {
+		if l.Recording() {
+			l.Emit(Record{Kind: "compute-start", Node: p.Name(i), Value: dur})
+		}
+		l.At(now+dur, func() {
+			st.Now = l.Now()
 			computing[i] = false
 			st.Done[i]++
 			epochDone[i]++
 			doneTotal++
-			busyCpu[i] += now - start
+			busyCpu[i] += l.Now() - now
+			if l.Recording() {
+				l.Emit(Record{Kind: "compute-end", Node: p.Name(i), Task: int64(st.Done[i])})
+			}
 			tryCompute(i)
 			request(i)
 		})
@@ -252,17 +301,39 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		parent := p.Edge(parentEdge[child]).From
 		requested[child] = true
 		pending[parent] = append(pending[parent], child)
+		if l.Recording() {
+			l.Emit(Record{Kind: "request", Node: p.Name(child)})
+		}
 		trySend(parent)
 	}
 
 	trySend = func(i int) {
-		if sending[i] || len(pending[i]) == 0 {
+		if sending[i] || len(pending[i]) == 0 || !nodeUp(i) {
 			return
 		}
-		st.Now = now
-		pick := cfg.Policy.Pick(i, pending[i], st)
-		if pick < 0 || pick >= len(pending[i]) {
+		st.Now = l.Now()
+		// Failed links are invisible to the policy: it only chooses
+		// among children whose parent edge is currently up.
+		cands := pending[i]
+		var pos []int // cands index -> pending[i] index
+		if cfg.EdgeDown != nil {
+			cands = nil
+			for j, child := range pending[i] {
+				if edgeUp(parentEdge[child]) {
+					cands = append(cands, child)
+					pos = append(pos, j)
+				}
+			}
+			if len(cands) == 0 {
+				return
+			}
+		}
+		pick := cfg.Policy.Pick(i, cands, st)
+		if pick < 0 || pick >= len(cands) {
 			return
+		}
+		if pos != nil {
+			pick = pos[pick]
 		}
 		child := pending[i][pick]
 		if !takeTask(i) {
@@ -273,15 +344,22 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		pending[i] = append(pending[i][:pick:pick], pending[i][pick+1:]...)
 		e := parentEdge[child]
 		sending[i] = true
+		now := l.Now()
 		dur := p.Edge(e).C.Float64() * edgeLoad(e).At(now)
-		start := now
-		push(now+dur, func() {
+		if l.Recording() {
+			l.Emit(Record{Kind: "send-start", Edge: edgeName(e), Value: dur})
+		}
+		l.At(now+dur, func() {
+			st.Now = l.Now()
 			sending[i] = false
-			busyEdge[e] += now - start
+			busyEdge[e] += l.Now() - now
 			st.SentTo[e]++
 			epochSent[e]++
 			st.Buffer[child]++
 			requested[child] = false
+			if l.Recording() {
+				l.Emit(Record{Kind: "send-end", Edge: edgeName(e), Task: int64(st.SentTo[e])})
+			}
 			tryCompute(child)
 			trySend(child)
 			request(child) // re-request if still below threshold
@@ -293,6 +371,7 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 	if cfg.EpochLength > 0 && cfg.OnEpoch != nil {
 		var tick func()
 		tick = func() {
+			st.Now = l.Now()
 			obs := &EpochObservation{
 				NodeBusy:   make([]float64, n),
 				NodeRate:   make([]float64, n),
@@ -317,10 +396,58 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 				busyEdge[e] = 0
 				epochSent[e] = 0
 			}
-			cfg.OnEpoch(now, obs)
-			push(now+cfg.EpochLength, tick)
+			if l.Recording() {
+				l.Emit(Record{Kind: "epoch", Value: cfg.EpochLength})
+			}
+			cfg.OnEpoch(l.Now(), obs)
+			l.After(cfg.EpochLength, tick)
 		}
-		push(cfg.EpochLength, tick)
+		l.At(cfg.EpochLength, tick)
+	}
+
+	// Arrival process: one event per task release.
+	for _, t := range cfg.Arrivals {
+		l.At(t, func() {
+			st.Now = l.Now()
+			masterPool++
+			arrived++
+			if l.Recording() {
+				l.Emit(Record{Kind: "arrival", Node: p.Name(cfg.Master), Task: int64(arrived)})
+			}
+			tryCompute(cfg.Master)
+			trySend(cfg.Master)
+		})
+	}
+
+	// Failure windows: trace their boundaries and retry stalled work
+	// the instant a window closes.
+	if cfg.NodeDown != nil {
+		for i := range cfg.NodeDown {
+			i := i
+			for _, w := range cfg.NodeDown[i] {
+				l.At(w.From, func() { l.Emit(Record{Kind: "down", Node: p.Name(i)}) })
+				l.At(w.Until, func() {
+					st.Now = l.Now()
+					l.Emit(Record{Kind: "up", Node: p.Name(i)})
+					tryCompute(i)
+					trySend(i)
+				})
+			}
+		}
+	}
+	if cfg.EdgeDown != nil {
+		for e := range cfg.EdgeDown {
+			e := e
+			from := p.Edge(e).From
+			for _, w := range cfg.EdgeDown[e] {
+				l.At(w.From, func() { l.Emit(Record{Kind: "down", Edge: edgeName(e)}) })
+				l.At(w.Until, func() {
+					st.Now = l.Now()
+					l.Emit(Record{Kind: "up", Edge: edgeName(e)})
+					trySend(from)
+				})
+			}
+		}
 	}
 
 	// Boot: master computes; every leaf-to-root chain starts
@@ -332,39 +459,24 @@ func RunOnlineMasterSlave(cfg OnlineConfig) (*OnlineResult, error) {
 		}
 	}
 
-	processed := 0
-	for h.Len() > 0 {
-		if cfg.Interrupt != nil && processed%256 == 0 {
-			select {
-			case <-cfg.Interrupt:
-				return nil, ErrInterrupted
-			default:
-			}
-		}
-		processed++
-		ev := heap.Pop(&h).(*event)
-		if cfg.Horizon > 0 && ev.t > cfg.Horizon {
-			now = cfg.Horizon
-			break
-		}
-		now = ev.t
-		st.Now = now
-		ev.fn()
-		if cfg.Tasks > 0 && doneTotal >= cfg.Tasks {
-			break
-		}
-		if math.IsInf(now, 0) {
-			return nil, fmt.Errorf("sim: time diverged")
-		}
+	err := l.Run(RunConfig{
+		Horizon:   cfg.Horizon,
+		Interrupt: cfg.Interrupt,
+		Stop: func() bool {
+			return cfg.Tasks > 0 && doneTotal >= cfg.Tasks
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &OnlineResult{
-		Makespan: now,
+	return &OnlineResult{
+		Makespan: l.Now(),
 		Done:     doneTotal,
 		PerNode:  append([]int(nil), st.Done...),
 		PerEdge:  append([]int(nil), st.SentTo...),
-	}
-	return res, nil
+		Arrived:  arrived,
+	}, nil
 }
 
 // ShortestPathTree returns, for each node, the entering edge of a
@@ -381,7 +493,7 @@ func ShortestPathTree(p *platform.Platform, master int) ([]int, error) {
 		}
 		path := p.ShortestPath(master, v)
 		if path == nil {
-			return nil, fmt.Errorf("sim: node %d unreachable from master", v)
+			return nil, fmt.Errorf("event: node %d unreachable from master", v)
 		}
 		tree[v] = path[len(path)-1]
 	}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioJSON fuzzes the scenario decode/validate path — the
+// exact bytes POST /v1/simulate and bundle files feed it. Properties:
+// Validate never panics, and a scenario that validates survives a
+// JSON round-trip with its validity, label, and dynamic/static
+// classification intact.
+func FuzzScenarioJSON(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"periods":100}`,
+		`{"name":"slow","tasks":500,"slowdowns":[{"node":"P2","factor":2,"from":50,"until":200}]}`,
+		`{"adaptive":true,"epoch":25,"seed":7}`,
+		`{"horizon":300,"node_load":{"P2":{"kind":"random-walk","horizon":300,"step":10,"lo":1,"hi":4}}}`,
+		`{"edge_load":{"P1->P2":{"kind":"steps","times":[0,50],"mult":[1,3]}}}`,
+		`{"arrivals":{"kind":"poisson","rate":2,"count":100}}`,
+		`{"arrivals":{"kind":"recorded","times":[0,1,2.5,7]}}`,
+		`{"arrivals":{"kind":"bursty","burst":10,"every":5,"count":50}}`,
+		`{"arrivals":{"kind":"diurnal","rate":1,"period":100,"peak":0.5,"count":40}}`,
+		`{"failures":[{"node":"P4","from":5,"until":25},{"edge":"P1->P3","from":10,"until":30}]}`,
+		`{"tasks":-1}`,
+		`{"failures":[{"node":"P4","edge":"P1->P2","from":0,"until":1}]}`,
+		`{"arrivals":{"kind":"poisson","rate":-2,"count":10}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var sc Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return
+		}
+		if err := sc.Validate(); err != nil {
+			return
+		}
+		wasDynamic, wasLabel := sc.Dynamic(), sc.label()
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("marshal valid scenario: %v", err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(out, &back); err != nil {
+			t.Fatalf("re-decode own encoding: %v\n%s", err, out)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-trip broke validity: %v\n%s", err, out)
+		}
+		if back.Dynamic() != wasDynamic || back.label() != wasLabel {
+			t.Fatalf("round-trip changed classification: dynamic %v->%v label %q->%q",
+				wasDynamic, back.Dynamic(), wasLabel, back.label())
+		}
+	})
+}

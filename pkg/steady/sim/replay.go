@@ -2,241 +2,46 @@ package sim
 
 import (
 	"context"
-	"fmt"
-	"math/big"
+	"errors"
 
 	"repro/pkg/steady"
-	"repro/pkg/steady/rat"
+	"repro/pkg/steady/sim/event"
 )
 
-// replayStats is the outcome of an exact periodic replay.
-type replayStats struct {
-	// periods is the reported horizon (includes extrapolation).
-	periods int64
-	// steadyAfter is the first period index sustaining every quota
-	// (-1 if not reached within the horizon).
-	steadyAfter int64
-	// ops is the total number of completed operations over the
-	// horizon, summed across commodities.
-	ops *big.Int
-	// ratio is min over commodities of done / (periods * quota): the
-	// fraction of the schedule's own steady-state rate achieved.
-	ratio rat.Rat
-}
-
-// commodityState is the store-and-forward state of one commodity.
-//
-// Flow commodities track a per-node buffer: forwarding and consuming
-// debit it, receptions credit it at the end of the period (so a unit
-// received in period p is usable from period p+1 — the §4.2
-// store-and-forward discipline). Replicated commodities track
-// cumulative receptions per node and cumulative sends per edge:
-// copies are free, so sending does not debit, but an edge can only
-// have carried as many instances as its tail had received by the end
-// of the previous period.
-type commodityState struct {
-	c *steady.ReplayCommodity
-
-	buffer  []*big.Int // flow: per-node buffered units
-	arrived []*big.Int // replicated: cumulative receptions
-	sent    []*big.Int // replicated: cumulative sends per edge
-
-	done     *big.Int // cumulative completions
-	lastDone *big.Int // completions in the most recent period
-}
-
-func newCommodityState(rp *steady.Replay, c *steady.ReplayCommodity) *commodityState {
-	n := rp.Platform.NumNodes()
-	st := &commodityState{c: c, done: new(big.Int), lastDone: new(big.Int)}
-	if c.Replicated {
-		st.arrived = zeros(n)
-		st.sent = zeros(rp.Platform.NumEdges())
-	} else {
-		st.buffer = zeros(n)
-	}
-	return st
-}
-
-func zeros(n int) []*big.Int {
-	out := make([]*big.Int, n)
-	for i := range out {
-		out[i] = new(big.Int)
-	}
-	return out
-}
-
-// step advances the commodity by one period and records the period's
-// completions in lastDone.
-func (st *commodityState) step(rp *steady.Replay) {
-	p := rp.Platform
-	c := st.c
-	n := p.NumNodes()
-	recv := zeros(n)
-	doneThis := new(big.Int)
-
-	if c.Replicated {
-		for e := 0; e < p.NumEdges(); e++ {
-			want := c.EdgeCount[e]
-			if want == nil || want.Sign() == 0 {
-				continue
-			}
-			from := p.Edge(e).From
-			x := new(big.Int).Set(want)
-			if from != c.Source {
-				// Cumulative sends may not exceed cumulative
-				// receptions as of the end of the previous period.
-				headroom := new(big.Int).Sub(st.arrived[from], st.sent[e])
-				if headroom.Sign() < 0 {
-					headroom.SetInt64(0)
-				}
-				if x.Cmp(headroom) > 0 {
-					x.Set(headroom)
-				}
-			}
-			st.sent[e].Add(st.sent[e], x)
-			recv[p.Edge(e).To].Add(recv[p.Edge(e).To], x)
-		}
-		for i := 0; i < n; i++ {
-			st.arrived[i].Add(st.arrived[i], recv[i])
-		}
-		// Completed instances: delivered to every sink.
-		min := minOver(st.arrived, c.Sinks)
-		doneThis.Sub(min, st.done)
-		st.done.Set(min)
-		st.lastDone.Set(doneThis)
-		return
-	}
-
-	// Flow semantics: forward first (fixed edge order), then consume;
-	// any fixed priority reaches steady state within the platform
-	// depth once upstream buffers fill.
-	for i := 0; i < n; i++ {
-		source := i == c.Source
-		avail := new(big.Int).Set(st.buffer[i])
-		for _, e := range p.OutEdges(i) {
-			want := c.EdgeCount[e]
-			if want == nil || want.Sign() == 0 {
-				continue
-			}
-			x := new(big.Int).Set(want)
-			if !source {
-				if x.Cmp(avail) > 0 {
-					x.Set(avail)
-				}
-				avail.Sub(avail, x)
-			}
-			recv[p.Edge(e).To].Add(recv[p.Edge(e).To], x)
-		}
-		if c.Consume != nil {
-			take := new(big.Int).Set(c.Consume[i])
-			if !source {
-				if take.Cmp(avail) > 0 {
-					take.Set(avail)
-				}
-				avail.Sub(avail, take)
-			}
-			doneThis.Add(doneThis, take)
-		}
-		if !source {
-			st.buffer[i].Set(avail)
-		}
-	}
-	for _, s := range c.Sinks {
-		// Deliveries complete on arrival; the copy also lands in the
-		// buffer below, in case the schedule routes through a sink.
-		doneThis.Add(doneThis, recv[s])
-	}
-	for i := 0; i < n; i++ {
-		if i != c.Source {
-			st.buffer[i].Add(st.buffer[i], recv[i])
-		}
-	}
-	st.done.Add(st.done, doneThis)
-	st.lastDone.Set(doneThis)
-}
-
-func minOver(vals []*big.Int, idx []int) *big.Int {
-	min := new(big.Int)
-	for j, i := range idx {
-		if j == 0 || vals[i].Cmp(min) < 0 {
-			min.Set(vals[i])
-		}
-	}
-	return min
-}
-
-// atQuota reports whether the most recent period completed the full
-// per-period quota.
-func (st *commodityState) atQuota() bool { return st.lastDone.Cmp(st.c.Quota) == 0 }
-
-// replayPeriodic executes the replay for the given horizon. It
-// simulates period by period until every commodity sustains its quota
-// for two consecutive periods, then extrapolates the remaining
-// horizon arithmetically (in steady state each period adds exactly
-// the quota), so long horizons are O(transient), not O(periods).
-func replayPeriodic(ctx context.Context, rp *steady.Replay, periods int64) (*replayStats, error) {
-	if periods <= 0 {
-		return nil, fmt.Errorf("sim: non-positive horizon")
-	}
-	if len(rp.Commodities) == 0 {
-		return nil, fmt.Errorf("sim: replay has no commodities")
-	}
-	states := make([]*commodityState, len(rp.Commodities))
+// specFromReplay converts the problem-independent replay description
+// (pkg/steady.Replay) into the event core's periodic spec. The two
+// types mirror each other field for field; the copy exists only so
+// pkg/steady/sim/event stays a leaf package without a dependency on
+// pkg/steady.
+func specFromReplay(rp *steady.Replay) *event.PeriodicSpec {
+	spec := &event.PeriodicSpec{Platform: rp.Platform}
 	for i := range rp.Commodities {
 		c := &rp.Commodities[i]
-		if c.Quota == nil || c.Quota.Sign() <= 0 {
-			return nil, fmt.Errorf("sim: commodity %s does no work", c.Name)
-		}
-		states[i] = newCommodityState(rp, c)
+		spec.Commodities = append(spec.Commodities, event.Commodity{
+			Name:       c.Name,
+			Source:     c.Source,
+			Replicated: c.Replicated,
+			EdgeCount:  c.EdgeCount,
+			Consume:    c.Consume,
+			Sinks:      c.Sinks,
+			Quota:      c.Quota,
+		})
 	}
+	return spec
+}
 
-	steadyAfter := int64(-1)
-	steadyRun := 0
-	simulated := int64(0)
-	for ; simulated < periods; simulated++ {
-		if simulated%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
+// replayPeriodic executes the exact periodic replay on the event core,
+// surfacing a cancellation as the context's error.
+func replayPeriodic(ctx context.Context, rp *steady.Replay, periods int64, l *event.Loop) (*event.PeriodicStats, error) {
+	st, err := event.RunPeriodic(specFromReplay(rp), periods, event.PeriodicOptions{
+		Loop:      l,
+		Interrupt: ctx.Done(),
+	})
+	if err != nil {
+		if errors.Is(err, event.ErrInterrupted) && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
-		allQuota := true
-		for _, st := range states {
-			st.step(rp)
-			if !st.atQuota() {
-				allQuota = false
-			}
-		}
-		if allQuota {
-			if steadyAfter < 0 {
-				steadyAfter = simulated
-			}
-			steadyRun++
-			if steadyRun >= 2 {
-				simulated++
-				break
-			}
-		} else {
-			steadyAfter = -1
-			steadyRun = 0
-		}
+		return nil, err
 	}
-
-	// Extrapolate the remaining horizon: every steady period adds
-	// exactly the quota.
-	remaining := periods - simulated
-	ops := new(big.Int)
-	ratio := rat.Rat{}
-	pb := big.NewInt(periods)
-	for i, st := range states {
-		total := new(big.Int).Set(st.done)
-		if remaining > 0 {
-			total.Add(total, new(big.Int).Mul(st.c.Quota, big.NewInt(remaining)))
-		}
-		ops.Add(ops, total)
-		r := bigRat(total, new(big.Int).Mul(st.c.Quota, pb))
-		if i == 0 || r.Less(ratio) {
-			ratio = r
-		}
-	}
-	return &replayStats{periods: periods, steadyAfter: steadyAfter, ops: ops, ratio: ratio}, nil
+	return st, nil
 }

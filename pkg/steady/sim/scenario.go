@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
+	"sort"
 	"strings"
 
-	isim "repro/internal/sim"
 	"repro/pkg/steady/platform"
+	"repro/pkg/steady/sim/event"
 )
 
 // Scenario describes the conditions a solved schedule is simulated
@@ -51,6 +53,15 @@ type Scenario struct {
 	// Factor times slower during [From, Until). They model host
 	// slowdown and, with a large factor, churn-style outages.
 	Slowdowns []Slowdown `json:"slowdowns,omitempty"`
+	// Arrivals, when set, replaces the master's unbounded task supply
+	// with a workload arrival process (recorded trace or a seeded
+	// generator); without Tasks or Horizon the run then processes
+	// exactly the arrived tasks.
+	Arrivals *ArrivalSpec `json:"arrivals,omitempty"`
+	// Failures take the named node or edge fully offline during
+	// [From, Until) — link failures and node churn, as opposed to the
+	// soft multiplicative Slowdowns.
+	Failures []Failure `json:"failures,omitempty"`
 	// Adaptive re-solves the steady-state LP each epoch from NWS-like
 	// forecasts (§5.5, internal/adaptive) instead of keeping the
 	// nominal LP rates.
@@ -66,7 +77,8 @@ type Scenario struct {
 // simulator rather than the exact periodic replay.
 func (s *Scenario) Dynamic() bool {
 	return s.Tasks > 0 || s.Horizon > 0 || len(s.NodeLoad) > 0 ||
-		len(s.EdgeLoad) > 0 || len(s.Slowdowns) > 0 || s.Adaptive || s.EpochLength > 0
+		len(s.EdgeLoad) > 0 || len(s.Slowdowns) > 0 || s.Adaptive || s.EpochLength > 0 ||
+		s.Arrivals != nil || len(s.Failures) > 0
 }
 
 // label returns the report label for the scenario.
@@ -120,11 +132,186 @@ func (s *Scenario) Validate() error {
 		}
 		seen[key] = true
 	}
+	if s.Arrivals != nil {
+		if err := s.Arrivals.validate(); err != nil {
+			return fmt.Errorf("sim: arrivals: %w", err)
+		}
+	}
+	windows := map[string][]event.Window{}
+	for i, f := range s.Failures {
+		if err := f.validate(); err != nil {
+			return fmt.Errorf("sim: failure %d: %w", i, err)
+		}
+		key := "node:" + f.Node
+		if f.Edge != "" {
+			key = "edge:" + f.Edge
+		}
+		windows[key] = append(windows[key], event.Window{From: f.From, Until: f.Until})
+	}
+	for key, ws := range windows {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].From < ws[i-1].Until {
+				return fmt.Errorf("sim: overlapping failure windows on %s", key)
+			}
+		}
+	}
+	return nil
+}
+
+// maxArrivals bounds generated arrival processes, like maxTraceKnots
+// for load traces: scenarios cross the service boundary.
+const maxArrivals = 100000
+
+// ArrivalSpec describes a workload arrival process at the master.
+// Kinds:
+//
+//	recorded  {"kind":"recorded","times":[...]}          replay a trace
+//	poisson   {"kind":"poisson","rate":r,"count":n}      exponential gaps
+//	bursty    {"kind":"bursty","burst":b,"every":e,"count":n}
+//	          b simultaneous arrivals every e time units
+//	diurnal   {"kind":"diurnal","rate":r,"period":p,"peak":a,"count":n}
+//	          nonhomogeneous Poisson with rate r*(1+a*sin(2πt/p))
+//
+// Generator kinds draw from the scenario's seeded rng stream, so the
+// same seed yields the same arrival times.
+type ArrivalSpec struct {
+	Kind   string    `json:"kind"`
+	Times  []float64 `json:"times,omitempty"`
+	Rate   float64   `json:"rate,omitempty"`
+	Count  int       `json:"count,omitempty"`
+	Burst  int       `json:"burst,omitempty"`
+	Every  float64   `json:"every,omitempty"`
+	Period float64   `json:"period,omitempty"`
+	Peak   float64   `json:"peak,omitempty"`
+}
+
+// NumArrivals returns the number of tasks the process releases, so
+// admission controllers can cost a scenario before running it.
+func (a *ArrivalSpec) NumArrivals() int {
+	if a == nil {
+		return 0
+	}
+	if a.Kind == "recorded" {
+		return len(a.Times)
+	}
+	return a.Count
+}
+
+func (a *ArrivalSpec) validate() error {
+	switch a.Kind {
+	case "recorded":
+		if len(a.Times) == 0 {
+			return fmt.Errorf("recorded arrivals need times")
+		}
+		if len(a.Times) > maxArrivals {
+			return fmt.Errorf("recorded arrivals has %d times, limit %d", len(a.Times), maxArrivals)
+		}
+		for i, t := range a.Times {
+			if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+				return fmt.Errorf("recorded arrival %d has bad time %v", i, t)
+			}
+			if i > 0 && t < a.Times[i-1] {
+				return fmt.Errorf("recorded arrival times must be non-decreasing")
+			}
+		}
+	case "poisson":
+		if a.Rate <= 0 {
+			return fmt.Errorf("poisson arrivals need a positive rate")
+		}
+	case "bursty":
+		if a.Burst <= 0 || a.Every <= 0 {
+			return fmt.Errorf("bursty arrivals need positive burst and every")
+		}
+	case "diurnal":
+		if a.Rate <= 0 || a.Period <= 0 {
+			return fmt.Errorf("diurnal arrivals need positive rate and period")
+		}
+		if a.Peak < 0 || a.Peak > 1 {
+			return fmt.Errorf("diurnal peak must be in [0,1]")
+		}
+	default:
+		return fmt.Errorf("unknown arrival kind %q (recorded|poisson|bursty|diurnal)", a.Kind)
+	}
+	if a.Kind != "recorded" {
+		if a.Count <= 0 {
+			return fmt.Errorf("%s arrivals need a positive count", a.Kind)
+		}
+		if a.Count > maxArrivals {
+			return fmt.Errorf("%s arrivals count %d exceeds limit %d", a.Kind, a.Count, maxArrivals)
+		}
+	}
+	return nil
+}
+
+// times materializes the arrival process. rng is only consulted by
+// the stochastic kinds.
+func (a *ArrivalSpec) times(rng *rand.Rand) ([]float64, error) {
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	switch a.Kind {
+	case "recorded":
+		return append([]float64(nil), a.Times...), nil
+	case "poisson":
+		out := make([]float64, 0, a.Count)
+		t := 0.0
+		for len(out) < a.Count {
+			t += rng.ExpFloat64() / a.Rate
+			out = append(out, t)
+		}
+		return out, nil
+	case "bursty":
+		out := make([]float64, 0, a.Count)
+		for k := 0; len(out) < a.Count; k++ {
+			for b := 0; b < a.Burst && len(out) < a.Count; b++ {
+				out = append(out, float64(k)*a.Every)
+			}
+		}
+		return out, nil
+	default: // diurnal: Poisson thinning against the peak rate
+		lamMax := a.Rate * (1 + a.Peak)
+		out := make([]float64, 0, a.Count)
+		t := 0.0
+		for len(out) < a.Count {
+			t += rng.ExpFloat64() / lamMax
+			lam := a.Rate * (1 + a.Peak*math.Sin(2*math.Pi*t/a.Period))
+			if rng.Float64()*lamMax <= lam {
+				out = append(out, t)
+			}
+		}
+		return out, nil
+	}
+}
+
+// Failure takes the named node (or edge "from->to") fully offline
+// during [From, Until): no compute or transfer may start on it, and
+// demand is re-routed around it by the policies only in the sense
+// that other requests keep being served.
+type Failure struct {
+	Node  string  `json:"node,omitempty"`
+	Edge  string  `json:"edge,omitempty"`
+	From  float64 `json:"from"`
+	Until float64 `json:"until"`
+}
+
+func (f Failure) validate() error {
+	if (f.Node == "") == (f.Edge == "") {
+		return fmt.Errorf("needs exactly one of node or edge")
+	}
+	if f.Edge != "" {
+		if _, _, err := splitEdgeKey(f.Edge); err != nil {
+			return err
+		}
+	}
+	if f.From < 0 || f.Until <= f.From {
+		return fmt.Errorf("needs 0 <= from < until")
+	}
 	return nil
 }
 
 // TraceSpec is the serializable description of a piecewise-constant
-// load trace (internal/sim.Trace). Kinds:
+// load trace (event.LoadTrace). Kinds:
 //
 //	constant     {"kind":"constant","value":m}
 //	steps        {"kind":"steps","times":[0,...],"mult":[...]}
@@ -186,17 +373,17 @@ func (t TraceSpec) validate() error {
 
 // trace materializes the spec. rng is only consulted by random-walk
 // traces.
-func (t TraceSpec) trace(rng *rand.Rand) (*isim.Trace, error) {
+func (t TraceSpec) trace(rng *rand.Rand) (*event.LoadTrace, error) {
 	if err := t.validate(); err != nil {
 		return nil, err
 	}
 	switch t.Kind {
 	case "", "constant":
-		return isim.ConstantTrace(t.Value), nil
+		return event.ConstantLoad(t.Value), nil
 	case "steps":
-		return isim.StepTrace(t.Times, t.Mult), nil
+		return event.StepLoad(t.Times, t.Mult), nil
 	default: // random-walk
-		return isim.RandomWalkTrace(rng, t.Horizon, t.Step, t.Lo, t.Hi), nil
+		return event.RandomWalkLoad(rng, t.Horizon, t.Step, t.Lo, t.Hi), nil
 	}
 }
 

@@ -5,23 +5,29 @@
 // the startup transient, and the asymptotic-optimality ratio — §4.2's
 // "asymptotically optimal" made measurable.
 //
-// Two simulation substrates back the one Engine:
+// One deterministic event core (pkg/steady/sim/event) backs both
+// scenario kinds:
 //
 //   - Static scenarios run an exact, period-granular store-and-forward
 //     replay of the schedule's integral per-period counts (big.Int
-//     arithmetic, no floats): a node forwards or consumes only what it
-//     received in earlier periods, so the transient and the achieved
-//     rate are exact. Once every commodity sustains its per-period
-//     quota the remaining horizon is extrapolated arithmetically, so
-//     long horizons cost nothing.
-//   - Dynamic scenarios run the float event-driven one-port simulator
-//     of §5.5 (internal/sim) on a shortest-path overlay: bandwidth and
-//     speed traces, host slowdown and churn windows, and optionally
-//     the adaptive epoch-based re-solver of internal/adaptive.
+//     arithmetic, no floats) as period events on the shared loop: a
+//     node forwards or consumes only what it received in earlier
+//     periods, so the transient and the achieved rate are exact. Once
+//     every commodity sustains its per-period quota the remaining
+//     horizon is extrapolated arithmetically, so long horizons cost
+//     nothing.
+//   - Dynamic scenarios run the float64 online one-port simulator of
+//     §5.5 on the same loop: demand-driven tasking on a shortest-path
+//     overlay under bandwidth and speed traces, arrival processes,
+//     failure windows, and optionally the adaptive epoch-based
+//     re-solver of internal/adaptive.
 //
 // The float boundary is explicit: certified quantities stay exact
 // rationals end to end, and only scenario dynamics (load multipliers,
-// event times) are float64 — see docs/ARCHITECTURE.md.
+// event times) are float64 — see docs/ARCHITECTURE.md. Both paths can
+// emit a structured event trace (RunRecorded/RunTraced), and two runs
+// of the same scenario with the same seed produce byte-identical
+// traces.
 //
 // Engine.Sweep fans (platform, solver, scenario) cells through a
 // worker pool that shares pkg/steady/batch's sharded LP-solution
@@ -32,12 +38,14 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/big"
 	"time"
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/rat"
+	"repro/pkg/steady/sim/event"
 )
 
 // Config tunes an Engine. The zero value selects sensible defaults.
@@ -164,6 +172,14 @@ type Report struct {
 	Resolves     int     `json:"resolves,omitempty"`
 	WarmResolves int     `json:"warm_resolves,omitempty"`
 	LPPivots     int64   `json:"lp_pivots,omitempty"`
+	// Arrived is the number of tasks released by the scenario's
+	// arrival process (0 when the master's supply is unbounded).
+	Arrived int `json:"arrived,omitempty"`
+
+	// TraceEvents is the number of structured trace records the run
+	// emitted (0 unless the run was traced via RunRecorded/RunTraced
+	// or the server's trace option).
+	TraceEvents int64 `json:"trace_events,omitempty"`
 }
 
 // Run simulates the solved result under the scenario. Static
@@ -173,6 +189,14 @@ type Report struct {
 // base port model; send-or-receive masterslave results are evaluated
 // with the greedy §5.1.1 decomposition.
 func (e *Engine) Run(ctx context.Context, res *steady.Result, sc Scenario) (*Report, error) {
+	return e.RunRecorded(ctx, res, sc, nil)
+}
+
+// RunRecorded runs like Run while streaming the structured event
+// trace of the simulation to rec (see event.Record for the schema;
+// nil rec disables tracing). The trace is deterministic: the same
+// result, scenario, and seed yield the same record sequence.
+func (e *Engine) RunRecorded(ctx context.Context, res *steady.Result, sc Scenario, rec event.Recorder) (*Report, error) {
 	if res == nil {
 		return nil, fmt.Errorf("sim: nil result")
 	}
@@ -182,18 +206,46 @@ func (e *Engine) Run(ctx context.Context, res *steady.Result, sc Scenario) (*Rep
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if sc.Dynamic() {
-		return e.runDynamic(ctx, res, &sc)
+	l := event.NewLoop()
+	l.SetRecorder(rec)
+	var (
+		rep *Report
+		err error
+	)
+	switch {
+	case sc.Dynamic():
+		rep, err = e.runDynamic(ctx, res, &sc, l)
+	case res.Model == steady.SendOrReceive:
+		// The greedy send-or-receive evaluation is a closed-form
+		// decomposition, not a simulation: it has no events to trace.
+		rep, err = greedyReport(res, &sc)
+	default:
+		rep, err = e.runPeriodic(ctx, res, &sc, l)
 	}
-	if res.Model == steady.SendOrReceive {
-		return greedyReport(res, &sc)
+	if err != nil {
+		return nil, err
 	}
-	return e.runPeriodic(ctx, res, &sc)
+	rep.TraceEvents = l.Events()
+	return rep, nil
+}
+
+// RunTraced runs like Run while writing the structured event trace as
+// JSON lines to w — the on-disk/golden format of event traces.
+func (e *Engine) RunTraced(ctx context.Context, res *steady.Result, sc Scenario, w io.Writer) (*Report, error) {
+	rec := event.NewWriterRecorder(w)
+	rep, err := e.RunRecorded(ctx, res, sc, rec)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Err(); err != nil {
+		return nil, fmt.Errorf("sim: writing trace: %w", err)
+	}
+	return rep, nil
 }
 
 // runPeriodic prepares the replay spec and executes the exact
-// period-granular replay.
-func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenario) (*Report, error) {
+// period-granular replay on the event loop.
+func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenario, l *event.Loop) (*Report, error) {
 	rp, err := res.Replay()
 	if err != nil {
 		return nil, err
@@ -205,11 +257,11 @@ func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenar
 	if periods > e.cfg.MaxPeriods {
 		periods = e.cfg.MaxPeriods
 	}
-	st, err := replayPeriodic(ctx, rp, periods)
+	st, err := replayPeriodic(ctx, rp, periods, l)
 	if err != nil {
 		return nil, err
 	}
-	achieved := st.ratio.Mul(rp.ScheduleThroughput)
+	achieved := st.Ratio.Mul(rp.ScheduleThroughput)
 	ratio := rat.Zero()
 	if rp.Certified.Sign() > 0 {
 		ratio = achieved.Div(rp.Certified)
@@ -228,10 +280,10 @@ func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenar
 		AchievedValue:      achieved.Float64(),
 		Ratio:              ratio.String(),
 		RatioValue:         ratio.Float64(),
-		Periods:            st.periods,
+		Periods:            st.Periods,
 		Period:             rp.Period.String(),
-		SteadyAfter:        st.steadyAfter,
-		Ops:                st.ops.String(),
+		SteadyAfter:        st.SteadyAfter,
+		Ops:                st.Ops.String(),
 	}, nil
 }
 
