@@ -10,6 +10,7 @@
 //	experiments -batch -n 16 -workers 8 -format csv   # batch sweep
 //	experiments -batch -remote http://localhost:8080  # sweep via steadyd
 //	experiments -sim                                  # simulate every solver's schedule
+//	experiments -sim -metrics-dump                    # ... and dump metrics to stderr
 //
 // With -remote, the sweep is not solved in-process: the same
 // generator parameters are POSTed to a running steadyd instance's
@@ -32,6 +33,7 @@ import (
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/obs"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/server"
 	"repro/pkg/steady/sim"
@@ -47,17 +49,30 @@ func main() {
 	problem := flag.String("problem", "masterslave", "batch: problem to sweep")
 	remote := flag.String("remote", "", "batch: base URL of a steadyd instance to sweep against (e.g. http://localhost:8080)")
 	simMode := flag.Bool("sim", false, "simulate every registered solver's reconstructed schedule and report achieved vs certified throughput")
+	metricsDump := flag.Bool("metrics-dump", false, "after -batch or -sim, dump the run's metrics (Prometheus text format) to stderr")
 	flag.Parse()
 
 	if *remote != "" && !*batchMode {
 		fmt.Fprintln(os.Stderr, "experiments: -remote requires -batch")
 		os.Exit(2)
 	}
+	// -metrics-dump observes in-process runs; a remote sweep's metrics
+	// live on the server (GET /metrics), and the experiment suite runs
+	// through the plain facade.
+	var reg *obs.Registry
+	if *metricsDump {
+		if *remote != "" || (!*batchMode && !*simMode) {
+			fmt.Fprintln(os.Stderr, "experiments: -metrics-dump requires a local -batch or -sim run")
+			os.Exit(2)
+		}
+		reg = obs.New()
+	}
 	if *simMode {
-		if err := runSim(*workers); err != nil {
+		if err := runSim(*workers, reg); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		dumpMetrics(reg)
 		return
 	}
 	if *batchMode {
@@ -65,12 +80,13 @@ func main() {
 		if *remote != "" {
 			err = runRemoteBatch(*remote, *n, *seed, *format, *problem)
 		} else {
-			err = runBatch(*n, *workers, *seed, *format, *problem)
+			err = runBatch(*n, *workers, *seed, *format, *problem, reg)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		dumpMetrics(reg)
 		return
 	}
 
@@ -109,7 +125,17 @@ func main() {
 // generalized beyond master-slave), then runs two dynamic scenarios —
 // a mid-run host slowdown with and without §5.5 adaptive re-solving —
 // to show the dynamic machinery from the same entry point.
-func runSim(workers int) error {
+// dumpMetrics renders reg to stderr after a -metrics-dump run; the
+// stdout stream (CSV/JSON records, experiment tables) stays clean.
+func dumpMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "# --- metrics (Prometheus text format) ---")
+	_ = reg.WritePrometheus(os.Stderr)
+}
+
+func runSim(workers int, reg *obs.Registry) error {
 	fig1 := platform.Figure1()
 	fig2 := platform.Figure2()
 	cells := []sim.Cell{
@@ -121,7 +147,7 @@ func runSim(workers int) error {
 		{ID: "broadcast", Platform: fig2, Spec: steady.Spec{Problem: "broadcast", Root: "P0"}},
 		{ID: "reduce", Platform: fig1, Spec: steady.Spec{Problem: "reduce", Root: "P1"}},
 	}
-	eng := sim.New(sim.Config{Workers: workers})
+	eng := sim.New(sim.Config{Workers: workers, Obs: reg})
 	fmt.Printf("Replaying reconstructed schedules (certified vs simulated):\n")
 	fmt.Printf("  %-16s %-10s %-10s %-8s %s\n", "solver", "certified", "achieved", "ratio", "steady-after")
 	for _, o := range eng.Sweep(context.Background(), cells) {
@@ -185,7 +211,7 @@ var sweepSizes = []int{6, 8, 10, 12}
 // engine and streaming records to stdout as they complete. Platform
 // sizes cycle over a small set, so the sweep contains duplicate
 // platforms and exercises the engine's LP-solution cache.
-func runBatch(n, workers int, seed int64, format, problem string) error {
+func runBatch(n, workers int, seed int64, format, problem string, reg *obs.Registry) error {
 	solver, err := steady.New(steady.Spec{Problem: problem})
 	if err != nil {
 		return err
@@ -216,6 +242,9 @@ func runBatch(n, workers int, seed int64, format, problem string) error {
 	}
 
 	eng := batch.New(workers)
+	if reg != nil {
+		eng.Cache().SetObs(reg)
+	}
 	if err := eng.Stream(context.Background(), jobs, sink); err != nil {
 		return err
 	}

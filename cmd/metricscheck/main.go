@@ -1,0 +1,74 @@
+// Command metricscheck validates a Prometheus text exposition: it
+// parses the format strictly (HELP/TYPE comments, label syntax,
+// histogram bucket monotonicity) and optionally requires named
+// metrics to be present. CI scrapes a live steadyd's GET /metrics
+// through it; operators can point it at any exposition.
+//
+// Usage:
+//
+//	metricscheck < metrics.txt
+//	metricscheck -url http://localhost:8080/metrics
+//	metricscheck -url ... -require steady_lp_solves_total,steady_http_requests_total
+//
+// Exit status 0 means the exposition parses and every required
+// metric is present; 1 reports the first violation on stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/pkg/steady/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading stdin")
+	require := flag.String("require", "", "comma-separated metric names that must be present (histograms: their _count suffix works)")
+	quiet := flag.Bool("q", false, "print nothing on success")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		resp, err := http.Get(*url)
+		if err != nil {
+			fatal("scrape %s: %v", *url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal("scrape %s: status %s", *url, resp.Status)
+		}
+		in = resp.Body
+	}
+
+	samples, err := obs.ParseExposition(in)
+	if err != nil {
+		fatal("invalid exposition: %v", err)
+	}
+	names := map[string]int{}
+	for _, s := range samples {
+		names[s.Name]++
+	}
+	var missing []string
+	for _, want := range strings.Split(*require, ",") {
+		if want = strings.TrimSpace(want); want != "" && names[want] == 0 {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		fatal("missing required metrics: %s", strings.Join(missing, ", "))
+	}
+	if !*quiet {
+		fmt.Printf("ok: %d samples across %d metric names\n", len(samples), len(names))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "metricscheck: "+format+"\n", args...)
+	os.Exit(1)
+}

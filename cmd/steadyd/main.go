@@ -10,6 +10,8 @@
 //	steadyd                             # listen on :8080 with defaults
 //	steadyd -addr :9090 -workers 8 -cache-bound 65536
 //	steadyd -max-nodes 32 -solve-timeout 10s -max-inflight 4
+//	steadyd -pprof-addr localhost:6060  # profiling on a side listener
+//	steadyd -metrics=false              # no /metrics, zero overhead
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (up to the shutdown grace period), new connections
@@ -49,6 +51,8 @@ func main() {
 		simTrace   = flag.Int("max-trace-events", 0, "largest event trace a traced /v1/simulate may return (0 = default)")
 		grace      = flag.Duration("grace", 15*time.Second, "graceful-shutdown grace period")
 		floatFirst = flag.Bool("float-first", true, "run LP searches in float64 with exact basis certification (results stay exact; disable to force the pure-exact engine)")
+		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics on GET /metrics (disable for a zero-overhead server; /metrics then answers 404)")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -70,11 +74,29 @@ func main() {
 		MaxTraceEvents: *simTrace,
 
 		DisableFloatFirst: !*floatFirst,
+		DisableMetrics:    !*metrics,
 	})
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Profiling never rides on the service listener: -pprof-addr binds
+	// a second, operator-only server, typically on localhost.
+	if *pprofAddr != "" {
+		ps := &http.Server{
+			Addr:              *pprofAddr,
+			Handler:           server.PprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("steadyd: pprof on %s", *pprofAddr)
+			if err := ps.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("steadyd: pprof: %v", err)
+			}
+		}()
+		defer ps.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -3,11 +3,13 @@ package batch
 import (
 	"context"
 	"hash/maphash"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/obs"
 )
 
 // Cache is a sharded LP-solution cache with in-flight deduplication.
@@ -65,12 +67,23 @@ type Cache struct {
 	floatPivots    atomic.Int64
 	repairPivots   atomic.Int64
 	exactFallbacks atomic.Int64
+
+	// obsReg, when non-nil, is forwarded to the LP layer on every miss
+	// (see SetObs). The per-shard instruments live on the shards.
+	obsReg *obs.Registry
 }
 
 type cacheShard struct {
 	mu    sync.Mutex
 	m     map[string]*entry
 	bound int // max entries in this shard; <= 0 means unbounded
+
+	// Per-shard instruments, resolved once by SetObs; all nil-safe, so
+	// the unobserved cache pays only nil checks.
+	hits      *obs.Counter
+	misses    *obs.Counter
+	dedup     *obs.Counter
+	evictions *obs.Counter
 }
 
 // DefaultCacheShards is the shard count used when NewCache is given
@@ -196,6 +209,37 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// SetObs attaches a metrics registry to the cache: per-shard
+// hit/miss/dedup-wait/eviction counters, entry and in-flight gauges,
+// and — via DoSolve — the LP layer's per-solve metrics. Call it once,
+// before the cache serves traffic (the server does so at
+// construction); the instruments are resolved eagerly so the hot path
+// pays no registry lookups. A nil registry is a no-op.
+func (c *Cache) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.obsReg = reg
+	hits := reg.CounterVec("steady_cache_hits_total", "Cache lookups served from a completed entry, by shard.", "shard")
+	misses := reg.CounterVec("steady_cache_misses_total", "Cache lookups that claimed the key and ran the solve, by shard.", "shard")
+	dedup := reg.CounterVec("steady_cache_dedup_waits_total", "Cache lookups that blocked on another caller's in-flight solve, by shard.", "shard")
+	evict := reg.CounterVec("steady_cache_evictions_total", "Completed entries dropped to make room, by shard.", "shard")
+	for i := range c.shards {
+		label := strconv.Itoa(i)
+		sh := &c.shards[i]
+		sh.hits = hits.With(label)
+		sh.misses = misses.With(label)
+		sh.dedup = dedup.With(label)
+		sh.evictions = evict.With(label)
+	}
+	reg.GaugeFunc("steady_cache_entries", "Cached LP solutions currently resident.", func() float64 {
+		return float64(c.Len())
+	})
+	reg.GaugeFunc("steady_cache_inflight", "Cache-claimed solves currently running.", func() float64 {
+		return float64(c.inflight.Load())
+	})
+}
+
 // SetFloatFirst enables or disables the float-first LP path for cache
 // misses. It is ON by default: batch sweeps are exactly the workload
 // the float-search/exact-certificate split is for, and every result
@@ -268,6 +312,9 @@ func (c *Cache) DoSolve(ctx context.Context, key, solver string, solve func(cont
 		if c.FloatFirst() {
 			opts = append(opts, steady.FloatFirst())
 		}
+		if c.obsReg != nil {
+			opts = append(opts, steady.WithObs(c.obsReg))
+		}
 		res, err := solve(ctx, opts...)
 		if err == nil {
 			c.NoteResult(solver, res)
@@ -296,6 +343,7 @@ func (c *Cache) Do(ctx context.Context, key string, solve func() (*steady.Result
 			sh.evictLocked()
 			sh.m[key] = ent
 			sh.mu.Unlock()
+			sh.misses.Inc()
 			c.solves.Add(1)
 			c.inflight.Add(1)
 			ent.res, ent.err = solve()
@@ -315,6 +363,13 @@ func (c *Cache) Do(ctx context.Context, key string, solve func() (*steady.Result
 
 		select {
 		case <-ent.done:
+			// Already completed: a plain hit, no dedup wait.
+		default:
+			sh.dedup.Inc()
+		}
+
+		select {
+		case <-ent.done:
 			if canceled(ent.err) {
 				// The solve this caller was waiting on ran under
 				// another caller's context and was canceled there —
@@ -326,6 +381,7 @@ func (c *Cache) Do(ctx context.Context, key string, solve func() (*steady.Result
 				}
 				continue
 			}
+			sh.hits.Inc()
 			c.hits.Add(1)
 			return ent.res, ent.err, true
 		case <-ctx.Done():
@@ -346,6 +402,7 @@ func (sh *cacheShard) evictLocked() {
 		select {
 		case <-old.done:
 			delete(sh.m, k)
+			sh.evictions.Inc()
 			return
 		default:
 		}

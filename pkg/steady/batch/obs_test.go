@@ -1,0 +1,100 @@
+package batch
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/pkg/steady"
+	"repro/pkg/steady/obs"
+)
+
+func shardCounterSum(reg *obs.Registry, name string, shards int) int64 {
+	vec := reg.CounterVec(name, "", "shard")
+	var n int64
+	for i := 0; i < shards; i++ {
+		n += vec.With(fmt.Sprintf("%d", i)).Value()
+	}
+	return n
+}
+
+func TestCacheObsCounters(t *testing.T) {
+	reg := obs.New()
+	c := NewCache(4, 4)
+	c.SetObs(reg)
+	res := &steady.Result{}
+
+	// 8 distinct keys into a bound of 4: every insert is a miss, the
+	// last ones must evict.
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("key%d", i)
+		c.Do(context.Background(), k, func() (*steady.Result, error) { return res, nil })
+	}
+	// Re-resolve the freshest key: a hit.
+	c.Do(context.Background(), "key7", func() (*steady.Result, error) { return res, nil })
+
+	if got := shardCounterSum(reg, "steady_cache_misses_total", 4); got != 8 {
+		t.Fatalf("miss counter sum = %d, want 8", got)
+	}
+	if got := shardCounterSum(reg, "steady_cache_hits_total", 4); got != 1 {
+		t.Fatalf("hit counter sum = %d, want 1", got)
+	}
+	if got := shardCounterSum(reg, "steady_cache_evictions_total", 4); got < 1 {
+		t.Fatalf("eviction counter sum = %d, want >= 1", got)
+	}
+
+	// The registry counters agree with the cache's own stats.
+	st := c.Stats()
+	if got := shardCounterSum(reg, "steady_cache_hits_total", 4); got != st.Hits {
+		t.Fatalf("registry hits %d != CacheStats.Hits %d", got, st.Hits)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"steady_cache_entries", "steady_cache_inflight", "steady_cache_misses_total{shard=\"0\"}"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestCacheObsDedupWaits(t *testing.T) {
+	reg := obs.New()
+	c := NewCache(1, 0)
+	c.SetObs(reg)
+	res := &steady.Result{}
+
+	claimed := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), "k", func() (*steady.Result, error) {
+			close(claimed)
+			<-release
+			return res, nil
+		})
+	}()
+	<-claimed
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do(context.Background(), "k", func() (*steady.Result, error) { return res, nil })
+	}()
+	// The duplicate is blocked on the claimant; let it finish.
+	for shardCounterSum(reg, "steady_cache_dedup_waits_total", 1) == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if got := shardCounterSum(reg, "steady_cache_dedup_waits_total", 1); got != 1 {
+		t.Fatalf("dedup wait counter = %d, want 1", got)
+	}
+	if got := shardCounterSum(reg, "steady_cache_hits_total", 1); got != 1 {
+		t.Fatalf("hit counter = %d, want 1", got)
+	}
+}

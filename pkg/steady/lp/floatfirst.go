@@ -541,11 +541,16 @@ func (e *fengine) recomputeXB() {
 // solveFloatFirst is the Options.FloatFirst solve path: float search,
 // exact certificate, pure-exact fallback.
 func (m *Model) solveFloatFirst(opts *Options) (*Solution, error) {
+	reg := obsOf(opts)
 	s := m.standardize()
 	par := m.resolveParams(opts, len(s.rows), len(s.cols))
+	fsp := reg.StartSpan("lp_float_search")
 	fbasis, fstatus, fpivots, ferr := solveFloatSparse(s, par)
+	fsp.End()
 	if ferr == nil && fstatus == Optimal {
+		csp := reg.StartSpan("lp_certify")
 		sol, err := m.certifyFloatBasis(s, encodeBasis(s, fbasis), opts, fpivots)
+		csp.End()
 		if err == nil {
 			return sol, nil
 		}

@@ -235,6 +235,12 @@ type SolveInfo struct {
 	// pure-exact fallback instead. It is always false when FloatFirst
 	// was not requested.
 	CertifiedCold bool
+	// Refactorizations counts exact basis refactorizations: the eta
+	// file rebuilt from scratch, either periodically (every
+	// reinvertEvery pivots) or to install a warm/float basis. Float
+	// refactorizations inside the float64 search engine are not
+	// included — like FloatPivots, they are cheap.
+	Refactorizations int
 }
 
 // Solution is the result of an exact solve.

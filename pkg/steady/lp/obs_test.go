@@ -1,0 +1,112 @@
+package lp
+
+import (
+	"testing"
+
+	"repro/pkg/steady/obs"
+)
+
+// obsTestModel is the TestSimpleMax program: max 3x+5y subject to
+// x<=4, 2y<=12, 3x+2y<=18 (optimum 36 at (2,6)).
+func obsTestModel() *Model {
+	m := NewModel()
+	x, y := m.Var("x"), m.Var("y")
+	m.Objective(Maximize, expr(term(x, 3), term(y, 5)))
+	m.Le("c1", expr(term(x, 1)), ri(4))
+	m.Le("c2", expr(term(y, 2)), ri(12))
+	m.Le("c3", expr(term(x, 3), term(y, 2)), ri(18))
+	return m
+}
+
+func TestSolveFlushesMetrics(t *testing.T) {
+	reg := obs.New()
+	m := obsTestModel()
+	sol, err := m.SolveOpts(&Options{Obs: reg})
+	if err != nil || sol.Status != Optimal {
+		t.Fatalf("solve: %v (status %v)", err, sol.Status)
+	}
+	if got := reg.Counter(metricPivots, "").Value(); got != int64(sol.Info.Pivots) {
+		t.Fatalf("pivots counter = %d, want %d", got, sol.Info.Pivots)
+	}
+	if got := reg.CounterVec(metricSolves, "", "path").With("cold").Value(); got != 1 {
+		t.Fatalf("cold solves counter = %d, want 1", got)
+	}
+	spans := reg.RecentSpans()
+	var sawSolve, sawPhase2 bool
+	for _, sp := range spans {
+		switch sp.Stage {
+		case "lp_solve":
+			sawSolve = true
+		case "lp_phase2":
+			sawPhase2 = true
+		}
+	}
+	if !sawSolve || !sawPhase2 {
+		t.Fatalf("spans missing lifecycle stages: %+v", spans)
+	}
+
+	// Warm re-solve from the optimal basis lands on the warm path.
+	if _, err := m.SolveOpts(&Options{Obs: reg, WarmBasis: sol.Basis()}); err != nil {
+		t.Fatalf("warm solve: %v", err)
+	}
+	if got := reg.CounterVec(metricSolves, "", "path").With("warm").Value(); got != 1 {
+		t.Fatalf("warm solves counter = %d, want 1", got)
+	}
+
+	// Float-first lands on the float path and, like every solve of
+	// this model, records the same exact objective.
+	fsol, err := obsTestModel().SolveOpts(&Options{Obs: reg, FloatFirst: true})
+	if err != nil || fsol.Status != Optimal {
+		t.Fatalf("float solve: %v (status %v)", err, fsol.Status)
+	}
+	if !fsol.Objective.Equal(sol.Objective) {
+		t.Fatalf("float-first objective = %v, want %v", fsol.Objective, sol.Objective)
+	}
+	wantPath := "float"
+	if fsol.Info.CertifiedCold {
+		wantPath = "cold"
+	}
+	if got := reg.CounterVec(metricSolves, "", "path").With(wantPath).Value(); got < 1 {
+		t.Fatalf("%s solves counter = %d, want >= 1", wantPath, got)
+	}
+}
+
+// TestMetricsDoNotPerturbSolve proves observation is one-way: the
+// same model solved with and without a registry returns identical
+// pivots, basis, and values.
+func TestMetricsDoNotPerturbSolve(t *testing.T) {
+	plain, err := obsTestModel().SolveOpts(&Options{FloatFirst: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := obsTestModel().SolveOpts(&Options{FloatFirst: true, Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Info != observed.Info {
+		t.Fatalf("SolveInfo diverged: %+v vs %+v", plain.Info, observed.Info)
+	}
+	if !plain.Objective.Equal(observed.Objective) {
+		t.Fatalf("objective diverged: %v vs %v", plain.Objective, observed.Objective)
+	}
+}
+
+func TestRefactorizationsCounted(t *testing.T) {
+	// A warm start installs a basis, which refactors at least once.
+	sol := mustSolve(t, obsTestModel())
+	m := obsTestModel()
+	reg := obs.New()
+	wsol, err := m.SolveOpts(&Options{Obs: reg, WarmBasis: sol.Basis()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wsol.Info.WarmStarted {
+		t.Fatalf("warm basis rejected unexpectedly: %+v", wsol.Info)
+	}
+	if wsol.Info.Refactorizations < 1 {
+		t.Fatalf("Refactorizations = %d, want >= 1", wsol.Info.Refactorizations)
+	}
+	if got := reg.Counter(metricRefactor, "").Value(); got != int64(wsol.Info.Refactorizations) {
+		t.Fatalf("refactorizations counter = %d, want %d", got, wsol.Info.Refactorizations)
+	}
+}

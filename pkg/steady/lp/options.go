@@ -1,5 +1,7 @@
 package lp
 
+import "repro/pkg/steady/obs"
+
 // Pricing selects the entering-variable rule of the exact simplex.
 type Pricing int
 
@@ -84,6 +86,13 @@ type Options struct {
 	// solve falls back to the pure-exact path. <= 0 selects
 	// DefaultRepairFloor + rows.
 	RepairBudget int
+	// Obs, when non-nil, receives per-solve metrics: pivot and
+	// refactorization counters, the solve path taken
+	// (cold/warm/float), fallback counts, and wall-time spans per
+	// phase. Observation is strictly one-way — nothing read from the
+	// registry influences the solve — and a nil registry costs a nil
+	// check per solve.
+	Obs *obs.Registry
 }
 
 // DefaultRepairFloor is the constant part of the default float-first

@@ -72,6 +72,18 @@ func (m *Model) SolveFrom(b *Basis) (*Solution, error) {
 // SolveOpts runs the exact revised simplex under explicit options.
 // A nil opts is Solve.
 func (m *Model) SolveOpts(opts *Options) (*Solution, error) {
+	if opts == nil || opts.Obs == nil {
+		return m.solveDispatch(opts)
+	}
+	span := opts.Obs.StartSpan("lp_solve")
+	sol, err := m.solveDispatch(opts)
+	span.End()
+	flushSolveMetrics(opts, sol, err)
+	return sol, err
+}
+
+// solveDispatch picks the warm / float-first / cold path.
+func (m *Model) solveDispatch(opts *Options) (*Solution, error) {
 	if opts != nil && opts.WarmBasis != nil {
 		sol, err := m.solveWarm(opts)
 		if err == nil {
@@ -116,10 +128,14 @@ func (m *Model) solveCold(opts *Options) (*Solution, error) {
 			break
 		}
 	}
+	reg := obsOf(opts)
 	if hasArt {
 		// Phase 1: maximize -(sum of artificials).
+		sp := reg.StartSpan("lp_phase1")
 		e.setPhase1Costs()
-		if err := e.primal(); err != nil {
+		err := e.primal()
+		sp.End()
+		if err != nil {
 			if errors.Is(err, errUnbounded) {
 				return nil, fmt.Errorf("lp: phase 1 unbounded (internal error)")
 			}
@@ -141,7 +157,10 @@ func (m *Model) solveCold(opts *Options) (*Solution, error) {
 	}
 
 	e.setPhase2Costs()
-	if err := e.primal(); err != nil {
+	sp := reg.StartSpan("lp_phase2")
+	err := e.primal()
+	sp.End()
+	if err != nil {
 		if errors.Is(err, errUnbounded) {
 			return &Solution{Status: Unbounded, Info: e.info, model: m}, nil
 		}
@@ -155,6 +174,8 @@ func (m *Model) solveCold(opts *Options) (*Solution, error) {
 // simplex repair when it is dual feasible, errWarmReject (cold
 // fallback) otherwise.
 func (m *Model) solveWarm(opts *Options) (*Solution, error) {
+	sp := obsOf(opts).StartSpan("lp_warm")
+	defer sp.End()
 	s := m.standardize()
 	colIdx, ok := mapBasis(s, opts.WarmBasis)
 	if !ok {
@@ -217,6 +238,7 @@ func (m *Model) solveWarm(opts *Options) (*Solution, error) {
 // (sparser columns first, for shorter etas), padding rows the basis
 // does not cover with their own logical column.
 func (e *engine) installBasis(colIdx []int) error {
+	e.info.Refactorizations++
 	mRows := len(e.s.rows)
 	order := append([]int(nil), colIdx...)
 	sort.Slice(order, func(a, b int) bool {
@@ -605,6 +627,7 @@ func (e *engine) unitBtran(r int) []rat.Rat {
 // first), replacing the eta file with one factor per basic column.
 // The row assignment may permute; callers must recomputeXB.
 func (e *engine) reinvert() error {
+	e.info.Refactorizations++
 	mRows := len(e.s.rows)
 	order := append([]int(nil), e.basis...)
 	sort.Slice(order, func(a, b int) bool {

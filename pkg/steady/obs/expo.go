@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the registry in the
+// Prometheus text exposition format (version 0.0.4). Families are
+// sorted by name and series by label values, so the output is
+// deterministic given deterministic instrument values. A nil registry
+// renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	seriesByKey := make(map[string]any, len(keys))
+	for _, k := range keys {
+		seriesByKey[k] = f.series[k]
+	}
+	fn := f.fn
+	f.mu.Unlock()
+
+	if len(keys) == 0 && fn == nil {
+		return nil
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+
+	if fn != nil {
+		fmt.Fprintf(w, "%s %s\n", f.name, formatValue(fn()))
+		return nil
+	}
+
+	sort.Strings(keys)
+	for _, key := range keys {
+		labels := formatLabels(f.labels, splitKey(key, len(f.labels)))
+		switch s := seriesByKey[key].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, labels, s.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatValue(s.Value()))
+		case *Histogram:
+			writeHistogram(w, f.name, f.labels, splitKey(key, len(f.labels)), s)
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w *bufio.Writer, name string, labelKeys, labelVals []string, h *Histogram) {
+	counts := h.Snapshot()
+	var cum int64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		labels := formatLabels(append(labelKeys, "le"), append(labelVals, formatValue(bound)))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, labels, cum)
+	}
+	cum += counts[len(counts)-1]
+	infLabels := formatLabels(append(labelKeys, "le"), append(labelVals, "+Inf"))
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, infLabels, cum)
+	base := formatLabels(labelKeys, labelVals)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, base, formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, base, h.Count())
+}
+
+func formatLabels(keys, vals []string) string {
+	if len(keys) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Sample is one parsed exposition line: a metric name, its label set,
+// and the sample value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseExposition reads Prometheus text exposition format and returns
+// the samples, validating the subset of the format this package emits:
+// optional # HELP/# TYPE comments, `name{labels} value` sample lines,
+// histogram bucket monotonicity, and that every sample under a # TYPE
+// comment belongs to that family. It is used by the test suite and by
+// cmd/metricscheck to prove /metrics output is scrapeable.
+func ParseExposition(r io.Reader) ([]Sample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var samples []Sample
+	typed := make(map[string]string) // family -> type
+	lastBucket := make(map[string]int64)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineno, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return nil, fmt.Errorf("line %d: TYPE without type %q", lineno, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown type %q", lineno, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		base := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(base, suffix)
+			if trimmed != base && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if len(typed) > 0 {
+			if _, ok := typed[base]; !ok {
+				return nil, fmt.Errorf("line %d: sample %s has no # TYPE", lineno, s.Name)
+			}
+		}
+		if strings.HasSuffix(s.Name, "_bucket") && typed[base] == "histogram" {
+			key := base + "\x00" + labelsKeyExcept(s.Labels, "le")
+			if int64(s.Value) < lastBucket[key] {
+				return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative", lineno, base)
+			}
+			lastBucket[key] = int64(s.Value)
+		}
+		samples = append(samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+func labelsKeyExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// The value may be followed by an optional timestamp; we emit none,
+	// but accept one for scraper compatibility.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0]=='{',
+// returning the index just past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, nil, fmt.Errorf("malformed label block %q", s)
+		}
+		key := s[i : i+j]
+		if !validLabelName(key) {
+			return 0, nil, fmt.Errorf("invalid label name %q", key)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value")
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c", s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[key] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,522 @@
+// Package obs is the observability substrate for the steady-state
+// scheduler: a dependency-free, concurrency-safe metrics registry that
+// renders the Prometheus text exposition format, plus a lightweight
+// span API for solve-lifecycle tracing.
+//
+// The package is deliberately a leaf — it imports only the standard
+// library — so every layer (lp, batch, sim, server) can depend on it
+// without cycles, and external tools can parse its output with any
+// Prometheus-compatible scraper.
+//
+// # Zero cost when disabled
+//
+// Every constructor and every instrument method is nil-receiver-safe:
+//
+//	var reg *obs.Registry             // nil: metrics disabled
+//	c := reg.Counter("x_total", "…")  // c == nil
+//	c.Inc()                           // no-op, no allocation
+//
+// Library code therefore threads a possibly-nil *Registry through its
+// options and instruments unconditionally; when no registry is
+// configured the cost is a nil check and a predicted branch.
+//
+// # Determinism
+//
+// Instruments only ever *record* — they never feed values back into
+// the code under observation. The simulator's determinism tests
+// (TestTraceMatchesUntracedRun and the golden traces) run with a live
+// registry attached and assert byte-identical output.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DurationBuckets is the log-bucket scheme shared with the server's
+// historical /v1/stats histograms: decade boundaries from 100µs to
+// 10s, in seconds. Observations above the last bound land in the
+// implicit +Inf bucket (the ">10s" overflow of the JSON view).
+var DurationBuckets = []float64{100e-6, 1e-3, 10e-3, 100e-3, 1, 10}
+
+// MaxSeriesPerFamily bounds label cardinality: once a labeled family
+// holds this many distinct series, further label values collapse into
+// a single overflow series labeled "_other". This keeps a hostile or
+// buggy caller from growing the registry without bound.
+const MaxSeriesPerFamily = 256
+
+// overflowLabel is the label value used once a family exceeds
+// MaxSeriesPerFamily distinct series.
+const overflowLabel = "_other"
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// family is one named metric family: a help string, a type, a label
+// schema, and the series registered under it.
+type family struct {
+	name    string
+	help    string
+	kind    kind
+	labels  []string  // label keys; empty for unlabeled instruments
+	buckets []float64 // histogram families only
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter | *Gauge | *Histogram
+	order  []string       // insertion order of keys, for bounded eviction decisions
+	fn     func() float64 // CounterFunc/GaugeFunc callback (unlabeled only)
+}
+
+// Registry owns a set of metric families. The zero value is NOT ready
+// to use — call New. A nil *Registry is valid everywhere and disables
+// collection.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	names    []string // sorted lazily at render time
+
+	spans spanRing
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns the family registered under name, creating it if
+// absent. It panics if the name is already registered with a
+// different type or label schema — that is a programming error, and
+// silently returning a mismatched instrument would corrupt exposition.
+func (r *Registry) lookup(name, help string, k kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:    name,
+			help:    help,
+			kind:    k,
+			labels:  append([]string(nil), labels...),
+			buckets: append([]float64(nil), buckets...),
+			series:  make(map[string]any),
+		}
+		r.families[name] = f
+		r.names = append(r.names, name)
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", name, f.kind, k))
+	}
+	if len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: %s registered with labels %v, requested with %v", name, f.labels, labels))
+	}
+	for i := range labels {
+		if f.labels[i] != labels[i] {
+			panic(fmt.Sprintf("obs: %s registered with labels %v, requested with %v", name, f.labels, labels))
+		}
+	}
+	return f
+}
+
+// get returns the series for key, creating it via mk if the family has
+// room. Past MaxSeriesPerFamily distinct series the overflow series is
+// returned instead, so cardinality stays bounded.
+func (f *family) get(key string, mk func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	if len(f.labels) > 0 && len(f.series) >= MaxSeriesPerFamily {
+		key = overflowKey(len(f.labels))
+		if s, ok := f.series[key]; ok {
+			return s
+		}
+	}
+	s := mk()
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+func overflowKey(n int) string {
+	vals := make([]string, n)
+	for i := range vals {
+		vals[i] = overflowLabel
+	}
+	return seriesKey(vals)
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Returns nil (a valid no-op instrument) on a nil registry.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	return f.get("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	return f.get("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at render
+// time. Useful for exporting state the owner already tracks (cache
+// entries, in-flight solves) without double counting. No-op on a nil
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// CounterFunc registers a counter whose value is computed by fn at
+// render time. fn must be monotonically non-decreasing. No-op on a nil
+// registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := r.lookup(name, help, kindCounter, nil, nil)
+	f.mu.Lock()
+	f.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name with the given
+// bucket upper bounds (ascending, in the observed unit). Returns nil
+// on a nil registry.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	f := r.lookup(name, help, kindHistogram, nil, buckets)
+	return f.get("", func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterVec returns a labeled counter family. Call With(values...) to
+// resolve one series. Returns nil on a nil registry.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic("obs: CounterVec requires at least one label")
+	}
+	return &CounterVec{f: r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec returns a labeled gauge family. Returns nil on a nil
+// registry.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic("obs: GaugeVec requires at least one label")
+	}
+	return &GaugeVec{f: r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec returns a labeled histogram family with the given
+// buckets (DurationBuckets when nil). Returns nil on a nil registry.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic("obs: HistogramVec requires at least one label")
+	}
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	return &HistogramVec{f: r.lookup(name, help, kindHistogram, labels, buckets)}
+}
+
+// Counter is a monotonically increasing count. The nil *Counter is a
+// valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The nil *Gauge is a valid
+// no-op instrument.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SetMax raises the gauge to v if v exceeds the current value — a
+// high-water mark.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets and tracks sum,
+// count, and max. All methods are lock-free; a concurrent render may
+// observe a sum slightly ahead of the bucket counts (and vice versa),
+// which Prometheus semantics permit. The nil *Histogram is a valid
+// no-op instrument.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	max    atomic.Uint64 // float64 bits, CAS max
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: Prometheus buckets are le-inclusive
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.max.Load())
+}
+
+// Snapshot returns the per-bucket counts (len(bounds)+1, last is the
+// overflow above the final bound), non-cumulative.
+func (h *Histogram) Snapshot() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the series for the given label values (one per label
+// key, in declaration order). Nil-safe.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.get(seriesKey(values), func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the series for the given label values. Nil-safe.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.get(seriesKey(values), func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With resolves the series for the given label values. Nil-safe.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	f := v.f
+	return f.get(seriesKey(values), func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// seriesKey encodes label values into a map key. 0x1f (unit separator)
+// cannot appear in sane label values; values containing it still hash
+// consistently, they just can't collide across positions.
+func seriesKey(values []string) string {
+	switch len(values) {
+	case 0:
+		return ""
+	case 1:
+		return values[0]
+	}
+	n := len(values) - 1
+	for _, v := range values {
+		n += len(v)
+	}
+	b := make([]byte, 0, n)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, 0x1f)
+		}
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// splitKey is the inverse of seriesKey for rendering.
+func splitKey(key string, n int) []string {
+	if n == 0 {
+		return nil
+	}
+	vals := make([]string, 0, n)
+	start := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0x1f {
+			vals = append(vals, key[start:i])
+			start = i + 1
+		}
+	}
+	vals = append(vals, key[start:])
+	return vals
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// spanRingCapacity is the number of recent spans retained per
+// registry. Old spans are overwritten FIFO; the ring exists for
+// post-hoc inspection (cmd/experiments -metrics-dump, debugging), not
+// durable tracing.
+const spanRingCapacity = 256
+
+// SpanRecord is one completed lifecycle span.
+type SpanRecord struct {
+	Stage    string
+	Start    time.Time
+	Duration time.Duration
+}
+
+type spanRing struct {
+	mu   sync.Mutex
+	buf  [spanRingCapacity]SpanRecord
+	next int
+	n    int
+}
+
+func (sr *spanRing) push(rec SpanRecord) {
+	sr.mu.Lock()
+	sr.buf[sr.next] = rec
+	sr.next = (sr.next + 1) % spanRingCapacity
+	if sr.n < spanRingCapacity {
+		sr.n++
+	}
+	sr.mu.Unlock()
+}
+
+// Span measures one stage of a solve (or any other) lifecycle. Obtain
+// one with Registry.StartSpan and finish it with End; the elapsed wall
+// time feeds the steady_stage_duration_seconds histogram for its stage
+// and the registry's recent-span ring. The zero/nil Span is a valid
+// no-op, so spans cost nothing when metrics are disabled.
+type Span struct {
+	reg   *Registry
+	stage string
+	start time.Time
+}
+
+// StartSpan begins a lifecycle span for the named stage. On a nil
+// registry the returned span is inert (End is a no-op and reads no
+// clock), preserving zero cost when disabled.
+func (r *Registry) StartSpan(stage string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{reg: r, stage: stage, start: time.Now()}
+}
+
+// End completes the span, recording its duration. It returns the
+// elapsed time (0 for an inert span) so callers can reuse the single
+// clock read.
+func (s Span) End() time.Duration {
+	if s.reg == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.reg.HistogramVec("steady_stage_duration_seconds",
+		"Wall time per solve-lifecycle stage.", nil, "stage").
+		With(s.stage).Observe(d.Seconds())
+	s.reg.spans.push(SpanRecord{Stage: s.stage, Start: s.start, Duration: d})
+	return d
+}
+
+// RecentSpans returns the most recent completed spans, oldest first,
+// up to the ring capacity. Nil-safe.
+func (r *Registry) RecentSpans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	sr := &r.spans
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	out := make([]SpanRecord, 0, sr.n)
+	start := sr.next - sr.n
+	if start < 0 {
+		start += spanRingCapacity
+	}
+	for i := 0; i < sr.n; i++ {
+		out = append(out, sr.buf[(start+i)%spanRingCapacity])
+	}
+	return out
+}

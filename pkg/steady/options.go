@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/pkg/steady/lp"
+	"repro/pkg/steady/obs"
 )
 
 // SolveOption tunes one Solve call. Options are applied in order, so
@@ -40,6 +41,20 @@ func FloatFirst() SolveOption {
 	return func(c *SolveConfig) { c.FloatFirst = true }
 }
 
+// WithObs asks the solver to record per-solve metrics (pivot and
+// refactorization counters, solve-path counts, lifecycle spans) into
+// the given registry — see pkg/steady/obs. Observation is one-way:
+// nothing read from the registry influences the solve, and results
+// are identical with or without it. A nil registry is a no-op, so
+// callers can pass their possibly-disabled registry unconditionally.
+func WithObs(reg *obs.Registry) SolveOption {
+	return func(c *SolveConfig) {
+		if reg != nil {
+			c.Obs = reg
+		}
+	}
+}
+
 // OnSolveDone registers a hook that the solver invokes exactly once
 // per Solve call, when the underlying computation has truly finished:
 // at return for a completed (or immediately rejected) solve, or when
@@ -68,6 +83,9 @@ type SolveConfig struct {
 	// FloatFirst selects the float-search/exact-certificate LP path
 	// (see the FloatFirst option).
 	FloatFirst bool
+	// Obs is the metrics registry to record the solve into, or nil
+	// when observability is disabled (see the WithObs option).
+	Obs *obs.Registry
 
 	done []func()
 }
@@ -103,10 +121,10 @@ func NewSolveConfig(ctx context.Context, opts ...SolveOption) *SolveConfig {
 // (nil when the solve is fully default, letting the engine take its
 // own defaults without an allocation).
 func (c *SolveConfig) lpOptions() *lp.Options {
-	if c.WarmBasis == nil && !c.FloatFirst {
+	if c.WarmBasis == nil && !c.FloatFirst && c.Obs == nil {
 		return nil
 	}
-	return &lp.Options{WarmBasis: c.WarmBasis, FloatFirst: c.FloatFirst}
+	return &lp.Options{WarmBasis: c.WarmBasis, FloatFirst: c.FloatFirst, Obs: c.Obs}
 }
 
 // ctxKey keys the deprecated context carriers.

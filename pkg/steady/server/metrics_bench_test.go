@@ -1,0 +1,41 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/pkg/steady/obs"
+)
+
+// BenchmarkStatsUnderLoad exercises the request-recording hot path
+// while a scraper snapshots continuously — the contention profile the
+// registry rewrite targets. The historical implementation grew a
+// per-solver histogram map under a single mutex, so every request
+// thread serialized behind every /v1/stats reader; the registry
+// version touches only atomics after a lock-free sync.Map lookup.
+func BenchmarkStatsUnderLoad(b *testing.B) {
+	m := newMetrics(obs.New())
+	solvers := [...]string{"masterslave:P1:sr", "scatter:P1:sr", "multicast-trees:P0", "reduce:P1"}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				m.snapshot()
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			m.observe(solvers[i%len(solvers)], 250*time.Microsecond, false, i%2 == 0)
+			i++
+		}
+	})
+	close(stop)
+	<-done
+}

@@ -1,0 +1,247 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/pkg/steady/obs"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/server"
+	"repro/pkg/steady/sim"
+)
+
+// scrapeMetrics fetches GET /metrics and parses the exposition,
+// which doubles as a validity check of the rendered format.
+func scrapeMetrics(t *testing.T, base string) []obs.Sample {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("GET /metrics: content type %q", ct)
+	}
+	samples, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return samples
+}
+
+// metricValue finds the sample with the given name whose labels
+// include every given pair.
+func metricValue(samples []obs.Sample, name string, labels map[string]string) (float64, bool) {
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func getStats(t *testing.T, base string) server.StatsResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestMetricsStatsConsistency runs a scripted workload — two solves
+// (one cache hit), one simulation — and checks that GET /metrics and
+// GET /v1/stats are two views of the same registry: every number
+// reported by both must agree, and the exposition must cover all four
+// layers (lp, cache, sim, http).
+func TestMetricsStatsConsistency(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	p := platformJSON(t, platform.Figure1())
+
+	solveReq := server.SolveRequest{Problem: "masterslave", Root: "P1", Platform: p}
+	first := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", solveReq))
+	again := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", solveReq))
+	if first.CacheHit || !again.CacheHit {
+		t.Fatalf("expected miss then hit, got %v then %v", first.CacheHit, again.CacheHit)
+	}
+	simResp := postJSON(t, ts.URL+"/v1/simulate", server.SimulateRequest{
+		Problem: "masterslave", Root: "P1", Platform: p,
+		Scenario: sim.Scenario{Periods: 20},
+	})
+	io.Copy(io.Discard, simResp.Body)
+	simResp.Body.Close()
+	if simResp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: status %d", simResp.StatusCode)
+	}
+
+	stats := getStats(t, ts.URL)
+	samples := scrapeMetrics(t, ts.URL)
+
+	solver := first.Solver
+	ss, ok := stats.Solvers[solver]
+	if !ok {
+		t.Fatalf("stats has no solver entry %q (have %v)", solver, stats.Solvers)
+	}
+	// 2 x /v1/solve plus the /v1/simulate solve (a cache hit).
+	if ss.Count != 3 || ss.CacheHits != 2 || ss.Errors != 0 {
+		t.Fatalf("solver stats: %+v, want count=3 hits=2 errors=0", ss)
+	}
+	checks := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"steady_solve_requests_total", map[string]string{"solver": solver}, float64(ss.Count)},
+		{"steady_solve_cache_hits_total", map[string]string{"solver": solver}, float64(ss.CacheHits)},
+		{"steady_server_sim_runs_total", nil, float64(stats.Simulations.Runs)},
+		{"steady_server_sim_substrate_total", map[string]string{"kind": "periodic"}, float64(stats.Simulations.Periodic)},
+		{"steady_http_requests_total", map[string]string{"endpoint": "POST /v1/solve", "code": "200"}, 2},
+		{"steady_http_requests_total", map[string]string{"endpoint": "POST /v1/simulate", "code": "200"}, 1},
+	}
+	for _, c := range checks {
+		got, ok := metricValue(samples, c.name, c.labels)
+		if !ok {
+			t.Errorf("metric %s%v missing from exposition", c.name, c.labels)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("metric %s%v = %g, stats view says %g", c.name, c.labels, got, c.want)
+		}
+	}
+	if stats.Simulations.Runs != 1 || stats.Simulations.Periodic != 1 {
+		t.Errorf("sim stats: %+v, want runs=1 periodic=1", stats.Simulations)
+	}
+
+	// The histogram behind the JSON view: count equals requests, and
+	// the cumulative finite buckets never exceed it.
+	if v, ok := metricValue(samples, "steady_solve_duration_seconds_count",
+		map[string]string{"solver": solver}); !ok || v != float64(ss.Count) {
+		t.Errorf("duration histogram count = %g (present %v), want %d", v, ok, ss.Count)
+	}
+	for label, n := range ss.Buckets {
+		if n < 0 || n > ss.Count {
+			t.Errorf("bucket %q = %d outside [0, %d]", label, n, ss.Count)
+		}
+	}
+
+	// All four layers must be represented in one scrape.
+	for _, name := range []string{
+		"steady_lp_pivots_total",              // lp
+		"steady_lp_solves_total",              // lp
+		"steady_cache_misses_total",           // batch
+		"steady_cache_entries",                // batch
+		"steady_sim_runs_total",               // sim engine
+		"steady_sim_events_total",             // sim/event
+		"steady_stage_duration_seconds_count", // spans
+		"steady_server_uptime_seconds",        // server
+		"steady_http_request_duration_seconds_count",
+	} {
+		if _, ok := metricValue(samples, name, nil); !ok {
+			t.Errorf("layer metric %s missing from exposition", name)
+		}
+	}
+}
+
+// TestMetricsDisabled pins the off switch: no /metrics endpoint, an
+// empty (but well-formed) /v1/stats, and solves still work.
+func TestMetricsDisabled(t *testing.T) {
+	ts := newTestServer(t, server.Config{DisableMetrics: true})
+	p := platformJSON(t, platform.Figure1())
+	res := decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem: "masterslave", Root: "P1", Platform: p,
+	}))
+	if res.Throughput == "" {
+		t.Fatal("solve failed with metrics disabled")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with metrics disabled: status %d, want 404", resp.StatusCode)
+	}
+
+	stats := getStats(t, ts.URL)
+	if len(stats.Solvers) != 0 {
+		t.Errorf("disabled metrics still reported solvers: %v", stats.Solvers)
+	}
+	if stats.Simulations != (server.SimStatsJSON{}) {
+		t.Errorf("disabled metrics still reported simulations: %+v", stats.Simulations)
+	}
+	// The cache section comes from the cache itself, not the registry,
+	// and keeps working.
+	if stats.Cache.Solves == 0 {
+		t.Errorf("cache stats empty with metrics disabled: %+v", stats.Cache)
+	}
+}
+
+// TestRegistryInjection: a caller-supplied registry is the one the
+// server records into, and Registry() hands it back.
+func TestRegistryInjection(t *testing.T) {
+	reg := obs.New()
+	s := server.New(server.Config{Registry: reg})
+	if s.Registry() != reg {
+		t.Fatal("Registry() did not return the injected registry")
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	decodeSolve(t, postJSON(t, ts.URL+"/v1/solve", server.SolveRequest{
+		Problem: "masterslave", Root: "P1", Platform: platformJSON(t, platform.Figure1()),
+	}))
+	solves := reg.CounterVec("steady_lp_solves_total", "", "path")
+	if solves.With("cold").Value()+solves.With("float").Value()+solves.With("warm").Value() == 0 {
+		t.Error("injected registry saw no LP solves")
+	}
+	if s2 := server.New(server.Config{Registry: reg, DisableMetrics: true}); s2.Registry() != nil {
+		t.Error("DisableMetrics did not win over an injected registry")
+	}
+}
+
+// TestPprofMux: the standard profile index is served; the service
+// routes are not on it.
+func TestPprofMux(t *testing.T) {
+	ts := httptest.NewServer(server.PprofMux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof mux serves service routes")
+	}
+}

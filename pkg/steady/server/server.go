@@ -14,6 +14,7 @@
 //	POST /v1/simsweep platform family x scenarios -> streamed records
 //	GET  /v1/healthz  liveness probe
 //	GET  /v1/stats    cache/simulation counters and latency histograms
+//	GET  /metrics     the same registry in Prometheus text format
 //
 // The server defends the exact simplex — whose worst case is
 // exponential — with three request limits: platform size caps
@@ -33,10 +34,12 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/obs"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
 	"repro/pkg/steady/sim/event"
@@ -86,6 +89,16 @@ type Config struct {
 	// faster on large platforms; /v1/stats' lp section reports the
 	// float/repair/fallback traffic.
 	DisableFloatFirst bool
+	// Registry, when non-nil, is the metrics registry the server
+	// records into and GET /metrics renders — supply one to share a
+	// registry with embedding code. When nil, New creates a private
+	// registry (unless DisableMetrics is set).
+	Registry *obs.Registry
+	// DisableMetrics turns the observability layer off entirely: no
+	// registry is created, GET /metrics answers 404, /v1/stats reports
+	// empty counters, and request handling records nothing.
+	// DisableMetrics wins over a supplied Registry.
+	DisableMetrics bool
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +156,7 @@ type Server struct {
 	engine     *batch.Engine
 	simEngine  *sim.Engine
 	sem        chan struct{}
+	reg        *obs.Registry
 	metrics    *metrics
 	simMetrics *simMetrics
 	start      time.Time
@@ -161,6 +175,19 @@ func New(cfg Config) *Server {
 	}
 	cache := batch.NewCache(cfg.CacheShards, bound)
 	cache.SetFloatFirst(!cfg.DisableFloatFirst)
+	// One registry serves every layer: the request handlers, the LP
+	// cache (and through it pkg/steady/lp), and the simulation engine.
+	// DisableMetrics leaves it nil, which every instrument treats as
+	// "record nothing" at the cost of a nil check.
+	reg := cfg.Registry
+	if cfg.DisableMetrics {
+		reg = nil
+	} else if reg == nil {
+		reg = obs.New()
+	}
+	if reg != nil {
+		cache.SetObs(reg)
+	}
 	engine := batch.NewWithCache(cfg.Workers, cache)
 	s := &Server{
 		cfg:    cfg,
@@ -174,12 +201,22 @@ func New(cfg Config) *Server {
 			MaxPeriods:  cfg.MaxSimPeriods,
 			Workers:     cfg.Workers,
 			CellTimeout: cfg.SimTimeout,
+			Obs:         reg,
 		}, engine),
 		sem:        make(chan struct{}, cfg.MaxInFlight),
-		metrics:    newMetrics(),
-		simMetrics: &simMetrics{},
+		reg:        reg,
+		metrics:    newMetrics(reg),
+		simMetrics: newSimMetrics(reg),
 		start:      time.Now(),
 		mux:        http.NewServeMux(),
+	}
+	if reg != nil {
+		reg.GaugeFunc("steady_server_uptime_seconds",
+			"Seconds since the server was constructed.",
+			func() float64 { return time.Since(s.start).Seconds() })
+		reg.GaugeFunc("steady_server_solve_slots_inuse",
+			"Occupied MaxInFlight solve/simulation slots.",
+			func() float64 { return float64(len(s.sem)) })
 	}
 	s.mux.HandleFunc("GET /v1/solvers", s.handleSolvers)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -188,11 +225,73 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simsweep", s.handleSimSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the route mux, wrapped
+// in the RED middleware (requests by endpoint and status, in-flight
+// gauge, latency histograms by endpoint) when metrics are enabled.
+func (s *Server) Handler() http.Handler {
+	if s.reg == nil {
+		return s.mux
+	}
+	requests := s.reg.CounterVec("steady_http_requests_total",
+		"HTTP requests served, by route pattern and status code.", "endpoint", "code")
+	durations := s.reg.HistogramVec("steady_http_request_duration_seconds",
+		"HTTP request wall time, by route pattern.", nil, "endpoint")
+	inflight := s.reg.Gauge("steady_http_inflight_requests",
+		"HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inflight.Add(1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mux.ServeHTTP(sw, r)
+		inflight.Add(-1)
+		// ServeMux stamps the matched route pattern onto the request,
+		// so the label is the bounded route set ("POST /v1/solve"),
+		// never the raw URL. Unmatched requests (404/405) keep an
+		// empty pattern.
+		endpoint := r.Pattern
+		if endpoint == "" {
+			endpoint = "unmatched"
+		}
+		requests.With(endpoint, strconv.Itoa(sw.code)).Inc()
+		durations.With(endpoint).Observe(time.Since(start).Seconds())
+	})
+}
+
+// Registry returns the server's metrics registry, nil when
+// Config.DisableMetrics is set. Embedding callers may register their
+// own instruments on it or render it out of band.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// statusWriter captures the response status for the RED middleware.
+// It forwards Flush so the sweep endpoints keep streaming.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
 
 // Cache returns the server's LP-solution cache (shared by /v1/solve
 // and /v1/sweep), mainly for tests and embedding callers.
@@ -640,6 +739,18 @@ func (s *Server) generatorJobs(g *Generator, solver steady.Solver) ([]batch.Job,
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the registry in the Prometheus text
+// exposition format. With metrics disabled there is nothing to
+// render and the endpoint does not exist: 404, zero overhead.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/pkg/steady"
+	"repro/pkg/steady/obs"
 	"repro/pkg/steady/platform"
 )
 
@@ -149,11 +150,16 @@ func TestDeterministicSeedDivergence(t *testing.T) {
 	}
 }
 
-// TestTraceMatchesUntracedRun pins that attaching a recorder does not
-// change the simulation: the report (minus the trace_events counter)
-// must equal the untraced run's.
+// TestTraceMatchesUntracedRun pins that observation does not change
+// the simulation, in two layers: attaching a recorder must leave the
+// report (minus the trace_events counter) equal to the untraced
+// run's, and attaching a metrics registry (Config.Obs) must leave
+// both the report and the event trace byte-identical — the
+// trace-purity invariant the observability layer is built on.
 func TestTraceMatchesUntracedRun(t *testing.T) {
 	eng := New(Config{})
+	reg := obs.New()
+	obsEng := New(Config{Obs: reg})
 	for _, c := range determinismCells() {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
@@ -162,7 +168,7 @@ func TestTraceMatchesUntracedRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, traced := tracedRun(t, eng, res, c.sc)
+			trace, traced := tracedRun(t, eng, res, c.sc)
 			var got Report
 			if err := json.Unmarshal(traced, &got); err != nil {
 				t.Fatal(err)
@@ -175,6 +181,26 @@ func TestTraceMatchesUntracedRun(t *testing.T) {
 			if have := fmt.Sprintf("%+v", got); have != want {
 				t.Errorf("tracing changed the report:\n traced: %s\n plain:  %s", have, want)
 			}
+
+			// Metrics leg: the same cell through an engine with a live
+			// registry must produce byte-identical trace and report.
+			obsTrace, obsRep := tracedRun(t, obsEng, res, c.sc)
+			if !bytes.Equal(obsTrace, trace) {
+				t.Errorf("metrics collection changed the trace (%d vs %d bytes)", len(obsTrace), len(trace))
+			}
+			if !bytes.Equal(obsRep, traced) {
+				t.Errorf("metrics collection changed the report:\n observed: %s\n plain:    %s", obsRep, traced)
+			}
 		})
+	}
+	// The registry must actually have seen the runs — a silently
+	// detached registry would make the purity check vacuous.
+	runs := reg.CounterVec("steady_sim_runs_total", "", "kind")
+	total := runs.With("periodic").Value() + runs.With("online").Value() + runs.With("greedy").Value()
+	if total != int64(len(determinismCells())) {
+		t.Errorf("observed engine recorded %d runs, want %d", total, len(determinismCells()))
+	}
+	if reg.Counter("steady_sim_events_total", "").Value() == 0 {
+		t.Error("observed engine recorded no events")
 	}
 }

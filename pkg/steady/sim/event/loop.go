@@ -71,6 +71,13 @@ type Loop struct {
 	now    float64
 	rec    Recorder
 	recSeq int64
+
+	// processed and maxHeap are observation-only tallies (events
+	// executed, deepest pending-event heap seen). They are read by the
+	// simulation engine's metrics after a run and never influence
+	// scheduling — determinism does not depend on them.
+	processed int64
+	maxHeap   int
 }
 
 // NewLoop returns an empty loop at time zero.
@@ -89,6 +96,14 @@ func (l *Loop) Now() float64 { return l.now }
 // Events returns the number of trace records emitted so far.
 func (l *Loop) Events() int64 { return l.recSeq }
 
+// Processed returns the number of events executed so far, across all
+// Run calls on this loop.
+func (l *Loop) Processed() int64 { return l.processed }
+
+// MaxHeap returns the deepest pending-event heap observed so far — a
+// high-water mark for the loop's working set.
+func (l *Loop) MaxHeap() int { return l.maxHeap }
+
 // At schedules fn at absolute time t. Times before Now clamp to Now,
 // so a callback may safely schedule follow-up work "immediately".
 func (l *Loop) At(t float64, fn func()) {
@@ -97,6 +112,9 @@ func (l *Loop) At(t float64, fn func()) {
 	}
 	l.seq++
 	heap.Push(&l.h, &item{t: t, seq: l.seq, fn: fn})
+	if len(l.h) > l.maxHeap {
+		l.maxHeap = len(l.h)
+	}
 }
 
 // After schedules fn d time units from Now.
@@ -159,6 +177,7 @@ func (l *Loop) Run(rc RunConfig) error {
 		}
 		l.now = ev.t
 		ev.fn()
+		l.processed++
 		if rc.Stop != nil && rc.Stop() {
 			return nil
 		}

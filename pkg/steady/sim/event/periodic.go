@@ -65,6 +65,10 @@ type PeriodicStats struct {
 	// SteadyAfter is the first period index of the final run
 	// sustaining every quota (-1 if not reached within the horizon).
 	SteadyAfter int64
+	// Simulated is the number of periods executed event by event;
+	// Periods - Simulated were extrapolated arithmetically after
+	// steady state was confirmed (0 extrapolated when equal).
+	Simulated int64
 	// Ops is the total number of completed operations over the
 	// horizon, summed across commodities.
 	Ops *big.Int
@@ -326,6 +330,7 @@ func RunPeriodic(spec *PeriodicSpec, periods int64, opts PeriodicOptions) (*Peri
 
 	// Extrapolate the remaining horizon: every steady period adds
 	// exactly the quota.
+	stats.Simulated = simulated
 	remaining := periods - simulated
 	stats.Ops = new(big.Int)
 	pb := big.NewInt(periods)

@@ -44,6 +44,7 @@ import (
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/obs"
 	"repro/pkg/steady/rat"
 	"repro/pkg/steady/sim/event"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// pkg/steady/server sets this so one pathological cell cannot
 	// hold a sweep worker indefinitely.
 	CellTimeout time.Duration
+	// Obs, when non-nil, receives per-run metrics: run and error
+	// counts by kind, events processed, the event-heap high-water
+	// mark, extrapolation fast-path hits, and per-run wall time.
+	// Observation is strictly one-way — wall clocks feed the registry,
+	// never the simulation, so traces and reports are byte-identical
+	// with or without it (proven by TestTraceMatchesUntracedRun).
+	Obs *obs.Registry
 }
 
 // DefaultDynamicTasks is the task count substituted for dynamic
@@ -208,6 +216,8 @@ func (e *Engine) RunRecorded(ctx context.Context, res *steady.Result, sc Scenari
 	}
 	l := event.NewLoop()
 	l.SetRecorder(rec)
+	reg := e.cfg.Obs
+	span := reg.StartSpan("sim_run")
 	var (
 		rep *Report
 		err error
@@ -222,9 +232,17 @@ func (e *Engine) RunRecorded(ctx context.Context, res *steady.Result, sc Scenari
 	default:
 		rep, err = e.runPeriodic(ctx, res, &sc, l)
 	}
+	span.End()
+	// Metrics are recorded after the run completes: the simulation
+	// itself never touches the registry or a wall clock, which is what
+	// keeps traces byte-identical with metrics enabled.
 	if err != nil {
+		reg.Counter("steady_sim_errors_total", "Simulation runs that returned an error.").Inc()
 		return nil, err
 	}
+	reg.CounterVec("steady_sim_runs_total", "Simulation runs by kind.", "kind").With(rep.Kind).Inc()
+	reg.Counter("steady_sim_events_total", "Events executed by the deterministic loop.").Add(l.Processed())
+	reg.Gauge("steady_sim_heap_depth_highwater", "Deepest pending-event heap observed across runs.").SetMax(float64(l.MaxHeap()))
 	rep.TraceEvents = l.Events()
 	return rep, nil
 }
@@ -260,6 +278,10 @@ func (e *Engine) runPeriodic(ctx context.Context, res *steady.Result, sc *Scenar
 	st, err := replayPeriodic(ctx, rp, periods, l)
 	if err != nil {
 		return nil, err
+	}
+	if st.Simulated < st.Periods {
+		e.cfg.Obs.Counter("steady_sim_extrapolations_total",
+			"Periodic replays that confirmed steady state early and extrapolated the remaining horizon.").Inc()
 	}
 	achieved := st.Ratio.Mul(rp.ScheduleThroughput)
 	ratio := rat.Zero()
