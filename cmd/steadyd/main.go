@@ -13,6 +13,18 @@
 //	steadyd -pprof-addr localhost:6060  # profiling on a side listener
 //	steadyd -metrics=false              # no /metrics, zero overhead
 //
+// Several steadyd processes form one horizontally scaled service when
+// every one is started with the same -peers list and its own -self:
+//
+//	steadyd -addr :8081 -self http://127.0.0.1:8081 \
+//	        -peers http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//
+// A consistent-hash ring assigns every (platform, solver) pair an
+// owning peer; /v1/solve requests for keys owned elsewhere are
+// forwarded one hop to the owner, so the cluster shares one cache
+// entry and one in-flight solve per key. GET /v1/cluster shows the
+// membership and traffic counters. See docs/ARCHITECTURE.md.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight
 // requests finish (up to the shutdown grace period), new connections
 // are refused.
@@ -26,9 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/pkg/steady/cluster"
 	"repro/pkg/steady/server"
 )
 
@@ -53,8 +67,38 @@ func main() {
 		floatFirst = flag.Bool("float-first", true, "run LP searches in float64 with exact basis certification (results stay exact; disable to force the pure-exact engine)")
 		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics on GET /metrics (disable for a zero-overhead server; /metrics then answers 404)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = disabled)")
+		queueWait  = flag.Duration("queue-wait", 0, "max time a request waits for a solve slot before 503 + Retry-After (0 = default 5s, <0 = wait as long as the client)")
+
+		peers          = flag.String("peers", "", "comma-separated static cluster peer base URLs, including -self (empty = single-node)")
+		self           = flag.String("self", "", "this process's own base URL within -peers (required with -peers)")
+		noForward      = flag.Bool("no-forward", false, "degraded cluster mode: never forward requests, only ship warm bases")
+		vnodes         = flag.Int("cluster-vnodes", 0, "consistent-hash virtual nodes per peer (0 = default)")
+		healthInterval = flag.Duration("health-interval", 0, "peer health-probe period (0 = default 1s)")
+		forwardTimeout = flag.Duration("forward-timeout", 0, "end-to-end limit on one forwarded request (0 = default 60s)")
 	)
 	flag.Parse()
+
+	var cl *cluster.Cluster
+	if *peers != "" {
+		var list []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				list = append(list, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Config{
+			Self:           *self,
+			Peers:          list,
+			VirtualNodes:   *vnodes,
+			NoForward:      *noForward,
+			HealthInterval: *healthInterval,
+			ForwardTimeout: *forwardTimeout,
+		})
+		if err != nil {
+			log.Fatalf("steadyd: %v", err)
+		}
+	}
 
 	srv := server.New(server.Config{
 		Workers:       *workers,
@@ -72,10 +116,17 @@ func main() {
 		MaxSimHorizon: *simHorizon,
 
 		MaxTraceEvents: *simTrace,
+		QueueWait:      *queueWait,
 
 		DisableFloatFirst: !*floatFirst,
 		DisableMetrics:    !*metrics,
+		Cluster:           cl,
 	})
+	defer srv.Close()
+	if cl != nil {
+		cl.Start()
+		log.Printf("steadyd: clustered as %s across %d peers", cl.Self(), len(cl.Health()))
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

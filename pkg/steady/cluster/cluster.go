@@ -1,0 +1,520 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/steady/lp"
+	"repro/pkg/steady/obs"
+)
+
+// ForwardedHeader marks a request that was already forwarded once by
+// a peer. A receiving peer never forwards such a request again — it
+// serves it locally whatever its ring says — so a request crosses the
+// cluster at most one hop and routing loops are impossible even while
+// peers disagree about membership.
+const ForwardedHeader = "X-Steady-Forwarded"
+
+// ServedByHeader names the peer whose cache/solver actually produced
+// a forwarded response, for observability on the client side.
+const ServedByHeader = "X-Steady-Served-By"
+
+// BasisPath is the route peers fetch warm bases from, relative to a
+// peer's base URL. The solver name travels in the "solver" query
+// parameter; the response is the lp.Basis JSON wire form, or 204 when
+// the peer has no basis for that solver yet.
+const BasisPath = "/v1/cluster/basis"
+
+// Config describes one peer's view of the cluster. Self and Peers are
+// base URLs ("http://10.0.0.1:8080"); Peers must include Self.
+type Config struct {
+	// Self is this process's own base URL, used to recognize keys it
+	// owns. Required.
+	Self string
+	// Peers is the static membership list, including Self. Every peer
+	// must be configured with the same list (order and duplicates do
+	// not matter — the ring sorts and deduplicates).
+	Peers []string
+	// VirtualNodes is the per-peer virtual-node count of the ring;
+	// 0 selects DefaultVirtualNodes.
+	VirtualNodes int
+	// NoForward switches the peer into degraded mode: it never
+	// forwards a request, but before solving a key it does not own it
+	// still ships the owner's warm basis, so remote misses stay cheap.
+	NoForward bool
+	// HealthInterval is the period of the background peer health
+	// check; 0 = 1s. Health is probed with GET <peer>/v1/cluster.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe; 0 = 1s.
+	HealthTimeout time.Duration
+	// ForwardTimeout bounds one forwarded request end to end; it must
+	// cover the owner's solve. 0 = 60s.
+	ForwardTimeout time.Duration
+	// BasisTimeout bounds one warm-basis fetch (a few hundred bytes);
+	// 0 = 2s.
+	BasisTimeout time.Duration
+	// MaxPeerConns bounds the connection pool per peer; 0 = 128.
+	MaxPeerConns int
+	// Obs, when non-nil, receives the steady_cluster_* metrics.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Self == "" {
+		return c, fmt.Errorf("cluster: Config.Self is required")
+	}
+	if _, err := url.Parse(c.Self); err != nil {
+		return c, fmt.Errorf("cluster: bad self URL %q: %w", c.Self, err)
+	}
+	inPeers := false
+	for _, p := range c.Peers {
+		if _, err := url.Parse(p); err != nil {
+			return c, fmt.Errorf("cluster: bad peer URL %q: %w", p, err)
+		}
+		if p == c.Self {
+			inPeers = true
+		}
+	}
+	if !inPeers {
+		return c, fmt.Errorf("cluster: peer list %v does not contain self %q", c.Peers, c.Self)
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 60 * time.Second
+	}
+	if c.BasisTimeout <= 0 {
+		c.BasisTimeout = 2 * time.Second
+	}
+	if c.MaxPeerConns <= 0 {
+		c.MaxPeerConns = 128
+	}
+	return c, nil
+}
+
+// PeerStatus is one peer's health as seen by this process, reported
+// by Health and rendered in /v1/cluster.
+type PeerStatus struct {
+	Peer    string `json:"peer"`
+	Self    bool   `json:"self,omitempty"`
+	Healthy bool   `json:"healthy"`
+}
+
+// Stats is a snapshot of the cluster counters, rendered in
+// /v1/cluster.
+type Stats struct {
+	// Forwards counts requests this peer forwarded to an owner;
+	// ForwardErrors the forwards that failed and fell back to a local
+	// solve. ForwardedServed counts requests this peer served that
+	// arrived already forwarded (it was the owner).
+	Forwards        int64 `json:"forwards"`
+	ForwardErrors   int64 `json:"forward_errors"`
+	ForwardedServed int64 `json:"forwarded_served"`
+	// BasisShips counts warm bases successfully fetched from a peer
+	// before a local solve of a non-owned key; BasisShipErrors the
+	// fetches that failed (the solve then ran cold — never an error).
+	BasisShips      int64 `json:"basis_ships"`
+	BasisShipErrors int64 `json:"basis_ship_errors"`
+	// HealthChecks counts completed probe rounds.
+	HealthChecks int64 `json:"health_checks"`
+}
+
+// Cluster is one peer's runtime view: the ring, the health table, and
+// the pooled HTTP client used to talk to other peers. Construct with
+// New, start health probing with Start, and Close when done. All
+// methods are safe for concurrent use.
+type Cluster struct {
+	cfg    Config
+	full   *Ring
+	client *http.Client
+
+	mu   sync.RWMutex
+	down map[string]bool
+	live *Ring // full.Without(down), rebuilt on health transitions
+
+	forwards        atomic.Int64
+	forwardErrs     atomic.Int64
+	forwardedServed atomic.Int64
+	basisShips      atomic.Int64
+	basisShipErrs   atomic.Int64
+	healthChecks    atomic.Int64
+
+	peerUp  *obs.GaugeVec
+	obsOnce sync.Once
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Cluster from cfg. It does not start the health loop —
+// call Start — so tests can drive health transitions deterministically
+// with MarkPeer.
+func New(cfg Config) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	full := NewRing(cfg.Peers, cfg.VirtualNodes)
+	c := &Cluster{
+		cfg:  cfg,
+		full: full,
+		live: full,
+		down: map[string]bool{},
+		client: &http.Client{
+			Transport: &http.Transport{
+				// Bounded pooling: at most MaxPeerConns sockets per peer,
+				// all kept alive — forwarding must never pay a dial on the
+				// hot path, and a slow peer must not grow sockets without
+				// bound.
+				MaxConnsPerHost:     cfg.MaxPeerConns,
+				MaxIdleConnsPerHost: cfg.MaxPeerConns,
+				MaxIdleConns:        cfg.MaxPeerConns * 4,
+				IdleConnTimeout:     90 * time.Second,
+				DialContext: (&net.Dialer{
+					Timeout:   2 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+			},
+		},
+		stop: make(chan struct{}),
+	}
+	c.SetObs(cfg.Obs)
+	return c, nil
+}
+
+// SetObs registers the steady_cluster_* families. The cluster's own
+// atomics stay the source of truth (so /v1/cluster works with metrics
+// disabled); the registry reads them through CounterFunc/GaugeFunc.
+// New calls it with Config.Obs; pkg/steady/server calls it with the
+// server's registry when the cluster was built without one. Only the
+// first non-nil registry wins.
+func (c *Cluster) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.obsOnce.Do(func() { c.registerObs(reg) })
+}
+
+func (c *Cluster) registerObs(reg *obs.Registry) {
+	reg.CounterFunc("steady_cluster_forwards_total",
+		"Requests forwarded to their owning peer.",
+		func() float64 { return float64(c.forwards.Load()) })
+	reg.CounterFunc("steady_cluster_forward_errors_total",
+		"Forwards that failed and fell back to a local solve.",
+		func() float64 { return float64(c.forwardErrs.Load()) })
+	reg.CounterFunc("steady_cluster_forwarded_served_total",
+		"Requests served locally that arrived already forwarded by a peer.",
+		func() float64 { return float64(c.forwardedServed.Load()) })
+	reg.CounterFunc("steady_cluster_basis_ships_total",
+		"Warm LP bases successfully fetched from a peer before a local solve.",
+		func() float64 { return float64(c.basisShips.Load()) })
+	reg.CounterFunc("steady_cluster_basis_ship_errors_total",
+		"Warm-basis fetches that failed (the solve ran cold instead).",
+		func() float64 { return float64(c.basisShipErrs.Load()) })
+	reg.CounterFunc("steady_cluster_health_checks_total",
+		"Completed peer health-probe rounds.",
+		func() float64 { return float64(c.healthChecks.Load()) })
+	reg.GaugeFunc("steady_cluster_ring_size",
+		"Virtual nodes on the live ring (healthy peers x virtual-node count).",
+		func() float64 { return float64(c.ring().Size()) })
+	reg.GaugeFunc("steady_cluster_peers",
+		"Configured cluster peers.",
+		func() float64 { return float64(len(c.full.Peers())) })
+	reg.GaugeFunc("steady_cluster_peers_healthy",
+		"Peers currently considered healthy (self included).",
+		func() float64 { return float64(len(c.ring().Peers())) })
+	c.peerUp = reg.GaugeVec("steady_cluster_peer_up",
+		"1 when the labeled peer answered its last health probe, else 0.", "peer")
+	for _, p := range c.full.Peers() {
+		c.peerUp.With(p).Set(1)
+	}
+}
+
+// Self returns this peer's own base URL.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// NoForward reports whether the peer runs in degraded no-forwarding
+// mode (Config.NoForward).
+func (c *Cluster) NoForward() bool { return c.cfg.NoForward }
+
+// RingSize returns the live ring's virtual-node count (healthy peers
+// times VirtualNodes); it shrinks while peers are down.
+func (c *Cluster) RingSize() int { return c.ring().Size() }
+
+// VirtualNodes returns the configured per-peer virtual-node count.
+func (c *Cluster) VirtualNodes() int { return c.full.VirtualNodes() }
+
+// ring returns the current live ring (healthy peers only).
+func (c *Cluster) ring() *Ring {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.live
+}
+
+// Owner returns the healthy peer owning key. Self is always healthy
+// from its own point of view, so Owner never returns "".
+func (c *Cluster) Owner(key string) string { return c.ring().Owner(key) }
+
+// Owners returns up to n distinct healthy peers in ring preference
+// order for key (the owner first; see Ring.Owners).
+func (c *Cluster) Owners(key string, n int) []string { return c.ring().Owners(key, n) }
+
+// MarkPeer records a health transition for peer. The health loop calls
+// it after every probe; the forwarding path calls it on transport
+// errors so a crashed owner stops attracting forwards before the next
+// probe. Marking self has no effect — a peer never excludes itself.
+func (c *Cluster) MarkPeer(peer string, healthy bool) {
+	if peer == c.cfg.Self {
+		return
+	}
+	c.mu.Lock()
+	changed := c.down[peer] == healthy
+	if healthy {
+		delete(c.down, peer)
+	} else {
+		c.down[peer] = true
+	}
+	if changed {
+		c.live = c.full.Without(c.down)
+	}
+	c.mu.Unlock()
+	if changed {
+		v := 0.0
+		if healthy {
+			v = 1.0
+		}
+		c.peerUp.With(peer).Set(v)
+	}
+}
+
+// Health returns every configured peer's current status, sorted by
+// peer URL.
+func (c *Cluster) Health() []PeerStatus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	peers := c.full.Peers()
+	out := make([]PeerStatus, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, PeerStatus{Peer: p, Self: p == c.cfg.Self, Healthy: !c.down[p]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// Stats returns a snapshot of the cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Forwards:        c.forwards.Load(),
+		ForwardErrors:   c.forwardErrs.Load(),
+		ForwardedServed: c.forwardedServed.Load(),
+		BasisShips:      c.basisShips.Load(),
+		BasisShipErrors: c.basisShipErrs.Load(),
+		HealthChecks:    c.healthChecks.Load(),
+	}
+}
+
+// NoteForwardedServed records that this peer served a request that
+// arrived already forwarded (pkg/steady/server calls it when it sees
+// ForwardedHeader).
+func (c *Cluster) NoteForwardedServed() { c.forwardedServed.Add(1) }
+
+// ShouldForward reports whether a request for key should be forwarded,
+// and to which peer: the key must be owned by a healthy peer other
+// than self, the cluster must not be in NoForward mode, and the
+// request must not itself be a forward (callers check ForwardedHeader
+// before asking).
+func (c *Cluster) ShouldForward(key string) (owner string, ok bool) {
+	owner = c.Owner(key)
+	if owner == "" || owner == c.cfg.Self || c.cfg.NoForward {
+		return owner, false
+	}
+	return owner, true
+}
+
+// Forward replays a request body against the owning peer, marking it
+// as forwarded so the owner cannot forward again. It returns the
+// owner's raw response; the caller relays status, headers, and body
+// verbatim. Two failure classes both return an error so the caller
+// falls back to a local solve — the client never sees a
+// cluster-internal 5xx: transport errors additionally mark the peer
+// unhealthy (the ring rebalances immediately), while a 5xx answer
+// just counts as a forward error (the peer is alive — saturated or
+// broken — so it keeps its ring positions and its health is left to
+// the probe loop). The owner's 4xx verdicts are relayed, not retried:
+// a bad request is bad everywhere.
+func (c *Cluster) Forward(ctx context.Context, owner, path, contentType string, body []byte) (*http.Response, error) {
+	c.forwards.Add(1)
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, owner+path, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		c.forwardErrs.Add(1)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(ForwardedHeader, c.cfg.Self)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		cancel()
+		c.forwardErrs.Add(1)
+		// Only transport-level failure condemns the peer: an HTTP error
+		// status is the peer answering, just unhappily — and 4xx/5xx
+		// verdicts are relayed to the client, not retried locally.
+		if ctx.Err() == nil {
+			c.MarkPeer(owner, false)
+		}
+		return nil, err
+	}
+	if resp.StatusCode >= 500 {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		cancel()
+		c.forwardErrs.Add(1)
+		return nil, fmt.Errorf("cluster: peer %s answered %s", owner, resp.Status)
+	}
+	// The response body must stay readable after this call; tie the
+	// timeout's cancel to its closure.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// FetchBasis asks peers, in ring preference order for key, for their
+// cached warm basis under solver, returning the first one shipped (or
+// nil: basis shipping is best-effort by design — every failure path
+// just means a cold local solve). Self is skipped; at most two peers
+// are asked so a broken cluster costs two bounded round-trips, not a
+// scan.
+func (c *Cluster) FetchBasis(ctx context.Context, key, solver string) *lp.Basis {
+	for _, peer := range c.Owners(key, 3) {
+		if peer == c.cfg.Self {
+			continue
+		}
+		if b := c.fetchBasisFrom(ctx, peer, solver); b != nil {
+			return b
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) fetchBasisFrom(ctx context.Context, peer, solver string) *lp.Basis {
+	fctx, cancel := context.WithTimeout(ctx, c.cfg.BasisTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet,
+		peer+BasisPath+"?solver="+url.QueryEscape(solver), nil)
+	if err != nil {
+		c.basisShipErrs.Add(1)
+		return nil
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.basisShipErrs.Add(1)
+		return nil
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil // healthy peer, no basis yet: not an error
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.basisShipErrs.Add(1)
+		return nil
+	}
+	var b lp.Basis
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&b); err != nil {
+		c.basisShipErrs.Add(1)
+		return nil
+	}
+	if b.Len() == 0 {
+		return nil
+	}
+	c.basisShips.Add(1)
+	return &b
+}
+
+// Start launches the background health loop: every HealthInterval it
+// probes every peer but self with GET <peer>/v1/cluster and feeds the
+// verdicts to MarkPeer. Call Close to stop it.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.HealthInterval)
+		defer t.Stop()
+		c.probeAll()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+func (c *Cluster) probeAll() {
+	for _, p := range c.full.Peers() {
+		if p == c.cfg.Self {
+			continue
+		}
+		c.MarkPeer(p, c.probe(p))
+	}
+	c.healthChecks.Add(1)
+}
+
+func (c *Cluster) probe(peer string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/cluster", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Close stops the health loop and releases idle peer connections.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.client.CloseIdleConnections()
+}
+
+// cancelOnClose defers a request timeout's cancel func until the
+// response body is closed, so the caller can stream the body without
+// the context dying under it.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}

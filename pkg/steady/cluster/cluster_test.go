@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/steady/lp"
+	"repro/pkg/steady/obs"
+	"repro/pkg/steady/rat"
+)
+
+func testConfig(self string, peers []string) Config {
+	return Config{Self: self, Peers: peers, HealthInterval: 10 * time.Millisecond}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("accepted a config without Self")
+	}
+	if _, err := New(Config{Self: "http://a", Peers: []string{"http://b"}}); err == nil {
+		t.Fatal("accepted a peer list missing self")
+	}
+	c, err := New(Config{Self: "http://a", Peers: []string{"http://a", "http://b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Owner("key") == "" {
+		t.Fatal("two-peer cluster owns nothing")
+	}
+}
+
+// TestMarkPeerRebalances: marking a peer down excludes it from routing
+// immediately and keeps survivors' keys in place; marking it back up
+// restores the original ring exactly.
+func TestMarkPeerRebalances(t *testing.T) {
+	peers := []string{"http://a", "http://b", "http://c"}
+	c, err := New(testConfig("http://a", peers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := testKeys(2000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = c.Owner(k)
+	}
+	c.MarkPeer("http://b", false)
+	for _, k := range keys {
+		owner := c.Owner(k)
+		if owner == "http://b" {
+			t.Fatalf("down peer still owns %q", k)
+		}
+		if before[k] != "http://b" && owner != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner is up", k, before[k], owner)
+		}
+	}
+	c.MarkPeer("http://b", true)
+	for _, k := range keys {
+		if c.Owner(k) != before[k] {
+			t.Fatalf("recovery did not restore ownership of %q", k)
+		}
+	}
+	// Self can never be marked down.
+	c.MarkPeer("http://a", false)
+	for _, st := range c.Health() {
+		if st.Self && !st.Healthy {
+			t.Fatal("self was marked unhealthy")
+		}
+	}
+}
+
+// TestShouldForward covers the routing decision table: own key (no),
+// peer-owned key (yes), peer-owned in NoForward mode (no), peer-owned
+// but peer down (owner moves; forwards to the successor or serves
+// locally).
+func TestShouldForward(t *testing.T) {
+	peers := []string{"http://a", "http://b"}
+	c, err := New(testConfig("http://a", peers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var mine, theirs string
+	for _, k := range testKeys(100) {
+		if c.Owner(k) == "http://a" && mine == "" {
+			mine = k
+		}
+		if c.Owner(k) == "http://b" && theirs == "" {
+			theirs = k
+		}
+	}
+	if mine == "" || theirs == "" {
+		t.Fatal("could not find keys on both peers")
+	}
+	if _, ok := c.ShouldForward(mine); ok {
+		t.Fatal("wants to forward its own key")
+	}
+	owner, ok := c.ShouldForward(theirs)
+	if !ok || owner != "http://b" {
+		t.Fatalf("ShouldForward(peer key) = %q, %v", owner, ok)
+	}
+	c.MarkPeer("http://b", false)
+	if owner, ok := c.ShouldForward(theirs); ok {
+		t.Fatalf("wants to forward to a down peer's replacement %q (2-peer ring: self)", owner)
+	}
+	c.MarkPeer("http://b", true)
+
+	nf, err := New(Config{Self: "http://a", Peers: peers, NoForward: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nf.Close()
+	if _, ok := nf.ShouldForward(theirs); ok {
+		t.Fatal("NoForward cluster still wants to forward")
+	}
+}
+
+// TestHealthLoop: a live health loop detects a dead peer and a healed
+// one through real HTTP probes of /v1/cluster.
+func TestHealthLoop(t *testing.T) {
+	var mu sync.Mutex
+	up := true
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := up
+		mu.Unlock()
+		if r.URL.Path != "/v1/cluster" || !ok {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peerSrv.Close()
+
+	self := "http://self.invalid"
+	c, err := New(testConfig(self, []string{self, peerSrv.URL}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Start()
+
+	healthy := func(want bool) bool {
+		for i := 0; i < 100; i++ {
+			for _, st := range c.Health() {
+				if st.Peer == peerSrv.URL && st.Healthy == want {
+					return true
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return false
+	}
+	if !healthy(true) {
+		t.Fatal("peer never became healthy")
+	}
+	mu.Lock()
+	up = false
+	mu.Unlock()
+	if !healthy(false) {
+		t.Fatal("dead peer never detected")
+	}
+	mu.Lock()
+	up = true
+	mu.Unlock()
+	if !healthy(true) {
+		t.Fatal("healed peer never detected")
+	}
+	if c.Stats().HealthChecks == 0 {
+		t.Fatal("no health-check rounds counted")
+	}
+}
+
+// TestFetchBasis: the basis fetch round-trips a real lp.Basis over
+// HTTP, treats 204 as "no basis" without an error count, and counts
+// a dead peer as a ship error while returning nil.
+func TestFetchBasis(t *testing.T) {
+	m := lp.NewModel()
+	x := m.Var("x")
+	m.Objective(lp.Maximize, lp.Expr{}.Plus(x, rat.One()))
+	m.Le("c", lp.Expr{}.Plus(x, rat.One()), rat.One())
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basis := sol.Basis()
+	if basis == nil {
+		t.Fatal("no basis to ship")
+	}
+
+	var served bool
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != BasisPath {
+			http.NotFound(w, r)
+			return
+		}
+		switch r.URL.Query().Get("solver") {
+		case "have":
+			served = true
+			_ = json.NewEncoder(w).Encode(basis)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer owner.Close()
+
+	self := "http://self.invalid"
+	reg := obs.New()
+	cfg := testConfig(self, []string{self, owner.URL})
+	cfg.Obs = reg
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Any key will do: with one live remote peer, Owners always
+	// includes it.
+	got := c.FetchBasis(context.Background(), "k|have", "have")
+	if got == nil || !served {
+		t.Fatalf("basis not shipped (got=%v served=%v)", got, served)
+	}
+	if got.Len() != basis.Len() {
+		t.Fatalf("shipped basis has %d entries, want %d", got.Len(), basis.Len())
+	}
+	if c.Stats().BasisShips != 1 || c.Stats().BasisShipErrors != 0 {
+		t.Fatalf("stats after ship: %+v", c.Stats())
+	}
+	if c.FetchBasis(context.Background(), "k|none", "none") != nil {
+		t.Fatal("204 produced a basis")
+	}
+	if c.Stats().BasisShipErrors != 0 {
+		t.Fatal("204 counted as a ship error")
+	}
+
+	owner.Close()
+	if c.FetchBasis(context.Background(), "k|have", "have") != nil {
+		t.Fatal("dead peer produced a basis")
+	}
+	if c.Stats().BasisShipErrors == 0 {
+		t.Fatal("dead peer not counted as ship error")
+	}
+	// The metrics registry mirrors the same counters.
+	if v := counterValue(t, reg, "steady_cluster_basis_ships_total"); v != 1 {
+		t.Fatalf("steady_cluster_basis_ships_total = %v, want 1", v)
+	}
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

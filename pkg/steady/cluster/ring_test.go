@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Realistic key shape: hex fingerprint + solver name.
+		keys[i] = fmt.Sprintf("%064x|masterslave", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingDeterministic: two rings built from the same peers (in any
+// order, with duplicates) assign every key the same owner — the
+// property that lets peers route without coordination.
+func TestRingDeterministic(t *testing.T) {
+	peers := testPeers(5)
+	a := NewRing(peers, 64)
+	shuffled := []string{peers[3], peers[0], peers[4], peers[0], peers[2], peers[1]}
+	b := NewRing(shuffled, 64)
+	if a.Size() != b.Size() || a.Size() != 5*64 {
+		t.Fatalf("ring sizes %d, %d; want %d", a.Size(), b.Size(), 5*64)
+	}
+	for _, k := range testKeys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("rings disagree on %q: %q vs %q", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, ownership spreads across
+// peers roughly evenly — no peer may own more than twice or less than
+// half its fair share over a large key set.
+func TestRingDistribution(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		ring := NewRing(testPeers(n), 0) // default vnodes
+		counts := map[string]int{}
+		keys := testKeys(20000)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		if len(counts) != n {
+			t.Fatalf("%d peers: only %d ever own a key: %v", n, len(counts), counts)
+		}
+		fair := len(keys) / n
+		for p, got := range counts {
+			if got < fair/2 || got > fair*2 {
+				t.Errorf("%d peers: %s owns %d keys, fair share %d (out of [%d, %d])",
+					n, p, got, fair, fair/2, fair*2)
+			}
+		}
+	}
+}
+
+// TestRingRebalanceOnLoss: removing a peer moves ONLY that peer's keys
+// (to ring successors); every key owned by a survivor keeps its owner.
+// This is the consistent-hashing property that makes peer loss cheap:
+// the surviving cache entries all stay valid.
+func TestRingRebalanceOnLoss(t *testing.T) {
+	peers := testPeers(4)
+	full := NewRing(peers, 64)
+	lost := peers[1]
+	degraded := full.Without(map[string]bool{lost: true})
+	if got := len(degraded.Peers()); got != 3 {
+		t.Fatalf("degraded ring has %d peers, want 3", got)
+	}
+	moved := 0
+	keys := testKeys(5000)
+	for _, k := range keys {
+		before, after := full.Owner(k), degraded.Owner(k)
+		if after == lost {
+			t.Fatalf("degraded ring still routes %q to the lost peer", k)
+		}
+		if before != lost && before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before, after)
+		}
+		if before == lost {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("lost peer owned no keys; distribution test should have caught this")
+	}
+	// Without no peers down is the identity, not a copy.
+	if full.Without(nil) != full || full.Without(map[string]bool{}) != full {
+		t.Fatal("Without(nothing) rebuilt the ring")
+	}
+}
+
+// TestRingOwners: preference order starts at the owner, lists distinct
+// healthy peers, and is consistent with Without: the second owner is
+// exactly who would own the key if the first disappeared.
+func TestRingOwners(t *testing.T) {
+	peers := testPeers(4)
+	ring := NewRing(peers, 64)
+	for _, k := range testKeys(500) {
+		owners := ring.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%q, 3) = %v", k, owners)
+		}
+		if owners[0] != ring.Owner(k) {
+			t.Fatalf("Owners[0] %q != Owner %q", owners[0], ring.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%q) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+		successor := ring.Without(map[string]bool{owners[0]: true}).Owner(k)
+		if successor != owners[1] {
+			t.Fatalf("Owners[1] %q, but successor after losing the owner is %q", owners[1], successor)
+		}
+	}
+}
+
+// TestRingEmpty: the empty ring answers rather than panics.
+func TestRingEmpty(t *testing.T) {
+	ring := NewRing(nil, 8)
+	if got := ring.Owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := ring.Owners("anything", 2); got != nil {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+}
+
+// BenchmarkRingOwner: Owner is on the forwarding hot path of every
+// clustered request — it must stay allocation-free.
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing(testPeers(8), DefaultVirtualNodes)
+	keys := testKeys(256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(keys[i%len(keys)])
+	}
+}

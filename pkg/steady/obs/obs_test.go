@@ -264,6 +264,14 @@ func syntheticRegistry() *Registry {
 	rv.With("/v1/solve", "200").Add(100)
 	rv.With("/v1/solve", "422").Add(2)
 	rv.With("/v1/stats", "200").Add(7)
+	// The cluster families, mirrored read-through from the cluster's
+	// own atomics in production (cluster.Cluster.SetObs).
+	r.CounterFunc("steady_cluster_forwards_total", "Solve requests forwarded to their ring owner.", func() float64 { return 57 })
+	r.CounterFunc("steady_cluster_basis_ships_total", "Warm bases fetched from peers.", func() float64 { return 2 })
+	r.GaugeFunc("steady_cluster_peers_healthy", "Peers currently considered healthy.", func() float64 { return 3 })
+	pu := r.GaugeVec("steady_cluster_peer_up", "Per-peer health (1 up, 0 down).", "peer")
+	pu.With("http://10.0.0.1:8080").Set(1)
+	pu.With("http://10.0.0.2:8080").Set(0)
 	return r
 }
 

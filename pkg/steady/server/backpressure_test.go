@@ -1,0 +1,180 @@
+package server
+
+// White-box regression tests for the solve-gate backpressure fix: a
+// saturated server must answer 503 with Retry-After, not hang until
+// the client's context dies, and cached answers must keep flowing
+// because cache hits never take a solve slot.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/steady/platform"
+)
+
+func solveBody(t *testing.T) *strings.Reader {
+	t.Helper()
+	var plat bytes.Buffer
+	if err := platform.Figure1().WriteJSON(&plat); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(map[string]any{
+		"problem": "masterslave", "root": "P1", "platform": json.RawMessage(plat.Bytes()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.NewReader(string(body))
+}
+
+// TestSaturatedSolveReturns503 fills every solve slot by hand and
+// checks the next cold solve is refused with 503 + Retry-After within
+// the queue-wait budget (the regression: it used to block until the
+// client gave up, burning a connection per queued request).
+func TestSaturatedSolveReturns503(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, QueueWait: 50 * time.Millisecond})
+	defer s.Close()
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{} // occupy every slot: a wedged solver
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", solveBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated solve: status %d body %s, want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("503 took %v, the gate is not bounded by QueueWait", elapsed)
+	}
+}
+
+// TestSaturatedCacheHitStillServes: with all slots taken, a key that
+// is already cached answers 200 — hits bypass the gate entirely.
+func TestSaturatedCacheHitStillServes(t *testing.T) {
+	s := New(Config{MaxInFlight: 2, QueueWait: 50 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Warm the cache while the gate is open.
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", solveBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming solve: status %d", resp.StatusCode)
+	}
+
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", solveBody(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SolveResponse
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !out.CacheHit {
+		t.Fatalf("saturated cache hit: status %d cache_hit %v, want a 200 hit",
+			resp.StatusCode, out.CacheHit)
+	}
+}
+
+// TestNegativeQueueWaitBlocks: QueueWait < 0 restores the old
+// wait-forever behavior — the request holds until a slot frees.
+func TestNegativeQueueWaitBlocks(t *testing.T) {
+	s := New(Config{MaxInFlight: 1, QueueWait: -1})
+	defer s.Close()
+	s.sem <- struct{}{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/solve", "application/json", solveBody(t))
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+
+	select {
+	case code := <-done:
+		t.Fatalf("request finished with %d while the gate was closed", code)
+	case <-time.After(200 * time.Millisecond):
+	}
+	<-s.sem // free the slot: the queued request proceeds
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("queued solve finished with %d, want 200", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("queued solve never completed after the slot freed")
+	}
+}
+
+// TestInternKeyStable: the interner returns the same string (same
+// backing allocation is the point, equality is what we can assert)
+// and survives its bounded reset.
+func TestInternKeyStable(t *testing.T) {
+	in := newKeyInterner()
+	a := in.intern("fp1", "solverA")
+	b := in.intern("fp1", "solverA")
+	if a != b {
+		t.Fatalf("intern returned different keys: %q vs %q", a, b)
+	}
+	if c := in.intern("fp2", "solverA"); c == a {
+		t.Fatalf("distinct inputs interned to the same key %q", c)
+	}
+	// Blow past the bound: the table resets instead of growing forever.
+	for i := 0; i < maxInternedKeys+10; i++ {
+		in.intern(string(rune('a'+i%26))+string(rune(i)), "s")
+	}
+	in.mu.RLock()
+	size := len(in.m)
+	in.mu.RUnlock()
+	if size > maxInternedKeys {
+		t.Fatalf("interner grew to %d entries, bound is %d", size, maxInternedKeys)
+	}
+	if d := in.intern("fp1", "solverA"); d != a {
+		t.Fatalf("post-reset intern changed the key: %q vs %q", d, a)
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/pkg/steady/batch"
+	"repro/pkg/steady/cluster"
+	"repro/pkg/steady/lp"
+)
+
+// errMissingSolver rejects a basis fetch without a solver name.
+var errMissingSolver = errors.New("missing solver query parameter")
+
+// ClusterResponse is the body of GET /v1/cluster: this peer's view of
+// the membership, ring, and forwarding traffic. Peers also use the
+// endpoint as their health probe (any 200 counts), and load tools
+// (cmd/steadybench) aggregate the per-node Cache sections into the
+// cluster-wide hit rate.
+type ClusterResponse struct {
+	// Enabled is false on a single-node server (no -peers); every
+	// other field is then zero.
+	Enabled bool `json:"enabled"`
+	// Self is this peer's own base URL; NoForward reports degraded
+	// basis-ship-only mode.
+	Self      string `json:"self,omitempty"`
+	NoForward bool   `json:"no_forward,omitempty"`
+	// VirtualNodes is the per-peer virtual-node count; RingSize the
+	// live ring's total virtual nodes (healthy peers x VirtualNodes),
+	// which shrinks while peers are down.
+	VirtualNodes int `json:"virtual_nodes,omitempty"`
+	RingSize     int `json:"ring_size,omitempty"`
+	// Peers is this peer's health view of the full membership.
+	Peers []cluster.PeerStatus `json:"peers,omitempty"`
+	// Counters reports forwarding and basis-shipping traffic.
+	Counters cluster.Stats `json:"counters"`
+	// Cache is this node's LP-solution cache section, duplicated from
+	// /v1/stats so cluster-wide hit rates aggregate from one endpoint.
+	Cache CacheStatsJSON `json:"cache"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, ClusterResponse{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, ClusterResponse{
+		Enabled:      true,
+		Self:         s.cluster.Self(),
+		NoForward:    s.cluster.NoForward(),
+		VirtualNodes: s.cluster.VirtualNodes(),
+		RingSize:     s.cluster.RingSize(),
+		Peers:        s.cluster.Health(),
+		Counters:     s.cluster.Stats(),
+		Cache:        cacheStatsJSON(s.cache.Stats()),
+	})
+}
+
+// handleClusterBasis serves this node's cached warm basis for the
+// solver named in the query — the supply side of warm-basis shipping.
+// A basis is a few hundred bytes of model-term indices; shipping one
+// lets a peer that must solve a key it does not own re-solve in ~0
+// pivots instead of from scratch, with a byte-identical certified
+// result (the lp warm-start contract). 204 means "no basis yet", which
+// peers treat as a plain cold solve, not an error.
+func (s *Server) handleClusterBasis(w http.ResponseWriter, r *http.Request) {
+	solver := r.URL.Query().Get("solver")
+	if solver == "" {
+		writeErr(w, http.StatusBadRequest, errMissingSolver)
+		return
+	}
+	b := s.cache.WarmBasis(solver)
+	if b == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+// routeSolve decides where a solve-shaped request for key runs. When
+// it returns true the response has been written (the request was
+// forwarded to the owning peer and its answer relayed verbatim);
+// false means "solve locally" — either this peer owns the key, the
+// request already crossed the cluster once (the ForwardedHeader
+// guard: one hop, never loops), forwarding is disabled, or the
+// forward failed and graceful degradation turns the request into a
+// local solve.
+func (s *Server) routeSolve(w http.ResponseWriter, r *http.Request, key string, raw []byte) bool {
+	if s.cluster == nil {
+		return false
+	}
+	if r.Header.Get(cluster.ForwardedHeader) != "" {
+		s.cluster.NoteForwardedServed()
+		return false
+	}
+	owner, ok := s.cluster.ShouldForward(key)
+	if !ok {
+		return false
+	}
+	resp, err := s.cluster.Forward(r.Context(), owner, r.URL.Path, "application/json", raw)
+	if err != nil {
+		// The owner is unreachable or answered 5xx: fall back to a
+		// local solve. The client never sees a cluster-internal error.
+		return false
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set(cluster.ServedByHeader, owner)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true
+}
+
+// shipBasis fetches a warm basis from the key's owner (or its ring
+// successors) ahead of a local solve of a key this peer does not own.
+// It returns nil — and the solve runs cold — whenever shipping cannot
+// help: no cluster, we own the key, the request was forwarded to us
+// (the sender already decided we should do the work), or the local
+// cache already holds a warm basis for the solver (as good as a
+// shipped one, and free).
+func (s *Server) shipBasis(ctx context.Context, r *http.Request, key, solver string) *lp.Basis {
+	if s.cluster == nil || r.Header.Get(cluster.ForwardedHeader) != "" {
+		return nil
+	}
+	if s.cluster.Owner(key) == s.cluster.Self() {
+		return nil
+	}
+	if s.cache.WarmBasis(solver) != nil {
+		return nil
+	}
+	return s.cluster.FetchBasis(ctx, key, solver)
+}
+
+// keyID identifies one cache key before interning.
+type keyID struct{ fp, solver string }
+
+// keyInterner deduplicates the "fingerprint|solver" cache-key strings
+// built on every request: hot traffic re-solves the same platforms, so
+// the concatenation — one allocation per request on the hottest path —
+// is cached and shared. Bounded: at capacity the table resets rather
+// than grows (interning is an optimization, not a correctness
+// requirement).
+type keyInterner struct {
+	mu sync.RWMutex
+	m  map[keyID]string
+}
+
+// maxInternedKeys bounds the intern table. 65536 entries (~10 MiB of
+// keys) covers any realistic hot set; hostile all-miss traffic just
+// cycles the table.
+const maxInternedKeys = 65536
+
+func newKeyInterner() *keyInterner {
+	return &keyInterner{m: make(map[keyID]string)}
+}
+
+// intern returns the canonical cache-key string for (fp, solver),
+// building it at most once per table generation.
+func (ki *keyInterner) intern(fp, solver string) string {
+	id := keyID{fp, solver}
+	ki.mu.RLock()
+	k, ok := ki.m[id]
+	ki.mu.RUnlock()
+	if ok {
+		return k
+	}
+	k = batch.Key(fp, solver)
+	ki.mu.Lock()
+	if exist, ok := ki.m[id]; ok {
+		k = exist
+	} else {
+		if len(ki.m) >= maxInternedKeys {
+			ki.m = make(map[keyID]string)
+		}
+		ki.m[id] = k
+	}
+	ki.mu.Unlock()
+	return k
+}

@@ -1,0 +1,428 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+	"repro/pkg/steady/cluster"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/server"
+)
+
+// testCluster is a real multi-node cluster on loopback listeners: n
+// servers that each know the full peer list, with the health loop NOT
+// running so tests drive membership transitions deterministically via
+// MarkPeer.
+type testCluster struct {
+	urls    []string
+	servers []*server.Server
+	https   []*http.Server
+}
+
+func newTestCluster(t *testing.T, n int, mutate func(i int, ccfg *cluster.Config, scfg *server.Config)) *testCluster {
+	t.Helper()
+	// The chicken-and-egg of self-addressed peers: listeners first (the
+	// OS picks ports), then every config can name every URL.
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = lis
+		urls[i] = "http://" + lis.Addr().String()
+	}
+	tc := &testCluster{urls: urls}
+	for i, lis := range listeners {
+		ccfg := cluster.Config{Self: urls[i], Peers: urls}
+		scfg := server.Config{}
+		if mutate != nil {
+			mutate(i, &ccfg, &scfg)
+		}
+		cl, err := cluster.New(ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scfg.Cluster = cl
+		srv := server.New(scfg)
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(lis) }()
+		tc.servers = append(tc.servers, srv)
+		tc.https = append(tc.https, hs)
+	}
+	t.Cleanup(func() {
+		for i := range tc.servers {
+			_ = tc.https[i].Close()
+			tc.servers[i].Close()
+		}
+	})
+	return tc
+}
+
+// stop kills node i's HTTP listener (the process "crashes"); its
+// Server and membership entry remain, as in a real outage.
+func (tc *testCluster) stop(i int) { _ = tc.https[i].Close() }
+
+// ownerOf returns the index of the node owning the key for p under
+// solverName, according to node 0's full ring.
+func (tc *testCluster) ownerOf(t *testing.T, p *platform.Platform, solverName string) int {
+	t.Helper()
+	key := batch.Key(steady.Fingerprint(p), solverName)
+	owner := tc.servers[0].Cluster().Owner(key)
+	for i, u := range tc.urls {
+		if u == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not among %v", owner, tc.urls)
+	return -1
+}
+
+// canonSolve strips the per-request fields (cache_hit, elapsed_us)
+// and returns the response's canonical bytes: everything that must be
+// byte-identical no matter which peer answered.
+func canonSolve(t *testing.T, body []byte) string {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("bad solve response %s: %v", body, err)
+	}
+	delete(m, "cache_hit")
+	delete(m, "elapsed_us")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func solverName(t *testing.T, spec steady.Spec) string {
+	t.Helper()
+	solver, err := steady.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return solver.Name()
+}
+
+// TestClusterForwardByteIdentity: the same solve POSTed to every node
+// of a 3-node cluster answers byte-identically everywhere (modulo the
+// per-request cache_hit/elapsed_us fields); non-owners forward (the
+// X-Steady-Served-By header names the owner) and the owner solves
+// exactly once.
+func TestClusterForwardByteIdentity(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	p := platform.Figure1()
+	owner := tc.ownerOf(t, p, solverName(t, steady.Spec{Problem: "masterslave", Root: "P1"}))
+
+	req := server.SolveRequest{Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)}
+	var canon []string
+	forwarded := 0
+	for i, u := range tc.urls {
+		resp := postJSON(t, u+"/v1/solve", req)
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("node %d: status %d (%v): %s", i, resp.StatusCode, err, body)
+		}
+		if served := resp.Header.Get(cluster.ServedByHeader); served != "" {
+			forwarded++
+			if served != tc.urls[owner] {
+				t.Fatalf("node %d forwarded to %q, owner is %q", i, served, tc.urls[owner])
+			}
+			if i == owner {
+				t.Fatal("the owner forwarded to itself")
+			}
+		}
+		canon = append(canon, canonSolve(t, body))
+	}
+	for i := 1; i < len(canon); i++ {
+		if canon[i] != canon[0] {
+			t.Fatalf("node %d answered differently:\n%s\nvs\n%s", i, canon[i], canon[0])
+		}
+	}
+	if forwarded != 2 {
+		t.Fatalf("%d of 3 requests were forwarded, want 2 (all but the owner's)", forwarded)
+	}
+	// One logical solve cluster-wide: only the owner's cache worked.
+	for i, srv := range tc.servers {
+		want := int64(0)
+		if i == owner {
+			want = 1
+		}
+		if got := srv.Cache().Stats().Solves; got != want {
+			t.Errorf("node %d ran %d solves, want %d", i, got, want)
+		}
+	}
+}
+
+// TestClusterSingleFlight: concurrent identical requests sprayed over
+// all three nodes collapse into ONE solve cluster-wide — forwarding
+// concentrates the key on its owner, whose cache single-flights the
+// misses.
+func TestClusterSingleFlight(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	p := platform.Figure1()
+	req := server.SolveRequest{Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const perNode = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, 3*perNode)
+	for _, u := range tc.urls {
+		for r := 0; r < perNode; r++ {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(raw))
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("%s: status %d", url, resp.StatusCode)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var solves int64
+	for _, srv := range tc.servers {
+		solves += srv.Cache().Stats().Solves
+	}
+	if solves != 1 {
+		t.Fatalf("cluster ran %d solves for one key under concurrency, want 1", solves)
+	}
+}
+
+// TestClusterBasisShipping: in NoForward mode a non-owner must solve a
+// remote key locally — it ships the owner's warm basis first, so its
+// local solve is warm (the basis reinstalls the owner's terminal
+// vertex) and byte-identical to the owner's answer.
+func TestClusterBasisShipping(t *testing.T) {
+	tc := newTestCluster(t, 3, func(i int, ccfg *cluster.Config, scfg *server.Config) {
+		ccfg.NoForward = true
+	})
+	p := platform.Figure1()
+	owner := tc.ownerOf(t, p, solverName(t, steady.Spec{Problem: "masterslave", Root: "P1"}))
+	req := server.SolveRequest{Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)}
+
+	// The owner solves first and caches its terminal basis.
+	resp := postJSON(t, tc.urls[owner]+"/v1/solve", req)
+	ownerBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner solve: status %d: %s", resp.StatusCode, ownerBody)
+	}
+
+	// A non-owner now solves the same key locally (NoForward): it must
+	// fetch the owner's basis and answer identically.
+	other := (owner + 1) % 3
+	resp = postJSON(t, tc.urls[other]+"/v1/solve", req)
+	otherBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("non-owner solve: status %d: %s", resp.StatusCode, otherBody)
+	}
+	if canonSolve(t, otherBody) != canonSolve(t, ownerBody) {
+		t.Fatalf("basis-shipped solve differs from owner's:\n%s\nvs\n%s", otherBody, ownerBody)
+	}
+	st := tc.servers[other].Cluster().Stats()
+	if st.BasisShips != 1 {
+		t.Fatalf("non-owner shipped %d bases, want 1", st.BasisShips)
+	}
+	cs := tc.servers[other].Cache().Stats()
+	if cs.Solves != 1 || cs.WarmSolves != 1 {
+		t.Fatalf("non-owner ran %d solves (%d warm), want 1 warm solve from the shipped basis",
+			cs.Solves, cs.WarmSolves)
+	}
+}
+
+// TestClusterOwnerDownFallback: with the owner dead, a request for its
+// key still succeeds — the forward fails, the peer is marked down, the
+// solve falls back to a cold local run, and later requests do not even
+// attempt the forward (the live ring rebalanced).
+func TestClusterOwnerDownFallback(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	p := platform.Figure1()
+	name := solverName(t, steady.Spec{Problem: "masterslave", Root: "P1"})
+	owner := tc.ownerOf(t, p, name)
+	tc.stop(owner)
+
+	other := (owner + 1) % 3
+	req := server.SolveRequest{Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)}
+	resp := postJSON(t, tc.urls[other]+"/v1/solve", req)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with dead owner: status %d: %s (graceful degradation must never 5xx)",
+			resp.StatusCode, body)
+	}
+	st := tc.servers[other].Cluster().Stats()
+	if st.Forwards != 1 || st.ForwardErrors != 1 {
+		t.Fatalf("stats after dead-owner solve: %+v, want exactly one failed forward", st)
+	}
+	// The failed forward marked the owner down: the key moved to a
+	// survivor on the live ring, so the next request from `other`
+	// either serves locally or forwards to the other survivor — never
+	// the corpse.
+	if newOwner := tc.servers[other].Cluster().Owner(batch.Key(steady.Fingerprint(p), name)); newOwner == tc.urls[owner] {
+		t.Fatalf("dead owner %q still owns the key on the live ring", newOwner)
+	}
+	resp = postJSON(t, tc.urls[other]+"/v1/solve", req)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second solve: status %d", resp.StatusCode)
+	}
+	if st := tc.servers[other].Cluster().Stats(); st.ForwardErrors != 1 {
+		t.Fatalf("second solve attempted the dead owner again: %+v", st)
+	}
+}
+
+// TestClusterEndpointSingleNode: an unclustered server still serves
+// GET /v1/cluster, reporting enabled=false.
+func TestClusterEndpointSingleNode(t *testing.T) {
+	ts := newTestServer(t, server.Config{})
+	resp, err := http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled {
+		t.Fatal("single-node server claims to be clustered")
+	}
+}
+
+// TestClusterEndpoint: a clustered node reports its membership view,
+// ring size, and counters.
+func TestClusterEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	resp, err := http.Get(tc.urls[0] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out server.ClusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.Self != tc.urls[0] || len(out.Peers) != 3 {
+		t.Fatalf("cluster view: %+v", out)
+	}
+	if out.RingSize != 3*out.VirtualNodes {
+		t.Fatalf("ring size %d with %d virtual nodes per peer", out.RingSize, out.VirtualNodes)
+	}
+}
+
+// TestClusterBasisEndpoint: /v1/cluster/basis serves 204 before any
+// solve, then the solver's terminal basis after one.
+func TestClusterBasisEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	p := platform.Figure1()
+	name := solverName(t, steady.Spec{Problem: "masterslave", Root: "P1"})
+	owner := tc.ownerOf(t, p, name)
+	u := tc.urls[owner] + cluster.BasisPath + "?solver=" + name
+
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("basis before any solve: status %d, want 204", resp.StatusCode)
+	}
+
+	pr := postJSON(t, tc.urls[owner]+"/v1/solve", server.SolveRequest{
+		Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)})
+	io.Copy(io.Discard, pr.Body)
+	pr.Body.Close()
+
+	resp, err = http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"entries"`)) {
+		t.Fatalf("basis after solve: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(tc.urls[owner] + cluster.BasisPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("basis without solver param: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClusterForwardLoopGuard: a request that already carries the
+// forwarded header is served locally even by a non-owner, so rings
+// that disagree can never bounce a request around.
+func TestClusterForwardLoopGuard(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	p := platform.Figure1()
+	owner := tc.ownerOf(t, p, solverName(t, steady.Spec{Problem: "masterslave", Root: "P1"}))
+	other := (owner + 1) % 3
+
+	raw, err := json.Marshal(server.SolveRequest{
+		Problem: "masterslave", Root: "P1", Platform: platformJSON(t, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, tc.urls[other]+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(cluster.ForwardedHeader, "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded-marked request: status %d", resp.StatusCode)
+	}
+	// Served locally by the non-owner: its cache solved, the owner's
+	// never saw the key, and the hop was counted.
+	if got := tc.servers[other].Cache().Stats().Solves; got != 1 {
+		t.Fatalf("non-owner ran %d solves, want 1 (local serve)", got)
+	}
+	if got := tc.servers[owner].Cache().Stats().Solves; got != 0 {
+		t.Fatalf("owner ran %d solves for a request that must not travel", got)
+	}
+	if st := tc.servers[other].Cluster().Stats(); st.ForwardedServed != 1 || st.Forwards != 0 {
+		t.Fatalf("loop-guard stats: %+v", st)
+	}
+}

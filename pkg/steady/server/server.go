@@ -14,31 +14,46 @@
 //	POST /v1/simsweep platform family x scenarios -> streamed records
 //	GET  /v1/healthz  liveness probe
 //	GET  /v1/stats    cache/simulation counters and latency histograms
+//	GET  /v1/cluster  cluster membership, ring, and forwarding counters
+//	GET  /v1/cluster/basis  this node's warm LP basis for a solver
 //	GET  /metrics     the same registry in Prometheus text format
 //
 // The server defends the exact simplex — whose worst case is
 // exponential — with three request limits: platform size caps
 // (Config.MaxNodes/MaxEdges, HTTP 413), a per-solve timeout
 // (Config.SolveTimeout, HTTP 504), and a bound on concurrently
-// running solves (Config.MaxInFlight; excess requests queue until a
-// slot frees or the client gives up). Cache hits bypass the
-// concurrency gate entirely, so a hot working set stays fast no
-// matter how slow the cold traffic is.
+// running solves (Config.MaxInFlight; excess requests queue up to
+// Config.QueueWait for a slot, then answer 503 with a Retry-After
+// header — saturation is reported, never hidden in an unbounded
+// queue). Cache hits bypass the concurrency gate entirely, so a hot
+// working set stays fast no matter how slow the cold traffic is.
+//
+// With Config.Cluster set, several servers form one logical service:
+// a consistent-hash ring over the static peer list assigns every
+// (fingerprint, solver) cache key an owner, /v1/solve requests for
+// keys owned elsewhere are forwarded one hop to the owner (so the
+// whole cluster shares one cache entry and one in-flight solve per
+// key), and local solves of non-owned keys first ship the owner's
+// warm basis. See pkg/steady/cluster and docs/ARCHITECTURE.md.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
+	"repro/pkg/steady/cluster"
 	"repro/pkg/steady/obs"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
@@ -67,6 +82,11 @@ type Config struct {
 	// MaxInFlight bounds concurrently running solves across all
 	// requests; 0 = 2 x GOMAXPROCS.
 	MaxInFlight int
+	// QueueWait bounds how long a request waits for a MaxInFlight
+	// slot before the server answers 503 with a Retry-After header;
+	// 0 = 5s, negative = wait as long as the client does (the pre-
+	// backpressure behavior). Cache hits never wait.
+	QueueWait time.Duration
 	// MaxBodyBytes caps request bodies; 0 = 8 MiB.
 	MaxBodyBytes int64
 	// SimTimeout bounds one simulation (after its solve); 0 = 30s.
@@ -99,6 +119,15 @@ type Config struct {
 	// empty counters, and request handling records nothing.
 	// DisableMetrics wins over a supplied Registry.
 	DisableMetrics bool
+	// Cluster, when non-nil, joins this server to a multi-node
+	// cluster (see pkg/steady/cluster): /v1/solve requests for keys
+	// owned by healthy peers are forwarded to them, /v1/cluster and
+	// /v1/cluster/basis are served, and local solves of non-owned
+	// keys ship the owner's warm basis. The server takes ownership:
+	// Server.Close closes the cluster. The caller decides when to
+	// start health probing (cluster.Cluster.Start) — typically after
+	// the listener is up.
+	Cluster *cluster.Cluster
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +154,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 5 * time.Second
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -159,6 +191,8 @@ type Server struct {
 	reg        *obs.Registry
 	metrics    *metrics
 	simMetrics *simMetrics
+	cluster    *cluster.Cluster
+	keys       *keyInterner
 	start      time.Time
 	mux        *http.ServeMux
 }
@@ -207,8 +241,15 @@ func New(cfg Config) *Server {
 		reg:        reg,
 		metrics:    newMetrics(reg),
 		simMetrics: newSimMetrics(reg),
+		cluster:    cfg.Cluster,
+		keys:       newKeyInterner(),
 		start:      time.Now(),
 		mux:        http.NewServeMux(),
+	}
+	if s.cluster != nil {
+		// A cluster built without its own registry reports into the
+		// server's, so steady_cluster_* lands next to everything else.
+		s.cluster.SetObs(reg)
 	}
 	if reg != nil {
 		reg.GaugeFunc("steady_server_uptime_seconds",
@@ -225,8 +266,23 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/simsweep", s.handleSimSweep)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
+	s.mux.HandleFunc("GET /v1/cluster/basis", s.handleClusterBasis)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// Cluster returns the cluster this server joined, nil for a
+// single-node server.
+func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
+
+// Close releases the server's background resources: the cluster's
+// health loop and peer connections. Single-node servers have none and
+// Close is a no-op; it is safe to call more than once.
+func (s *Server) Close() {
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
 }
 
 // Handler returns the service's HTTP handler: the route mux, wrapped
@@ -297,13 +353,40 @@ func (w *statusWriter) Flush() {
 // and /v1/sweep), mainly for tests and embedding callers.
 func (s *Server) Cache() *batch.Cache { return s.cache }
 
-// acquire claims a solve slot, waiting until one frees or ctx dies.
+// errSaturated reports that every MaxInFlight slot stayed busy for
+// the whole QueueWait window; statusFor maps it to 503 and writeErr
+// adds a Retry-After header. Load shedding beats unbounded queueing:
+// a client told to retry in a second costs nothing while it waits, a
+// queued request holds a connection and a goroutine.
+var errSaturated = errors.New("server saturated: all solve slots busy")
+
+// acquire claims a solve slot. A free slot is claimed immediately;
+// otherwise the request waits up to QueueWait (absorbing bursts), then
+// gives up with errSaturated. A negative QueueWait waits as long as
+// the client does.
 func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if s.cfg.QueueWait < 0 {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	t := time.NewTimer(s.cfg.QueueWait)
+	defer t.Stop()
 	select {
 	case s.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	case <-t.C:
+		return errSaturated
 	}
 }
 
@@ -338,6 +421,21 @@ func (g gatedSolver) Name() string { return g.inner.Name() }
 
 func (g gatedSolver) Solve(ctx context.Context, p *platform.Platform, opts ...steady.SolveOption) (*steady.Result, error) {
 	return g.s.gatedSolve(ctx, g.inner, p, opts...)
+}
+
+// solveFn is the cache-miss closure /v1/solve and /v1/simulate hand to
+// the cache: a gated solve that, when this peer is clustered and does
+// not own the key, first tries to warm-start from the owner's shipped
+// basis. The shipped WarmStart is appended after the cache's own
+// options and options apply in order, so it wins exactly when the
+// local cache had nothing (shipBasis only fetches then).
+func (s *Server) solveFn(r *http.Request, key string, solver steady.Solver, p *platform.Platform) func(context.Context, ...steady.SolveOption) (*steady.Result, error) {
+	return func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
+		if b := s.shipBasis(sctx, r, key, solver.Name()); b != nil {
+			opts = append(opts, steady.WarmStart(b))
+		}
+		return s.gatedSolve(sctx, solver, p, opts...)
+	}
 }
 
 // --- handlers ---------------------------------------------------------
@@ -376,8 +474,14 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	// The raw body is kept: if the key's owner is another peer the
+	// bytes are forwarded verbatim instead of being re-encoded.
+	raw, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
 	var req SolveRequest
-	if !s.decodeBody(w, r, &req) {
+	if !decodeStrict(w, raw, &req) {
 		return
 	}
 	spec, err := req.Spec()
@@ -397,10 +501,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
-		return s.gatedSolve(sctx, solver, p, opts...)
-	})
+	key := s.keys.intern(steady.Fingerprint(p), solver.Name())
+	if s.routeSolve(w, r, key, raw) {
+		return
+	}
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), s.solveFn(r, key, solver, p))
 	elapsed := time.Since(start)
 	s.metrics.observe(solver.Name(), elapsed, err != nil, hit)
 	if err != nil {
@@ -512,10 +617,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	key := batch.Key(steady.Fingerprint(p), solver.Name())
-	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
-		return s.gatedSolve(sctx, solver, p, opts...)
-	})
+	key := s.keys.intern(steady.Fingerprint(p), solver.Name())
+	res, err, hit := s.cache.DoSolve(r.Context(), key, solver.Name(), s.solveFn(r, key, solver, p))
 	s.metrics.observe(solver.Name(), time.Since(start), err != nil, hit)
 	if err != nil {
 		s.simMetrics.observe("", true, false)
@@ -786,6 +889,36 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
+// readBody slurps a request body under the size limit. /v1/solve uses
+// it instead of decodeBody because a clustered server may forward the
+// raw bytes to the key's owner verbatim.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, status, fmt.Errorf("read request: %w", err))
+		return nil, false
+	}
+	return raw, true
+}
+
+// decodeStrict parses raw with the same unknown-field strictness as
+// decodeBody, writing the error response itself.
+func decodeStrict(w http.ResponseWriter, raw []byte, dst any) bool {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
 // statusFor maps a solve-path error to an HTTP status: size limits
 // to 413, the server-side solve timeout to 504, client cancellation
 // to 499 (nginx convention; the client is gone anyway). The facade's
@@ -798,6 +931,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.As(err, &errTooLarge{}):
 		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, errSaturated):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -812,15 +947,50 @@ func statusFor(err error) int {
 	}
 }
 
+// encBuf pairs a response buffer with a JSON encoder bound to it, so
+// the hot path reuses both: the per-response json.NewEncoder and the
+// backing array were the largest steady-state allocations in
+// BenchmarkServerSolveHot.
+type encBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &encBuf{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// maxPooledEncBuf keeps pathological responses (a traced simulation
+// can be tens of MB) from pinning their buffers in the pool forever.
+const maxPooledEncBuf = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*encBuf)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		// Drop the entry: a json.Encoder remembers its first error and
+		// would poison every later response.
+		http.Error(w, `{"error":"encoding response failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(e.buf.Len()))
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= maxPooledEncBuf {
+		encPool.Put(e)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusServiceUnavailable {
+		// Backpressure contract: tell well-behaved clients when to come
+		// back instead of letting them busy-retry into the gate.
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
 }
 

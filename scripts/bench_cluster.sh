@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench_cluster.sh — boot a quiet 3-node loopback steadyd cluster, run
+# a short hot-dominated steadybench pass, and print the result as one
+# `go test -bench`-format line (steadybench -gobench) on stdout:
+#
+#   BenchmarkSteadybenchCluster3x  <reqs>  <ns/op> ...  <req/s> ...
+#
+# cmd/benchjson parses that line like any Go benchmark, so cluster
+# throughput and latency ride the committed BENCH_PRn.json trajectory
+# alongside the in-process benchmarks (CI appends this script's output
+# to the bench-smoke run before the benchjson diff). All progress
+# chatter goes to stderr; stdout carries only the benchmark line.
+#
+# Tunables: BENCH_CLUSTER_DURATION (default 3s), BENCH_CLUSTER_CONNS.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+DIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+cd "$REPO"
+go build -o "$DIR/steadyd" ./cmd/steadyd
+go build -o "$DIR/steadybench" ./cmd/steadybench
+
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+DURATION="${BENCH_CLUSTER_DURATION:-3s}"
+CONNS="${BENCH_CLUSTER_CONNS:-$((16 * NCPU))}"
+
+start_cluster() {
+  local base=$1
+  P1="http://127.0.0.1:$base"; P2="http://127.0.0.1:$((base+1))"; P3="http://127.0.0.1:$((base+2))"
+  PEERS="$P1,$P2,$P3"
+  PIDS=()
+  for url in "$P1" "$P2" "$P3"; do
+    "$DIR/steadyd" -addr "${url#http://}" -self "$url" -peers "$PEERS" \
+      -health-interval 250ms -queue-wait 2s >"$DIR/node-${url##*:}.log" 2>&1 &
+    PIDS+=($!)
+  done
+  for i in $(seq 1 100); do
+    healthy=0
+    for url in "$P1" "$P2" "$P3"; do
+      n="$(curl -fsS "$url/v1/cluster" 2>/dev/null | python3 -c '
+import json,sys
+try: d=json.load(sys.stdin)
+except Exception: print(0); raise SystemExit
+print(sum(1 for p in d.get("peers",[]) if p["healthy"]))' 2>/dev/null || echo 0)"
+      [ "$n" = "3" ] && healthy=$((healthy+1))
+    done
+    [ "$healthy" = "3" ] && return 0
+    sleep 0.1
+  done
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  PIDS=()
+  return 1
+}
+
+BOOTED=0
+for base in 18491 18591 18691; do
+  if start_cluster "$base"; then BOOTED=1; break; fi
+done
+if [ "$BOOTED" != "1" ]; then
+  echo "bench_cluster: could not boot a healthy 3-node cluster" >&2
+  exit 1
+fi
+echo "bench_cluster: 3 nodes up ($PEERS); $DURATION run, $CONNS conns" >&2
+
+"$DIR/steadybench" -targets "$PEERS" -duration "$DURATION" -conns "$CONNS" \
+  -platforms 24 -mix solve=96,simulate=4 -warmup 1s \
+  -gobench SteadybenchCluster3x

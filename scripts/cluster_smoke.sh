@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — boot a LIVE 3-node steadyd cluster on loopback and
+# prove the scaling story end to end:
+#
+#   1. all three peers see each other healthy via /v1/cluster;
+#   2. a forwarded solve answers byte-identically to a direct solve on
+#      the owner (ignoring the per-request cache_hit/elapsed_us fields);
+#   3. a hot-dominated steadybench run sustains the throughput floor
+#      with zero errors, a >=95% cluster-wide cache hit rate, and live
+#      forwarding traffic; its p99 is reported;
+#   4. warm-basis shipping actually happened (basis_ships >= 1
+#      cluster-wide — the /v1/simulate slice of the mix solves locally
+#      on non-owners, which ship the owner's basis);
+#   5. killing one node leaves a cluster that still answers every
+#      request (zero errors after the ring rebalances — graceful
+#      degradation, never a 5xx);
+#   6. the steady_cluster_* metric families are exported.
+#
+# The throughput floor scales with the machine: on a big box
+# (>= 16 CPUs) the gate is the full 100000 req/s target from the
+# scaling work; on smaller machines (CI runners, laptops) it is
+# 1500 req/s per CPU so the smoke stays meaningful without flaking.
+# Override with CLUSTER_SMOKE_MIN_RPS, e.g.:
+#
+#   CLUSTER_SMOKE_MIN_RPS=100000 ./scripts/cluster_smoke.sh   # the real gate
+#   CLUSTER_SMOKE_MIN_RPS=1 ./scripts/cluster_smoke.sh        # just the behavior checks
+#
+# CI runs it on every push; locally: ./scripts/cluster_smoke.sh
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+DIR="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+cd "$REPO"
+go build -o "$DIR/steadyd" ./cmd/steadyd
+go build -o "$DIR/steadybench" ./cmd/steadybench
+go build -o "$DIR/metricscheck" ./cmd/metricscheck
+
+NCPU="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "$NCPU" -ge 16 ]; then
+  DEFAULT_MIN_RPS=100000
+else
+  DEFAULT_MIN_RPS=$((1500 * NCPU))
+fi
+MIN_RPS="${CLUSTER_SMOKE_MIN_RPS:-$DEFAULT_MIN_RPS}"
+DURATION="${CLUSTER_SMOKE_DURATION:-10s}"
+CONNS="${CLUSTER_SMOKE_CONNS:-$((32 * NCPU))}"
+
+# Three peers on consecutive loopback ports; probe a few bases in case
+# one is taken.
+start_cluster() {
+  local base=$1
+  P1="http://127.0.0.1:$base"; P2="http://127.0.0.1:$((base+1))"; P3="http://127.0.0.1:$((base+2))"
+  PEERS="$P1,$P2,$P3"
+  PIDS=()
+  for url in "$P1" "$P2" "$P3"; do
+    "$DIR/steadyd" -addr "${url#http://}" -self "$url" -peers "$PEERS" \
+      -health-interval 250ms -queue-wait 2s >"$DIR/node-${url##*:}.log" 2>&1 &
+    PIDS+=($!)
+  done
+  # Every peer must answer and see BOTH others healthy.
+  for i in $(seq 1 100); do
+    healthy=0
+    for url in "$P1" "$P2" "$P3"; do
+      n="$(curl -fsS "$url/v1/cluster" 2>/dev/null | python3 -c '
+import json,sys
+try: d=json.load(sys.stdin)
+except Exception: print(0); raise SystemExit
+print(sum(1 for p in d.get("peers",[]) if p["healthy"]))' 2>/dev/null || echo 0)"
+      [ "$n" = "3" ] && healthy=$((healthy+1))
+    done
+    [ "$healthy" = "3" ] && return 0
+    sleep 0.1
+  done
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  PIDS=()
+  return 1
+}
+
+BOOTED=0
+for base in 18191 18291 18391; do
+  if start_cluster "$base"; then BOOTED=1; break; fi
+done
+if [ "$BOOTED" != "1" ]; then
+  echo "cluster_smoke: could not boot a healthy 3-node cluster" >&2
+  exit 1
+fi
+echo "cluster_smoke: 3 nodes up ($PEERS), all healthy"
+
+# --- byte-identity: a forwarded solve equals a direct solve ----------
+PLAT='{"nodes":[{"name":"P1","w":"1"},{"name":"P2","w":"2"},{"name":"P3","w":"3"}],"edges":[{"from":"P1","to":"P2","c":"1"},{"from":"P1","to":"P3","c":"2"}]}'
+printf '{"problem":"masterslave","root":"P1","platform":%s}' "$PLAT" > "$DIR/solve.json"
+for url in "$P1" "$P2" "$P3"; do
+  curl -fsS -X POST -H 'Content-Type: application/json' \
+    --data @"$DIR/solve.json" "$url/v1/solve" > "$DIR/resp-${url##*:}.json"
+done
+python3 - "$DIR"/resp-*.json <<'EOF'
+import json, sys
+def canon(path):
+    d = json.load(open(path))
+    # cache_hit and elapsed_us legitimately differ per request; every
+    # certified quantity must not.
+    d.pop("cache_hit", None); d.pop("elapsed_us", None)
+    return json.dumps(d, sort_keys=True)
+resps = [canon(p) for p in sys.argv[1:]]
+if len(set(resps)) != 1:
+    sys.exit("cluster_smoke: forwarded and direct solves differ:\n" + "\n".join(resps))
+EOF
+echo "cluster_smoke: forwarded solve byte-identical to direct solve"
+
+# --- load: hot-dominated mix across all three nodes ------------------
+"$DIR/steadybench" -targets "$PEERS" -duration "$DURATION" -conns "$CONNS" \
+  -platforms 24 -mix solve=96,simulate=4 -json > "$DIR/bench.json"
+python3 - "$DIR/bench.json" "$MIN_RPS" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1])); floor = float(sys.argv[2])
+print(f"cluster_smoke: {rep['requests']} requests, {rep['rps']:.0f} req/s "
+      f"(floor {floor:.0f}), p99 <= {rep['p99_us']}us, "
+      f"hit rate {100*rep['hit_rate']:.1f}%, forwards {rep['forwards']}, "
+      f"basis ships {rep['basis_ships']}, errors {rep['errors']}")
+fail = []
+if rep["rps"] < floor: fail.append(f"rps {rep['rps']:.0f} under floor {floor:.0f}")
+if rep["errors"] != 0: fail.append(f"{rep['errors']} errors (statuses {rep['statuses']})")
+if not rep["cluster"]: fail.append("targets are not clustered")
+if rep["hit_rate"] < 0.95: fail.append(f"cluster-wide hit rate {rep['hit_rate']:.3f} < 0.95")
+if rep["forwards"] == 0: fail.append("no forwarding traffic")
+if fail: sys.exit("cluster_smoke: " + "; ".join(fail))
+EOF
+
+# Basis shipping is cumulative across boot + run (the first non-owner
+# /v1/simulate of each solver ships once, then its local basis is warm).
+SHIPS=0
+for url in "$P1" "$P2" "$P3"; do
+  n="$(curl -fsS "$url/v1/cluster" | python3 -c 'import json,sys; print(json.load(sys.stdin)["counters"]["basis_ships"])')"
+  SHIPS=$((SHIPS + n))
+done
+if [ "$SHIPS" -lt 1 ]; then
+  echo "cluster_smoke: no warm basis was ever shipped" >&2
+  exit 1
+fi
+echo "cluster_smoke: $SHIPS warm bases shipped cluster-wide"
+
+# --- peer loss: the survivors keep answering everything --------------
+kill "${PIDS[2]}" 2>/dev/null || true
+wait "${PIDS[2]}" 2>/dev/null || true
+PIDS=("${PIDS[0]}" "${PIDS[1]}")
+sleep 1  # > health-interval: both survivors notice
+"$DIR/steadybench" -targets "$P1,$P2" -duration 3s -conns "$CONNS" \
+  -platforms 24 -mix solve=100 -json > "$DIR/bench2.json"
+python3 - "$DIR/bench2.json" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+if rep["errors"] != 0:
+    sys.exit(f"cluster_smoke: {rep['errors']} errors after peer loss (statuses {rep['statuses']})")
+print(f"cluster_smoke: after peer loss: {rep['rps']:.0f} req/s, 0 errors")
+EOF
+
+# --- metrics: the cluster families are exported ----------------------
+"$DIR/metricscheck" -url "$P1/metrics" -require \
+  steady_cluster_forwards_total,steady_cluster_forward_errors_total,steady_cluster_forwarded_served_total,steady_cluster_basis_ships_total,steady_cluster_basis_ship_errors_total,steady_cluster_health_checks_total,steady_cluster_ring_size,steady_cluster_peers,steady_cluster_peers_healthy,steady_cluster_peer_up
+
+echo "cluster smoke OK"
