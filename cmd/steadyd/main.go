@@ -3,7 +3,11 @@
 // and get certified exact-rational steady-state solutions back, or
 // POST a platform plus a scenario to /v1/simulate (a family to
 // /v1/simsweep) to replay the reconstructed schedule in simulated
-// time. See docs/API.md for the endpoint reference.
+// time, or register a platform under POST /v1/deployments and stream
+// telemetry at it to keep a certified schedule continuously re-solved
+// as the platform drifts (§5.5 adaptive scheduling; watch epochs on
+// GET /v1/deployments/{id}/watch, drive it with cmd/steadyagent). See
+// docs/API.md for the endpoint reference.
 //
 // Usage:
 //
@@ -43,6 +47,7 @@ import (
 	"time"
 
 	"repro/pkg/steady/cluster"
+	"repro/pkg/steady/control"
 	"repro/pkg/steady/server"
 )
 
@@ -68,6 +73,15 @@ func main() {
 		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics on GET /metrics (disable for a zero-overhead server; /metrics then answers 404)")
 		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this separate operator-only address (empty = disabled)")
 		queueWait  = flag.Duration("queue-wait", 0, "max time a request waits for a solve slot before 503 + Retry-After (0 = default 5s, <0 = wait as long as the client)")
+
+		ctlEpoch    = flag.Duration("control-epoch", 0, "control-plane epoch: how often tracked deployments re-check drift (0 = default 2s)")
+		ctlDrift    = flag.Float64("control-drift", 0, "relative forecast change that triggers a deployment re-solve (0 = default 0.1)")
+		ctlInterval = flag.Duration("control-min-interval", 0, "min time between re-solves of one deployment (0 = one epoch)")
+		ctlBudget   = flag.Int("control-budget", 0, "max deployment re-solves per epoch tick (0 = default 32)")
+		ctlDeploys  = flag.Int("control-max-deployments", 0, "max tracked deployments (0 = default 1024)")
+		ctlWatchers = flag.Int("control-max-watchers", 0, "max /v1/deployments/{id}/watch subscribers per deployment (0 = default 64)")
+		ctlBuffer   = flag.Int("control-watch-buffer", 0, "epochs a watch subscriber may fall behind before eviction (0 = default 16)")
+		ctlHistory  = flag.Int("control-history", 0, "epochs retained per deployment for Last-Event-ID replay (0 = default 64)")
 
 		peers          = flag.String("peers", "", "comma-separated static cluster peer base URLs, including -self (empty = single-node)")
 		self           = flag.String("self", "", "this process's own base URL within -peers (required with -peers)")
@@ -121,6 +135,16 @@ func main() {
 		DisableFloatFirst: !*floatFirst,
 		DisableMetrics:    !*metrics,
 		Cluster:           cl,
+		Control: control.Config{
+			Epoch:              *ctlEpoch,
+			DriftThreshold:     *ctlDrift,
+			MinResolveInterval: *ctlInterval,
+			ResolveBudget:      *ctlBudget,
+			MaxDeployments:     *ctlDeploys,
+			MaxWatchers:        *ctlWatchers,
+			WatchBuffer:        *ctlBuffer,
+			History:            *ctlHistory,
+		},
 	})
 	defer srv.Close()
 	if cl != nil {

@@ -3,15 +3,16 @@
 // each phase, machine and network parameters are collected ... this
 // information will then guide the scheduling decisions for the next
 // phase". It re-solves the steady-state LP each epoch from NWS-style
-// forecasts (internal/forecast) and turns the activity variables into
-// a work-allocation policy for the online simulator.
+// forecasts (pkg/steady/control/forecast) and turns the activity
+// variables into a work-allocation policy for the online simulator.
 package adaptive
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/forecast"
+	"repro/pkg/steady/control/forecast"
 	"repro/pkg/steady/lp"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
@@ -116,19 +117,46 @@ func NewController(p *platform.Platform, master int, tree []int) (*Controller, *
 	return c, pol, nil
 }
 
-// OnEpoch is wired into sim.OnlineConfig: it records the epoch's
-// observations and re-solves the LP on the forecast platform.
-func (c *Controller) OnEpoch(now float64, obs *sim.EpochObservation) {
+// Ingest records one epoch's observations, returning an error naming
+// every measurement the shared guard rejected (forecast.
+// CheckMeasurement: NaN, ±Inf, zero, negative). Rejected measurements
+// never reach a forecaster — and therefore can never reach
+// rat.ApproxFloat, which panics on non-finite input — so a corrupted
+// probe degrades one series instead of crashing the controller. The
+// control plane (pkg/steady/control) applies the identical guard to
+// /v1/deployments telemetry, mapping it to HTTP 400.
+func (c *Controller) Ingest(obs *sim.EpochObservation) error {
+	var errs []error
 	for i := range c.wEst {
-		if obs.EffectiveW[i] > 0 {
-			c.wEst[i].Update(obs.EffectiveW[i])
+		if v := obs.EffectiveW[i]; v != 0 { // 0 = no observation this epoch
+			if err := forecast.CheckMeasurement(v); err != nil {
+				errs = append(errs, fmt.Errorf("node %s w=%v: %w", c.base.Name(i), v, err))
+				continue
+			}
+			c.wEst[i].Update(v)
 		}
 	}
 	for e := range c.cEst {
-		if obs.EffectiveC[e] > 0 {
-			c.cEst[e].Update(obs.EffectiveC[e])
+		if v := obs.EffectiveC[e]; v != 0 {
+			if err := forecast.CheckMeasurement(v); err != nil {
+				ed := c.base.Edge(e)
+				errs = append(errs, fmt.Errorf("edge %s>%s c=%v: %w",
+					c.base.Name(ed.From), c.base.Name(ed.To), v, err))
+				continue
+			}
+			c.cEst[e].Update(v)
 		}
 	}
+	return errors.Join(errs...)
+}
+
+// OnEpoch is wired into sim.OnlineConfig: it records the epoch's
+// observations and re-solves the LP on the forecast platform. Invalid
+// measurements are dropped by Ingest (the callback signature has
+// nowhere to report them; callers that want the error use Ingest
+// directly).
+func (c *Controller) OnEpoch(now float64, obs *sim.EpochObservation) {
+	_ = c.Ingest(obs)
 	est := c.EstimatedPlatform()
 	ms, err := core.SolveMasterSlavePortOpts(est, c.master, core.SendAndReceive,
 		&lp.Options{WarmBasis: c.basis})
@@ -149,13 +177,18 @@ func (c *Controller) OnEpoch(now float64, obs *sim.EpochObservation) {
 
 // EstimatedPlatform returns the forecast platform: same topology as
 // the nominal one, with node weights and edge costs replaced by
-// forecasts wherever at least one observation exists.
+// forecasts wherever at least one observation exists. A forecast the
+// shared guard rejects (non-finite or non-positive — possible even
+// over valid observations, e.g. a smoothed series decaying to a
+// denormal that rounds to zero) falls back to the nominal value, so
+// the returned platform is always valid and rat.ApproxFloat is never
+// fed a value it would panic on.
 func (c *Controller) EstimatedPlatform() *platform.Platform {
 	q := platform.New()
 	for i := 0; i < c.base.NumNodes(); i++ {
 		w := c.base.Weight(i)
 		if !w.Inf {
-			if f := c.wEst[i].Predict(); f > 0 {
+			if f := c.wEst[i].Predict(); f != 0 && forecast.CheckMeasurement(f) == nil {
 				w = platform.W(rat.ApproxFloat(f, maxDen))
 			}
 		}
@@ -164,7 +197,7 @@ func (c *Controller) EstimatedPlatform() *platform.Platform {
 	for _, ed := range c.base.Edges() {
 		cost := ed.C
 		eIdx := q.NumEdges()
-		if f := c.cEst[eIdx].Predict(); f > 0 {
+		if f := c.cEst[eIdx].Predict(); f != 0 && forecast.CheckMeasurement(f) == nil {
 			cost = rat.ApproxFloat(f, maxDen)
 		}
 		q.AddEdge(ed.From, ed.To, cost)

@@ -1,9 +1,13 @@
 package adaptive
 
 import (
+	"errors"
+	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/baseline"
+	"repro/pkg/steady/control/forecast"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/rat"
 	sim "repro/pkg/steady/sim/event"
@@ -172,5 +176,116 @@ func TestQuotaVsDemandDrivenOnStablePlatform(t *testing.T) {
 	t.Logf("stable star: lp-quota %d, fcfs %d", quota.Done, fcfs.Done)
 	if quota.Done < fcfs.Done*90/100 {
 		t.Fatalf("lp-quota (%d) far below fcfs (%d) on a stable platform", quota.Done, fcfs.Done)
+	}
+}
+
+// TestIngestRejectsBadMeasurements table-tests the shared guard on
+// the simulator's observation path: hostile values (NaN, ±Inf, zero
+// is "no observation", negatives) are reported per-series and never
+// reach a forecaster — the next EstimatedPlatform stays nominal and
+// rat.ApproxFloat never sees a value it would panic on.
+func TestIngestRejectsBadMeasurements(t *testing.T) {
+	newCtl := func(t *testing.T) *Controller {
+		t.Helper()
+		p := platform.Star(platform.WInt(4),
+			[]platform.Weight{platform.WInt(2)}, []rat.Rat{rat.FromInt(1)})
+		tree, _ := sim.ShortestPathTree(p, 0)
+		ctl, _, err := NewController(p, 0, tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+	obs := func(w1, c0 float64) *sim.EpochObservation {
+		return &sim.EpochObservation{
+			EffectiveW: []float64{0, w1},
+			EffectiveC: []float64{c0},
+		}
+	}
+	cases := map[string]struct {
+		obs     *sim.EpochObservation
+		substr  string
+		wantErr bool
+	}{
+		"clean":         {obs(6, 2), "", false},
+		"unobserved":    {obs(0, 0), "", false},
+		"NaN node":      {obs(math.NaN(), 2), "node", true},
+		"+Inf node":     {obs(math.Inf(1), 2), "node", true},
+		"-Inf edge":     {obs(6, math.Inf(-1)), "edge", true},
+		"negative node": {obs(-1, 2), "node", true},
+		"negative edge": {obs(6, -0.5), "edge", true},
+		"both bad":      {obs(math.NaN(), math.Inf(1)), "edge", true},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			ctl := newCtl(t)
+			err := ctl.Ingest(tc.obs)
+			if !tc.wantErr {
+				if err != nil {
+					t.Fatalf("Ingest rejected a clean observation: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("Ingest accepted a hostile observation")
+			}
+			if !errors.Is(err, forecast.ErrBadMeasurement) {
+				t.Fatalf("error %v does not wrap forecast.ErrBadMeasurement", err)
+			}
+			if !strings.Contains(err.Error(), tc.substr) {
+				t.Fatalf("error %q does not name the %s series", err, tc.substr)
+			}
+			// The rejected series stays nominal; valid measurements in
+			// the same observation are still applied.
+			est := ctl.EstimatedPlatform()
+			if bad := tc.obs.EffectiveW[1]; bad != 0 && forecast.CheckMeasurement(bad) != nil {
+				if !est.Weight(1).Val.Equal(rat.FromInt(2)) {
+					t.Fatalf("rejected node measurement reached the model: w=%v", est.Weight(1).Val)
+				}
+			}
+			if bad := tc.obs.EffectiveC[0]; bad != 0 && forecast.CheckMeasurement(bad) != nil {
+				if !est.Edge(0).C.Equal(rat.FromInt(1)) {
+					t.Fatalf("rejected edge measurement reached the model: c=%v", est.Edge(0).C)
+				}
+			}
+		})
+	}
+	// OnEpoch survives a fully hostile epoch (it drops the batch and
+	// re-solves on the previous estimates) — the §5.5 loop must not
+	// crash on one corrupted probe.
+	ctl := newCtl(t)
+	ctl.OnEpoch(10, obs(math.NaN(), math.Inf(1)))
+	if ctl.LastThroughput.Sign() <= 0 {
+		t.Fatal("controller lost its schedule after a hostile epoch")
+	}
+}
+
+// TestIngestPartialApplication: a bad node series must not block a
+// good edge series in the same epoch (per-measurement rejection, not
+// whole-batch — the simulator path has no transactional caller to
+// retry, unlike the HTTP telemetry endpoint).
+func TestIngestPartialApplication(t *testing.T) {
+	p := platform.Star(platform.WInt(4),
+		[]platform.Weight{platform.WInt(2)}, []rat.Rat{rat.FromInt(1)})
+	tree, _ := sim.ShortestPathTree(p, 0)
+	ctl, _, err := NewController(p, 0, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		err = ctl.Ingest(&sim.EpochObservation{
+			EffectiveW: []float64{0, math.NaN()},
+			EffectiveC: []float64{3},
+		})
+	}
+	if err == nil {
+		t.Fatal("hostile node series accepted")
+	}
+	est := ctl.EstimatedPlatform()
+	if !est.Weight(1).Val.Equal(rat.FromInt(2)) {
+		t.Fatalf("hostile node series reached the model: %v", est.Weight(1).Val)
+	}
+	if got := est.Edge(0).C.Float64(); got < 2.8 || got > 3.2 {
+		t.Fatalf("valid edge series blocked by hostile node series: c=%v", got)
 	}
 }

@@ -1,0 +1,792 @@
+// Package control is the online scheduling control plane: the
+// production form of the paper's §5.5 phase-based dynamic scheduling
+// ("during each phase, machine and network parameters are collected
+// ... this information will then guide the scheduling decisions for
+// the next phase"). Where internal/adaptive closes that loop inside a
+// simulation, this package closes it for a live service:
+//
+//   - a Manager tracks deployments — each a platform graph plus a
+//     steady-state problem spec — and keeps a current certified
+//     schedule (an Epoch) per deployment;
+//   - telemetry observations (Observation) feed per-node and per-edge
+//     NWS-style forecasters (pkg/steady/control/forecast), every
+//     measurement passing the shared CheckMeasurement guard before it
+//     can touch a series;
+//   - each epoch tick, a drift detector compares the forecasts
+//     against the values the current schedule was solved on; relative
+//     change beyond Config.DriftThreshold — rate-limited by
+//     Config.MinResolveInterval and Config.ResolveBudget so noisy
+//     telemetry cannot melt the solver — triggers a re-solve;
+//   - the re-solve rebuilds the rational platform model from the
+//     forecasts (continued-fraction approximation with bounded
+//     denominators, exactly as internal/adaptive does), solves it
+//     through the LP cache warm-started from the previous epoch's
+//     terminal basis (PR 4/6's 215→0-pivot machinery is what makes
+//     continuous re-planning affordable), and publishes a new
+//     versioned Epoch whose Delta lists only the changed rates;
+//   - subscribers follow a deployment over Subscription channels
+//     (served as SSE by pkg/steady/server's /v1/deployments/{id}/watch)
+//     with Last-Event-ID replay from a bounded history and eviction
+//     of slow consumers, so one stuck reader never blocks the loop.
+//
+// Everything published is exact: epochs carry the same certified
+// rational schedules /v1/solve returns, and an estimated platform
+// that round-trips to a fingerprint seen before is a cache hit — a
+// drift that reverts costs no pivots at all.
+package control
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pkg/steady"
+	"repro/pkg/steady/batch"
+	"repro/pkg/steady/control/forecast"
+	"repro/pkg/steady/lp"
+	"repro/pkg/steady/obs"
+	"repro/pkg/steady/platform"
+	"repro/pkg/steady/rat"
+)
+
+// Typed errors, matched with errors.Is by callers (pkg/steady/server
+// maps them to HTTP statuses: unknown deployment → 404, the two
+// capacity errors → 429, bad ids/observations → 400).
+var (
+	ErrUnknownDeployment  = errors.New("control: unknown deployment")
+	ErrTooManyDeployments = errors.New("control: too many deployments")
+	ErrTooManyWatchers    = errors.New("control: too many watchers")
+	ErrBadDeployment      = errors.New("control: bad deployment")
+	ErrBadObservation     = errors.New("control: bad observation")
+)
+
+// idPattern bounds deployment ids: they appear in URL paths and
+// metrics, so only a conservative charset is accepted.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// SolveFunc runs one certified solve for the control plane. key is
+// the canonical cache key (batch.Key of the estimated platform's
+// fingerprint and the solver name); extra options are appended after
+// any the implementation adds itself, so an extra WarmStart wins
+// (options apply in order). The boolean reports a cache hit.
+// pkg/steady/server supplies a SolveFunc backed by its shared LP
+// cache and concurrency gate; NewManager defaults to a private
+// batch.Cache.
+type SolveFunc func(ctx context.Context, key string, solver steady.Solver, p *platform.Platform, extra ...steady.SolveOption) (*steady.Result, bool, error)
+
+// Config tunes a Manager. The zero value selects sensible defaults
+// for every field.
+type Config struct {
+	// Epoch is the control loop period: how often drift is evaluated.
+	// 0 = 2s.
+	Epoch time.Duration
+	// MinResolveInterval is the minimum time between re-solves of one
+	// deployment, whatever the telemetry does. 0 = one Epoch.
+	MinResolveInterval time.Duration
+	// DriftThreshold is the relative change between a forecast and
+	// the value the current schedule was solved on that triggers a
+	// re-solve (0.1 = 10%). 0 = 0.1.
+	DriftThreshold float64
+	// MaxDen bounds the denominators of the rational platform model
+	// rebuilt from float forecasts (continued-fraction approximation,
+	// as internal/adaptive). 0 = 4096.
+	MaxDen int64
+	// ResolveBudget caps re-solves per tick across all deployments —
+	// the cost ceiling of one epoch. 0 = 32.
+	ResolveBudget int
+	// MaxDeployments caps tracked deployments. 0 = 1024.
+	MaxDeployments int
+	// MaxWatchers caps concurrent subscribers per deployment. 0 = 64.
+	MaxWatchers int
+	// WatchBuffer is a subscriber's channel depth; a subscriber that
+	// falls this many epochs behind is evicted (its channel closes).
+	// 0 = 16.
+	WatchBuffer int
+	// History is how many epochs are retained per deployment for
+	// Last-Event-ID replay; older resume points get a Resync epoch.
+	// 0 = 64.
+	History int
+	// SolveTimeout bounds one control-plane solve. 0 = 30s.
+	SolveTimeout time.Duration
+	// Solve runs the solves. nil = a private batch.Cache with
+	// float-first enabled (warm-start included).
+	Solve SolveFunc
+	// Obs receives the steady_control_* metric families; nil records
+	// nothing.
+	Obs *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 2 * time.Second
+	}
+	if c.MinResolveInterval <= 0 {
+		c.MinResolveInterval = c.Epoch
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.1
+	}
+	if c.MaxDen <= 0 {
+		c.MaxDen = 4096
+	}
+	if c.ResolveBudget <= 0 {
+		c.ResolveBudget = 32
+	}
+	if c.MaxDeployments <= 0 {
+		c.MaxDeployments = 1024
+	}
+	if c.MaxWatchers <= 0 {
+		c.MaxWatchers = 64
+	}
+	if c.WatchBuffer <= 0 {
+		c.WatchBuffer = 16
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Manager is the deployment registry and epoch loop. Construct with
+// NewManager; it is safe for concurrent use. The background loop
+// starts on the first Create (or an explicit Start) and stops at
+// Close.
+type Manager struct {
+	cfg     Config
+	solve   SolveFunc
+	metrics *controlMetrics
+
+	mu   sync.RWMutex
+	deps map[string]*deployment
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	loopCtx   context.Context
+	loopStop  context.CancelFunc
+	loopDone  chan struct{}
+}
+
+// deployment is the per-deployment state. Two locks: mu guards all
+// mutable state (telemetry keeps flowing during a solve), solveMu
+// serializes the solves themselves (a re-solve and a replace never
+// interleave).
+type deployment struct {
+	id string
+
+	solveMu sync.Mutex
+
+	mu      sync.Mutex
+	spec    steady.Spec
+	solver  steady.Solver
+	base    *platform.Platform
+	wEst    []*forecast.Adaptive // per node; nil for forwarder-only nodes
+	cEst    []*forecast.Adaptive // per edge
+	wObs    []int64              // accepted observations per node series
+	cObs    []int64
+	cur     *platform.Platform // the model the current epoch was solved on
+	curW    []float64          // float view of cur's node costs
+	curC    []float64          // ... and edge costs, for drift comparison
+	basis   *lp.Basis          // terminal basis of the current epoch's LP
+	epoch   *Epoch
+	history []*Epoch // ascending versions, bounded by Config.History
+	watched map[*Subscription]struct{}
+
+	lastResolve  time.Time
+	resolves     int64
+	warmResolves int64
+	driftEvents  int64
+	observations int64
+}
+
+// NewManager builds a Manager from cfg (zero value = defaults).
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{cfg: cfg, deps: map[string]*deployment{}, loopDone: make(chan struct{})}
+	m.loopCtx, m.loopStop = context.WithCancel(context.Background())
+	m.solve = cfg.Solve
+	if m.solve == nil {
+		cache := batch.NewCache(0, 0)
+		if cfg.Obs != nil {
+			cache.SetObs(cfg.Obs)
+		}
+		m.solve = func(ctx context.Context, key string, solver steady.Solver, p *platform.Platform, extra ...steady.SolveOption) (*steady.Result, bool, error) {
+			res, err, hit := cache.DoSolve(ctx, key, solver.Name(), func(sctx context.Context, opts ...steady.SolveOption) (*steady.Result, error) {
+				return solver.Solve(sctx, p, append(opts, extra...)...)
+			})
+			return res, hit, err
+		}
+	}
+	m.metrics = newControlMetrics(cfg.Obs, m)
+	return m
+}
+
+// Len returns the number of tracked deployments.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.deps)
+}
+
+// List returns the tracked deployment ids, sorted.
+func (m *Manager) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.deps))
+	for id := range m.deps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start launches the background epoch loop (one tick per
+// Config.Epoch). It is idempotent; Create calls it automatically, so
+// explicit use is only needed to begin ticking before any deployment
+// exists.
+func (m *Manager) Start() {
+	m.startOnce.Do(func() {
+		go func() {
+			defer close(m.loopDone)
+			t := time.NewTicker(m.cfg.Epoch)
+			defer t.Stop()
+			for {
+				select {
+				case <-m.loopCtx.Done():
+					return
+				case now := <-t.C:
+					m.Tick(m.loopCtx, now)
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the epoch loop and evicts every subscriber (their
+// channels close). Tracked deployments remain readable; Close is
+// idempotent.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.loopStop()
+		// Only wait for a loop that was actually started.
+		started := true
+		m.startOnce.Do(func() { started = false; close(m.loopDone) })
+		if started {
+			<-m.loopDone
+		}
+		m.mu.RLock()
+		defer m.mu.RUnlock()
+		for _, d := range m.deps {
+			d.mu.Lock()
+			for sub := range d.watched {
+				delete(d.watched, sub)
+				close(sub.ch)
+			}
+			d.mu.Unlock()
+		}
+	})
+}
+
+// Create registers (or replaces) a deployment: it solves the problem
+// on the nominal platform synchronously and publishes epoch 1 (on
+// replace: the next version, to the existing subscribers). A replace
+// resets every telemetry series — the old forecasts describe the old
+// platform.
+func (m *Manager) Create(ctx context.Context, id string, spec steady.Spec, p *platform.Platform) (*Snapshot, error) {
+	if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("%w: id %q (want %s)", ErrBadDeployment, id, idPattern)
+	}
+	solver, err := steady.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if p == nil || p.NumNodes() == 0 {
+		return nil, fmt.Errorf("%w: empty platform", ErrBadDeployment)
+	}
+
+	m.mu.Lock()
+	d, replace := m.deps[id]
+	if !replace {
+		if len(m.deps) >= m.cfg.MaxDeployments {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: limit %d", ErrTooManyDeployments, m.cfg.MaxDeployments)
+		}
+		d = &deployment{id: id, watched: map[*Subscription]struct{}{}}
+		m.deps[id] = d
+	}
+	m.mu.Unlock()
+	m.Start()
+
+	d.solveMu.Lock()
+	defer d.solveMu.Unlock()
+
+	sctx, cancel := context.WithTimeout(ctx, m.cfg.SolveTimeout)
+	defer cancel()
+	key := batch.Key(steady.Fingerprint(p), solver.Name())
+	res, hit, err := m.solve(sctx, key, solver, p)
+	if err != nil {
+		m.metrics.incResolveErr()
+		m.mu.Lock()
+		// A failed create must not leave a half-born deployment; a
+		// failed replace keeps the old one running.
+		if cur, ok := m.deps[id]; ok && cur == d && d.epochLocked() == nil {
+			delete(m.deps, id)
+		}
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	reason := "create"
+	if replace && d.epochLocked() != nil {
+		reason = "replace"
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.spec = spec
+	d.solver = solver
+	d.base = p
+	d.wEst = make([]*forecast.Adaptive, p.NumNodes())
+	d.cEst = make([]*forecast.Adaptive, p.NumEdges())
+	d.wObs = make([]int64, p.NumNodes())
+	d.cObs = make([]int64, p.NumEdges())
+	for i := range d.wEst {
+		if !p.Weight(i).Inf {
+			d.wEst[i] = forecast.NewAdaptive()
+		}
+	}
+	for e := range d.cEst {
+		d.cEst[e] = forecast.NewAdaptive()
+	}
+	// Observations counts the current model's series, which a replace
+	// just emptied.
+	d.observations = 0
+	d.publishLocked(m, res, p, hit, reason, 0, time.Now())
+	return d.snapshotLocked(), nil
+}
+
+// epochLocked reads the current epoch under d.mu (helper for callers
+// holding only solveMu).
+func (d *deployment) epochLocked() *Epoch {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.epoch
+}
+
+// Remove drops a deployment and evicts its subscribers.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	d, ok := m.deps[id]
+	if ok {
+		delete(m.deps, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for sub := range d.watched {
+		delete(d.watched, sub)
+		close(sub.ch)
+	}
+	return nil
+}
+
+func (m *Manager) lookup(id string) (*deployment, error) {
+	m.mu.RLock()
+	d, ok := m.deps[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
+	}
+	return d, nil
+}
+
+// Get returns the deployment's current snapshot.
+func (m *Manager) Get(id string) (*Snapshot, error) {
+	d, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.epoch == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
+	}
+	return d.snapshotLocked(), nil
+}
+
+// Observe ingests one telemetry batch. The whole batch is validated
+// first — every observation must name an existing node (with finite
+// compute capacity) or edge and carry a finite, strictly positive
+// value — and a batch with any invalid observation is rejected whole:
+// no forecaster sees a partial batch. The returned error joins every
+// problem found and matches both ErrBadObservation and
+// forecast.ErrBadMeasurement with errors.Is.
+func (m *Manager) Observe(id string, batch []Observation) (int, error) {
+	d, err := m.lookup(id)
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.epoch == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
+	}
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("%w: empty batch", ErrBadObservation)
+	}
+	type target struct{ node, edge int }
+	targets := make([]target, len(batch))
+	var errs []error
+	for i, o := range batch {
+		bad := func(format string, args ...any) {
+			errs = append(errs, fmt.Errorf("observation %d: %w: %s", i, ErrBadObservation, fmt.Sprintf(format, args...)))
+		}
+		switch {
+		case o.Node != "" && (o.From != "" || o.To != ""):
+			bad("names both a node (%q) and an edge", o.Node)
+		case o.Node != "":
+			n := d.base.NodeByName(o.Node)
+			switch {
+			case n < 0:
+				bad("unknown node %q", o.Node)
+			case d.base.Weight(n).Inf:
+				bad("node %q is forwarder-only (w = inf) and has no compute cost", o.Node)
+			default:
+				targets[i] = target{node: n, edge: -1}
+			}
+		case o.From != "" && o.To != "":
+			from, to := d.base.NodeByName(o.From), d.base.NodeByName(o.To)
+			if from < 0 || to < 0 {
+				bad("unknown edge %s>%s", o.From, o.To)
+				continue
+			}
+			e := d.base.FindEdge(from, to)
+			if e < 0 {
+				bad("no edge %s>%s in the platform", o.From, o.To)
+				continue
+			}
+			targets[i] = target{node: -1, edge: e}
+		default:
+			bad("names neither a node nor an edge (set node, or from and to)")
+		}
+		if err := forecast.CheckMeasurement(o.Value); err != nil {
+			errs = append(errs, fmt.Errorf("observation %d: %w", i, err))
+		}
+	}
+	if len(errs) > 0 {
+		m.metrics.incRejected(len(batch))
+		return 0, errors.Join(errs...)
+	}
+	for i, t := range targets {
+		if t.edge >= 0 {
+			d.cEst[t.edge].Update(batch[i].Value)
+			d.cObs[t.edge]++
+		} else {
+			d.wEst[t.node].Update(batch[i].Value)
+			d.wObs[t.node]++
+		}
+	}
+	d.observations += int64(len(batch))
+	m.metrics.incObservations(len(batch))
+	return len(batch), nil
+}
+
+// Tick runs one epoch of the control loop at the given instant: every
+// deployment's drift is evaluated, and those beyond the threshold —
+// subject to MinResolveInterval and the per-tick ResolveBudget — are
+// re-solved on their re-estimated rational platform, warm-started
+// from their previous basis, and their new epoch published. It
+// returns the number of epochs published. The background loop calls
+// Tick once per Config.Epoch; tests drive it directly with a
+// synthetic clock.
+func (m *Manager) Tick(ctx context.Context, now time.Time) int {
+	m.metrics.incTick()
+	m.mu.RLock()
+	deps := make([]*deployment, 0, len(m.deps))
+	for _, d := range m.deps {
+		deps = append(deps, d)
+	}
+	m.mu.RUnlock()
+	// Deterministic order: budget exhaustion hits the
+	// lexicographically last deployments, not random ones.
+	sort.Slice(deps, func(i, j int) bool { return deps[i].id < deps[j].id })
+
+	budget := m.cfg.ResolveBudget
+	published := 0
+	for _, d := range deps {
+		if ctx.Err() != nil {
+			break
+		}
+		d.mu.Lock()
+		if d.epoch == nil {
+			d.mu.Unlock()
+			continue
+		}
+		drift := d.driftLocked()
+		if drift <= m.cfg.DriftThreshold {
+			d.mu.Unlock()
+			continue
+		}
+		d.driftEvents++
+		m.metrics.incDrift()
+		if now.Sub(d.lastResolve) < m.cfg.MinResolveInterval {
+			m.metrics.incSuppressed("min_interval")
+			d.mu.Unlock()
+			continue
+		}
+		if budget <= 0 {
+			m.metrics.incSuppressed("budget")
+			d.mu.Unlock()
+			continue
+		}
+		est := d.estimateLocked(m.cfg.MaxDen)
+		solver, basis := d.solver, d.basis
+		d.mu.Unlock()
+		budget--
+
+		d.solveMu.Lock()
+		sctx, cancel := context.WithTimeout(ctx, m.cfg.SolveTimeout)
+		key := batch.Key(steady.Fingerprint(est), solver.Name())
+		var extra []steady.SolveOption
+		if basis != nil {
+			// Appended after the SolveFunc's own options, so the
+			// deployment's epoch-to-epoch basis wins over any cached
+			// one: the previous epoch is the best warm start there is.
+			extra = append(extra, steady.WarmStart(basis))
+		}
+		res, hit, err := m.solve(sctx, key, solver, est, extra...)
+		cancel()
+		if err != nil {
+			m.metrics.incResolveErr()
+			d.solveMu.Unlock()
+			continue
+		}
+		d.mu.Lock()
+		d.publishLocked(m, res, est, hit, "drift", drift, now)
+		d.mu.Unlock()
+		d.solveMu.Unlock()
+		published++
+	}
+	return published
+}
+
+// driftLocked returns the largest relative change between a series'
+// forecast and the value the current schedule was solved on, over
+// every series with at least one accepted observation. Forecasts the
+// shared guard rejects (possible over valid observations, e.g. a
+// smoothed series decaying to a denormal) are skipped: they can never
+// enter a platform model, so they must not trigger solves either.
+func (d *deployment) driftLocked() float64 {
+	max := 0.0
+	for i, est := range d.wEst {
+		if est == nil || d.wObs[i] == 0 {
+			continue
+		}
+		if f := est.Predict(); forecast.CheckMeasurement(f) == nil {
+			if rel := math.Abs(f-d.curW[i]) / d.curW[i]; rel > max {
+				max = rel
+			}
+		}
+	}
+	for e, est := range d.cEst {
+		if d.cObs[e] == 0 {
+			continue
+		}
+		if f := est.Predict(); forecast.CheckMeasurement(f) == nil {
+			if rel := math.Abs(f-d.curC[e]) / d.curC[e]; rel > max {
+				max = rel
+			}
+		}
+	}
+	return max
+}
+
+// estimateLocked rebuilds the rational platform model from the
+// forecasts: same topology as the nominal platform, node and edge
+// costs replaced by continued-fraction approximations (denominators
+// bounded by maxDen) wherever a valid forecast exists, nominal values
+// elsewhere.
+func (d *deployment) estimateLocked(maxDen int64) *platform.Platform {
+	q := platform.New()
+	for i := 0; i < d.base.NumNodes(); i++ {
+		w := d.base.Weight(i)
+		if est := d.wEst[i]; est != nil && d.wObs[i] > 0 {
+			if f := est.Predict(); forecast.CheckMeasurement(f) == nil {
+				w = platform.W(rat.ApproxFloat(f, maxDen))
+			}
+		}
+		q.AddNode(d.base.Name(i), w)
+	}
+	for e, ed := range d.base.Edges() {
+		c := ed.C
+		if d.cObs[e] > 0 {
+			if f := d.cEst[e].Predict(); forecast.CheckMeasurement(f) == nil {
+				c = rat.ApproxFloat(f, maxDen)
+			}
+		}
+		q.AddEdge(ed.From, ed.To, c)
+	}
+	return q
+}
+
+// publishLocked installs a solved result as the deployment's next
+// epoch: it computes the delta against the previous version, updates
+// the model floats the drift detector compares against, stores the
+// terminal basis for the next warm start, appends to the replay
+// history, and fans the epoch out to every subscriber (evicting the
+// ones whose buffers are full). Called under d.mu.
+func (d *deployment) publishLocked(m *Manager, res *steady.Result, est *platform.Platform, hit bool, reason string, drift float64, now time.Time) {
+	var version uint64 = 1
+	if d.epoch != nil {
+		version = d.epoch.Version + 1
+	}
+	ep := &Epoch{
+		Deployment:  d.id,
+		Version:     version,
+		Solver:      res.Solver,
+		Fingerprint: res.Fingerprint,
+		Throughput:  res.Throughput.String(),
+		Value:       res.ThroughputFloat(),
+		Pivots:      res.Pivots,
+		WarmStarted: res.WarmStarted,
+		CacheHit:    hit,
+		Reason:      reason,
+		MaxDrift:    drift,
+	}
+	for _, n := range res.Nodes {
+		nr := NodeRate{Name: n.Name, Alpha: n.Alpha.String()}
+		if !n.Rate.IsZero() {
+			nr.Rate = n.Rate.String()
+		}
+		ep.Nodes = append(ep.Nodes, nr)
+	}
+	for _, l := range res.Links {
+		ep.Links = append(ep.Links, LinkRate{From: l.From, To: l.To, Busy: l.Busy.String()})
+	}
+	if prev := d.epoch; prev != nil {
+		ep.Delta = computeDelta(prev, ep)
+		if ep.Delta != nil {
+			m.metrics.incDeltaChanges(len(ep.Delta.Nodes) + len(ep.Delta.Links))
+		}
+	}
+
+	d.epoch = ep
+	d.history = append(d.history, ep)
+	if over := len(d.history) - m.cfg.History; over > 0 {
+		d.history = append(d.history[:0], d.history[over:]...)
+	}
+	d.basis = res.Basis()
+	d.lastResolve = now
+	d.resolves++
+	if res.WarmStarted {
+		d.warmResolves++
+	}
+	d.cur = est
+	d.curW = make([]float64, est.NumNodes())
+	for i := range d.curW {
+		if w := est.Weight(i); !w.Inf {
+			d.curW[i] = w.Val.Float64()
+		}
+	}
+	d.curC = make([]float64, est.NumEdges())
+	for e, ed := range est.Edges() {
+		d.curC[e] = ed.C.Float64()
+	}
+	m.metrics.noteResolve(reason, res)
+
+	for sub := range d.watched {
+		select {
+		case sub.ch <- ep:
+		default:
+			// The subscriber's buffer is full: it is WatchBuffer
+			// epochs behind a loop that must not block. Evict it;
+			// the closed channel tells its reader to resubscribe
+			// (Last-Event-ID resume replays what it missed).
+			delete(d.watched, sub)
+			close(sub.ch)
+			m.metrics.incEviction()
+		}
+	}
+}
+
+// computeDelta lists the node and link rates that changed between two
+// epochs of the same deployment. It returns nil when the topologies
+// differ (a replace with a new platform): there is no meaningful
+// diff, subscribers must take the epoch whole.
+func computeDelta(prev, next *Epoch) *Delta {
+	if len(prev.Nodes) != len(next.Nodes) || len(prev.Links) != len(next.Links) {
+		return nil
+	}
+	delta := &Delta{FromVersion: prev.Version, ThroughputChanged: prev.Throughput != next.Throughput}
+	for i, n := range next.Nodes {
+		if prev.Nodes[i].Name != n.Name {
+			return nil
+		}
+		if prev.Nodes[i] != n {
+			delta.Nodes = append(delta.Nodes, n)
+		}
+	}
+	for i, l := range next.Links {
+		if prev.Links[i].From != l.From || prev.Links[i].To != l.To {
+			return nil
+		}
+		if prev.Links[i] != l {
+			delta.Links = append(delta.Links, l)
+		}
+	}
+	return delta
+}
+
+// snapshotLocked renders the deployment's observable state under d.mu.
+func (d *deployment) snapshotLocked() *Snapshot {
+	s := &Snapshot{
+		ID:           d.id,
+		Problem:      d.spec.Problem,
+		Solver:       d.solver.Name(),
+		Model:        d.spec.Model.String(),
+		Epoch:        d.epoch,
+		Watchers:     len(d.watched),
+		Resolves:     d.resolves,
+		WarmResolves: d.warmResolves,
+		DriftEvents:  d.driftEvents,
+		Observations: d.observations,
+	}
+	for i := 0; i < d.base.NumNodes(); i++ {
+		mn := ModelNode{
+			Name:    d.base.Name(i),
+			Nominal: d.base.Weight(i).String(),
+			Current: d.cur.Weight(i).String(),
+		}
+		if !d.base.Weight(i).Inf && d.wObs[i] > 0 {
+			mn.Forecast = d.wEst[i].Predict()
+			mn.Predictor = d.wEst[i].BestName()
+			mn.Observations = d.wObs[i]
+		}
+		s.Nodes = append(s.Nodes, mn)
+	}
+	for e, ed := range d.base.Edges() {
+		ml := ModelLink{
+			From:    d.base.Name(ed.From),
+			To:      d.base.Name(ed.To),
+			Nominal: ed.C.String(),
+			Current: d.cur.Edge(e).C.String(),
+		}
+		if d.cObs[e] > 0 {
+			ml.Forecast = d.cEst[e].Predict()
+			ml.Predictor = d.cEst[e].BestName()
+			ml.Observations = d.cObs[e]
+		}
+		s.Links = append(s.Links, ml)
+	}
+	return s
+}

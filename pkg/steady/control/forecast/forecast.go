@@ -4,13 +4,54 @@
 // parallel on each series, track their errors, and forecast with
 // whichever has been most accurate so far ("use the past to predict
 // the future").
+//
+// The package is public because the online control plane
+// (pkg/steady/control) feeds live platform telemetry through these
+// predictors; internal/adaptive uses the same battery inside the §5.5
+// simulation. Predictors are deterministic: the same observation
+// sequence always yields the same chosen sub-predictor and the same
+// forecast. They are NOT safe for concurrent use — callers serialize
+// access per series (the control plane holds one battery per node and
+// per edge under its deployment lock).
+//
+// CheckMeasurement is the shared ingestion guard: every float
+// measurement that will be converted to an exact rational platform
+// value must be finite and strictly positive, otherwise downstream
+// continued-fraction conversion would build an invalid platform.
 package forecast
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrBadMeasurement reports a telemetry value that must not enter a
+// forecaster or a rational platform model: NaN, ±Inf, zero or
+// negative. Match with errors.Is.
+var ErrBadMeasurement = errors.New("forecast: bad measurement")
+
+// CheckMeasurement validates one observed platform cost (seconds per
+// task for a node, seconds per unit-size transfer for an edge): it
+// must be a finite float strictly greater than zero. Everything that
+// ingests float measurements into the exact rational model —
+// internal/adaptive's epoch observations and the control plane's
+// /v1/deployments telemetry — shares this guard, so an invalid
+// measurement is rejected at the boundary instead of surfacing later
+// as an invalid platform.
+func CheckMeasurement(v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("%w: NaN", ErrBadMeasurement)
+	}
+	if math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %v", ErrBadMeasurement, v)
+	}
+	if v <= 0 {
+		return fmt.Errorf("%w: non-positive value %v", ErrBadMeasurement, v)
+	}
+	return nil
+}
 
 // Predictor forecasts the next value of a series from its history.
 type Predictor interface {
@@ -20,6 +61,10 @@ type Predictor interface {
 	Predict() float64
 	// Name labels the predictor.
 	Name() string
+	// Reset discards all history, returning the predictor to its
+	// initial state (the control plane resets a series when its
+	// deployment is replaced).
+	Reset()
 }
 
 // LastValue predicts the most recent observation.
@@ -34,6 +79,9 @@ func (p *LastValue) Predict() float64 { return p.last }
 // Name implements Predictor.
 func (p *LastValue) Name() string { return "last" }
 
+// Reset implements Predictor.
+func (p *LastValue) Reset() { p.last = 0 }
+
 // RunningMean predicts the mean of all observations.
 type RunningMean struct {
 	sum float64
@@ -42,6 +90,9 @@ type RunningMean struct {
 
 // Update implements Predictor.
 func (p *RunningMean) Update(v float64) { p.sum += v; p.n++ }
+
+// Reset implements Predictor.
+func (p *RunningMean) Reset() { p.sum, p.n = 0, 0 }
 
 // Predict implements Predictor.
 func (p *RunningMean) Predict() float64 {
@@ -91,6 +142,9 @@ func (p *WindowMean) Predict() float64 {
 // Name implements Predictor.
 func (p *WindowMean) Name() string { return fmt.Sprintf("window-mean(%d)", p.k) }
 
+// Reset implements Predictor.
+func (p *WindowMean) Reset() { p.buf = p.buf[:0] }
+
 // WindowMedian predicts the median of the last K observations,
 // robust to the load spikes of shared platforms.
 type WindowMedian struct {
@@ -131,6 +185,9 @@ func (p *WindowMedian) Predict() float64 {
 // Name implements Predictor.
 func (p *WindowMedian) Name() string { return fmt.Sprintf("window-median(%d)", p.k) }
 
+// Reset implements Predictor.
+func (p *WindowMedian) Reset() { p.buf = p.buf[:0] }
+
 // ExpSmoothing predicts with exponential smoothing of parameter
 // alpha in (0, 1].
 type ExpSmoothing struct {
@@ -161,6 +218,9 @@ func (p *ExpSmoothing) Predict() float64 { return p.val }
 
 // Name implements Predictor.
 func (p *ExpSmoothing) Name() string { return fmt.Sprintf("exp(%.2f)", p.alpha) }
+
+// Reset implements Predictor.
+func (p *ExpSmoothing) Reset() { p.val, p.init = 0, false }
 
 // Adaptive is the NWS mixture: it runs a battery of predictors and
 // forecasts with the one whose mean squared error has been lowest.
@@ -223,6 +283,17 @@ func (a *Adaptive) BestName() string { return a.preds[a.Best()].Name() }
 
 // Name implements Predictor.
 func (a *Adaptive) Name() string { return "adaptive" }
+
+// Reset implements Predictor: it resets every sub-predictor and zeroes
+// the error trackers, so the battery behaves exactly like a fresh
+// NewAdaptive.
+func (a *Adaptive) Reset() {
+	for i, p := range a.preds {
+		p.Reset()
+		a.sqerr[i] = 0
+	}
+	a.n = 0
+}
 
 // RMSE evaluates a predictor on a series: at each step it predicts,
 // observes, and accumulates the squared error (the first prediction,

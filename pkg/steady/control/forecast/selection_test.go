@@ -1,0 +1,158 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// --- predictor-selection edge cases ----------------------------------
+
+func TestAdaptiveEmptyHistory(t *testing.T) {
+	a := NewAdaptive()
+	if got := a.Predict(); got != 0 {
+		t.Fatalf("empty-history forecast = %v, want 0", got)
+	}
+	// No errors have been scored, so selection must fall back to the
+	// first predictor in the battery.
+	if got := a.Best(); got != 0 {
+		t.Fatalf("empty-history Best() = %d, want 0", got)
+	}
+	if got := a.BestName(); got != "last" {
+		t.Fatalf("empty-history BestName() = %q, want \"last\"", got)
+	}
+}
+
+func TestAdaptiveSingleSample(t *testing.T) {
+	a := NewAdaptive()
+	a.Update(3.5)
+	// One sample: every sub-predictor agrees, no error has been scored
+	// (the first prediction is made with no history), and the forecast
+	// is the sample itself.
+	if got := a.Predict(); got != 3.5 {
+		t.Fatalf("single-sample forecast = %v, want 3.5", got)
+	}
+	if got := a.Best(); got != 0 {
+		t.Fatalf("single-sample Best() = %d, want 0 (no errors scored yet)", got)
+	}
+}
+
+func TestAdaptiveTieBreaking(t *testing.T) {
+	// A constant series keeps every sub-predictor exactly right, so all
+	// accumulated errors stay 0. Selection must break the tie toward
+	// the lowest index, deterministically.
+	a := NewAdaptive()
+	for i := 0; i < 50; i++ {
+		a.Update(2)
+	}
+	if got := a.Best(); got != 0 {
+		t.Fatalf("all-tied Best() = %d, want 0 (lowest index wins ties)", got)
+	}
+	if got := a.BestName(); got != "last" {
+		t.Fatalf("all-tied BestName() = %q, want \"last\"", got)
+	}
+	if got := a.Predict(); got != 2 {
+		t.Fatalf("constant-series forecast = %v, want 2", got)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	// Drive the battery onto a non-default best predictor with a spiky
+	// series (the medians win), then Reset and check the tracker state
+	// is indistinguishable from a fresh battery.
+	spiky := func(a *Adaptive) {
+		for i := 0; i < 60; i++ {
+			v := 1.0
+			if i%5 == 4 {
+				v = 40
+			}
+			a.Update(v)
+		}
+	}
+	a := NewAdaptive()
+	spiky(a)
+	if a.Best() == 0 {
+		t.Fatal("spiky series did not move Best() off the default; test fixture is too weak")
+	}
+	a.Reset()
+	if got := a.Predict(); got != 0 {
+		t.Fatalf("post-Reset forecast = %v, want 0", got)
+	}
+	if got := a.Best(); got != 0 {
+		t.Fatalf("post-Reset Best() = %d, want 0", got)
+	}
+
+	// After Reset the battery must replay a series exactly like a fresh
+	// instance: same selections, same forecasts.
+	fresh := NewAdaptive()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		v := 1 + rng.Float64()
+		a.Update(v)
+		fresh.Update(v)
+		if a.Best() != fresh.Best() || a.Predict() != fresh.Predict() {
+			t.Fatalf("step %d: reset battery diverged from fresh (best %d vs %d, predict %v vs %v)",
+				i, a.Best(), fresh.Best(), a.Predict(), fresh.Predict())
+		}
+	}
+}
+
+// TestAdaptiveDeterminism is the determinism property the control
+// plane's epochs rely on: feeding the same series into two fresh
+// batteries yields the same chosen predictor and the same forecast at
+// every step, for a spread of series shapes.
+func TestAdaptiveDeterminism(t *testing.T) {
+	shapes := map[string]func(rng *rand.Rand, i int) float64{
+		"noise":    func(rng *rand.Rand, i int) float64 { return 1 + rng.Float64() },
+		"trend":    func(rng *rand.Rand, i int) float64 { return float64(i) + rng.Float64()/10 },
+		"spikes":   func(rng *rand.Rand, i int) float64 { return 1 + 50*float64(i%7/6) + rng.Float64() },
+		"seasonal": func(rng *rand.Rand, i int) float64 { return 2 + math.Sin(float64(i)/5) + rng.Float64()/4 },
+	}
+	for name, gen := range shapes {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				series := make([]float64, 300)
+				rng := rand.New(rand.NewSource(seed))
+				for i := range series {
+					series[i] = gen(rng, i)
+				}
+				a, b := NewAdaptive(), NewAdaptive()
+				for i, v := range series {
+					a.Update(v)
+					b.Update(v)
+					if a.BestName() != b.BestName() {
+						t.Fatalf("seed %d step %d: chosen predictor diverged: %q vs %q",
+							seed, i, a.BestName(), b.BestName())
+					}
+					if a.Predict() != b.Predict() {
+						t.Fatalf("seed %d step %d: forecast diverged: %v vs %v",
+							seed, i, a.Predict(), b.Predict())
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- the shared measurement guard ------------------------------------
+
+func TestCheckMeasurement(t *testing.T) {
+	bad := map[string]float64{
+		"NaN":      math.NaN(),
+		"+Inf":     math.Inf(1),
+		"-Inf":     math.Inf(-1),
+		"zero":     0,
+		"negative": -1.5,
+	}
+	for name, v := range bad {
+		if err := CheckMeasurement(v); err == nil {
+			t.Errorf("CheckMeasurement(%s) accepted %v", name, v)
+		}
+	}
+	good := []float64{1e-300, 0.5, 1, 1e12}
+	for _, v := range good {
+		if err := CheckMeasurement(v); err != nil {
+			t.Errorf("CheckMeasurement(%v) rejected a valid measurement: %v", v, err)
+		}
+	}
+}

@@ -272,6 +272,16 @@ func syntheticRegistry() *Registry {
 	pu := r.GaugeVec("steady_cluster_peer_up", "Per-peer health (1 up, 0 down).", "peer")
 	pu.With("http://10.0.0.1:8080").Set(1)
 	pu.With("http://10.0.0.2:8080").Set(0)
+	// The control-plane families (control.Manager, SetObs): tracked
+	// deployments, telemetry-driven re-solves, and watch streaming.
+	r.GaugeFunc("steady_control_deployments", "Deployments currently tracked.", func() float64 { return 2 })
+	r.GaugeFunc("steady_control_watchers", "Live watch subscribers across deployments.", func() float64 { return 3 })
+	res := r.CounterVec("steady_control_resolves_total", "Control-plane re-solves by reason.", "reason")
+	res.With("create").Add(2)
+	res.With("drift").Add(5)
+	res.With("replace").Add(1)
+	r.Counter("steady_control_warm_resolves_total", "Re-solves that reused the previous epoch's basis.").Add(5)
+	r.Counter("steady_control_drift_events_total", "Ticks with forecast drift beyond the threshold.").Add(6)
 	return r
 }
 

@@ -54,6 +54,8 @@ import (
 	"repro/pkg/steady"
 	"repro/pkg/steady/batch"
 	"repro/pkg/steady/cluster"
+	"repro/pkg/steady/control"
+	"repro/pkg/steady/control/forecast"
 	"repro/pkg/steady/obs"
 	"repro/pkg/steady/platform"
 	"repro/pkg/steady/sim"
@@ -128,6 +130,15 @@ type Config struct {
 	// start health probing (cluster.Cluster.Start) — typically after
 	// the listener is up.
 	Cluster *cluster.Cluster
+	// Control tunes the online scheduling control plane behind
+	// /v1/deployments (see pkg/steady/control): epoch length, drift
+	// threshold, re-solve budget, watcher limits. The zero value
+	// selects that package's defaults. Control.Solve and Control.Obs
+	// are overridden by the server — deployments solve through the
+	// shared LP cache and concurrency gate and report into the
+	// server's registry; Control.SolveTimeout defaults to the server's
+	// SolveTimeout.
+	Control control.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +203,7 @@ type Server struct {
 	metrics    *metrics
 	simMetrics *simMetrics
 	cluster    *cluster.Cluster
+	manager    *control.Manager
 	keys       *keyInterner
 	start      time.Time
 	mux        *http.ServeMux
@@ -251,6 +263,15 @@ func New(cfg Config) *Server {
 		// server's, so steady_cluster_* lands next to everything else.
 		s.cluster.SetObs(reg)
 	}
+	// The control plane solves through the same cache and concurrency
+	// gate as every other endpoint, and reports into the same registry.
+	ctl := cfg.Control
+	ctl.Solve = s.controlSolve
+	ctl.Obs = reg
+	if ctl.SolveTimeout <= 0 {
+		ctl.SolveTimeout = cfg.SolveTimeout
+	}
+	s.manager = control.NewManager(ctl)
 	if reg != nil {
 		reg.GaugeFunc("steady_server_uptime_seconds",
 			"Seconds since the server was constructed.",
@@ -268,6 +289,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	s.mux.HandleFunc("GET /v1/cluster/basis", s.handleClusterBasis)
+	s.mux.HandleFunc("POST /v1/deployments", s.handleDeploymentCreate)
+	s.mux.HandleFunc("GET /v1/deployments", s.handleDeploymentList)
+	s.mux.HandleFunc("GET /v1/deployments/{id}", s.handleDeploymentGet)
+	s.mux.HandleFunc("DELETE /v1/deployments/{id}", s.handleDeploymentDelete)
+	s.mux.HandleFunc("POST /v1/deployments/{id}/telemetry", s.handleTelemetry)
+	s.mux.HandleFunc("GET /v1/deployments/{id}/watch", s.handleWatch)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -276,10 +303,12 @@ func New(cfg Config) *Server {
 // single-node server.
 func (s *Server) Cluster() *cluster.Cluster { return s.cluster }
 
-// Close releases the server's background resources: the cluster's
-// health loop and peer connections. Single-node servers have none and
-// Close is a no-op; it is safe to call more than once.
+// Close releases the server's background resources: the control
+// plane's epoch loop (evicting its watch subscribers), and the
+// cluster's health loop and peer connections. It is safe to call more
+// than once.
 func (s *Server) Close() {
+	s.manager.Close()
 	if s.cluster != nil {
 		s.cluster.Close()
 	}
@@ -937,6 +966,15 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499
+	case errors.Is(err, control.ErrUnknownDeployment):
+		return http.StatusNotFound
+	case errors.Is(err, control.ErrTooManyDeployments),
+		errors.Is(err, control.ErrTooManyWatchers):
+		return http.StatusTooManyRequests
+	case errors.Is(err, control.ErrBadDeployment),
+		errors.Is(err, control.ErrBadObservation),
+		errors.Is(err, forecast.ErrBadMeasurement):
+		return http.StatusBadRequest
 	case errors.Is(err, steady.ErrUnknownProblem),
 		errors.Is(err, steady.ErrBadSpec),
 		errors.Is(err, steady.ErrNoSuchNode),
