@@ -549,12 +549,29 @@ func (m *Manager) Tick(ctx context.Context, now time.Time) int {
 			d.mu.Unlock()
 			continue
 		}
+		d.mu.Unlock()
+
+		// Estimate and publish under solveMu, so a concurrent Create
+		// (replace) cannot swap the platform in between: Create mutates
+		// base and the series only while holding solveMu, so everything
+		// read under d.mu from here on belongs to one platform
+		// generation. The trigger conditions are re-checked first — the
+		// drift measured above may describe a platform that a replace
+		// just retired (whose fresh series report no drift at all).
+		d.solveMu.Lock()
+		d.mu.Lock()
+		drift = d.driftLocked()
+		if d.epoch == nil || drift <= m.cfg.DriftThreshold ||
+			now.Sub(d.lastResolve) < m.cfg.MinResolveInterval {
+			d.mu.Unlock()
+			d.solveMu.Unlock()
+			continue
+		}
 		est := d.estimateLocked(m.cfg.MaxDen)
 		solver, basis := d.solver, d.basis
 		d.mu.Unlock()
 		budget--
 
-		d.solveMu.Lock()
 		sctx, cancel := context.WithTimeout(ctx, m.cfg.SolveTimeout)
 		key := batch.Key(steady.Fingerprint(est), solver.Name())
 		var extra []steady.SolveOption
@@ -677,6 +694,12 @@ func (d *deployment) publishLocked(m *Manager, res *steady.Result, est *platform
 		ep.Delta = computeDelta(prev, ep)
 		if ep.Delta != nil {
 			m.metrics.incDeltaChanges(len(ep.Delta.Nodes) + len(ep.Delta.Links))
+		} else {
+			// The topology changed (a replace with an incompatible
+			// platform): no delta is possible, so mark the epoch Resync
+			// — delta-tracking subscribers must discard incremental
+			// state and take this schedule whole.
+			ep.Resync = true
 		}
 	}
 

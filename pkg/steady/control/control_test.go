@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -749,6 +750,259 @@ func TestSharedCacheAcrossDeployments(t *testing.T) {
 	}
 	if b.Epoch.Version != 1 {
 		t.Fatalf("fresh deployment started at version %d", b.Epoch.Version)
+	}
+}
+
+// bigPlatform is a 4-node star: same names as demoPlatform for P1-P3
+// plus a P4 arm, so it shares observable series with the demo star but
+// has an incompatible topology (no delta between the two is possible).
+func bigPlatform() *platform.Platform {
+	p := platform.New()
+	p1 := p.AddNode("P1", platform.WInt(1))
+	p2 := p.AddNode("P2", platform.WInt(2))
+	p3 := p.AddNode("P3", platform.WInt(3))
+	p4 := p.AddNode("P4", platform.WInt(4))
+	p.AddEdge(p1, p2, rat.FromInt(1))
+	p.AddEdge(p1, p3, rat.FromInt(2))
+	p.AddEdge(p1, p4, rat.FromInt(3))
+	return p
+}
+
+// TestReplaceTopologyChangeMarksResync pins the signal delta-tracking
+// subscribers rely on: a replace whose new platform cannot be diffed
+// against the old one (topology changed) publishes its epoch with
+// Delta nil and Resync set, while a same-topology replace keeps a
+// normal delta and no resync.
+func TestReplaceTopologyChangeMarksResync(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	mustCreate(t, m, "demo")
+	sub, err := m.Watch("demo", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	<-sub.Events() // the v1 epoch
+
+	snap, err := m.Create(context.Background(), "demo", demoSpec(), bigPlatform())
+	if err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if snap.Epoch.Delta != nil || !snap.Epoch.Resync {
+		t.Fatalf("topology-changing replace epoch: delta=%+v resync=%v; want nil delta, resync",
+			snap.Epoch.Delta, snap.Epoch.Resync)
+	}
+	select {
+	case ep := <-sub.Events():
+		if ep.Version != 2 || ep.Delta != nil || !ep.Resync {
+			t.Fatalf("subscriber saw v%d delta=%+v resync=%v; want v2, nil delta, resync",
+				ep.Version, ep.Delta, ep.Resync)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber did not receive the replace epoch")
+	}
+
+	// Same-topology replace: a delta is possible, so no resync.
+	snap, err = m.Create(context.Background(), "demo", demoSpec(), bigPlatform())
+	if err != nil {
+		t.Fatalf("same-topology replace: %v", err)
+	}
+	if snap.Epoch.Delta == nil || snap.Epoch.Resync {
+		t.Fatalf("same-topology replace epoch: delta=%+v resync=%v; want delta, no resync",
+			snap.Epoch.Delta, snap.Epoch.Resync)
+	}
+}
+
+// TestReplaceDuringTickResolve reproduces the Tick/replace race
+// deterministically: a replace to an incompatible platform is parked
+// inside its solve (holding solveMu) while Tick evaluates drift on the
+// platform about to be retired. Before Tick pinned its estimate under
+// solveMu it would publish that stale estimate over the replacement —
+// d.cur sized to the old topology, d.base to the new — and the next
+// snapshot or drift scan indexed out of range and crashed the
+// background loop. Now Tick re-checks under solveMu and skips.
+func TestReplaceDuringTickResolve(t *testing.T) {
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var gateBig atomic.Bool
+	solve := func(ctx context.Context, key string, solver steady.Solver, p *platform.Platform, extra ...steady.SolveOption) (*steady.Result, bool, error) {
+		if gateBig.Load() && p.NumNodes() == 4 {
+			entered <- struct{}{}
+			<-release
+		}
+		res, err := solver.Solve(ctx, p, extra...)
+		return res, false, err
+	}
+	m := NewManager(Config{
+		DriftThreshold:     1e-9,
+		MinResolveInterval: time.Nanosecond,
+		Solve:              solve,
+	})
+	defer m.Close()
+	mustCreate(t, m, "demo")
+	if _, err := m.Observe("demo", driftBatch); err != nil {
+		t.Fatal(err)
+	}
+
+	gateBig.Store(true)
+	repDone := make(chan struct{})
+	go func() {
+		defer close(repDone)
+		if _, err := m.Create(context.Background(), "demo", demoSpec(), bigPlatform()); err != nil {
+			t.Errorf("replace: %v", err)
+		}
+	}()
+	<-entered // the replace holds solveMu; the 4-node star is not yet installed
+
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		m.Tick(context.Background(), time.Now().Add(time.Hour))
+	}()
+	// Let Tick see the drifted 3-node platform and block on solveMu,
+	// then let the replace install the 4-node star under it.
+	time.Sleep(50 * time.Millisecond)
+	gateBig.Store(false)
+	close(release)
+	<-repDone
+	<-tickDone
+
+	// The snapshot must be internally consistent: 4-node base, 4-node
+	// current model, fresh series reporting no drift.
+	snap, err := m.Get("demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Nodes) != 4 || len(snap.Links) != 3 {
+		t.Fatalf("snapshot has %d nodes, %d links; want 4, 3", len(snap.Nodes), len(snap.Links))
+	}
+	if snap.Epoch.Reason != "replace" {
+		t.Fatalf("current epoch reason = %q, want replace (the stale drift epoch must not publish)", snap.Epoch.Reason)
+	}
+	if n := m.Tick(context.Background(), time.Now().Add(2*time.Hour)); n != 0 {
+		t.Fatalf("replaced deployment still drifting: %d epochs", n)
+	}
+}
+
+// TestConcurrentReplaceAndTicks races topology-flipping replaces
+// against drift-triggered re-solves and snapshot reads. Before Tick
+// pinned its estimate under solveMu, a replace could land between
+// Tick's estimate and its publish, leaving d.cur sized to the retired
+// topology while d.base and the series used the new one — the next
+// driftLocked or snapshotLocked then indexed out of range and crashed
+// the background loop. Run under -race.
+func TestConcurrentReplaceAndTicks(t *testing.T) {
+	// A deliberately slow SolveFunc stretches the time Create holds
+	// solveMu before installing the new platform — exactly when a racy
+	// Tick would build its estimate from the platform about to be
+	// retired.
+	slow := func(ctx context.Context, key string, solver steady.Solver, p *platform.Platform, extra ...steady.SolveOption) (*steady.Result, bool, error) {
+		time.Sleep(200 * time.Microsecond)
+		res, err := solver.Solve(ctx, p, extra...)
+		return res, false, err
+	}
+	m := NewManager(Config{
+		Epoch:              time.Second,
+		MinResolveInterval: time.Nanosecond,
+		DriftThreshold:     1e-9,
+		Solve:              slow,
+	})
+	defer m.Close()
+	mustCreate(t, m, "demo")
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(2)
+	go func() { // flip the platform between the 3- and 4-node stars
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p := demoPlatform()
+			if i%2 == 1 {
+				p = bigPlatform()
+			}
+			if _, err := m.Create(context.Background(), "demo", demoSpec(), p); err != nil {
+				t.Errorf("replace: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // telemetry on both shared and big-only series
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := 1.25 + float64(i%5)/8
+			_, _ = m.Observe("demo", []Observation{{From: "P1", To: "P2", Value: v}})
+			_, _ = m.Observe("demo", []Observation{{From: "P1", To: "P3", Value: v + 1}})
+			// Only valid while the 4-node star is installed; rejected
+			// (whole-batch) otherwise, which is exactly the point: its
+			// series exists in one topology and not the other.
+			_, _ = m.Observe("demo", []Observation{{From: "P1", To: "P4", Value: v + 2}})
+		}
+	}()
+
+	base := time.Now()
+	for i := 0; i < 150; i++ {
+		m.Tick(context.Background(), base.Add(time.Duration(i+1)*time.Second))
+		if _, err := m.Get("demo"); err != nil {
+			t.Fatalf("Get during churn: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWatchRemoveRace races Watch against Remove: a subscription must
+// either fail with ErrUnknownDeployment or end up on a deployment
+// whose removal closes it. Before Watch re-verified its registration,
+// a Remove landing between lookup and the subscriber add left the sub
+// on an orphaned deployment — open forever, delivering nothing.
+func TestWatchRemoveRace(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+
+	var subs []*Subscription
+	for i := 0; i < 500; i++ {
+		mustCreate(t, m, "demo")
+		start := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			<-start
+			_ = m.Remove("demo")
+			close(done)
+		}()
+		close(start)
+		if sub, err := m.Watch("demo", 0); err == nil {
+			subs = append(subs, sub)
+		} else if !errors.Is(err, ErrUnknownDeployment) {
+			t.Fatalf("Watch: %v", err)
+		}
+		<-done
+	}
+
+	// Every subscription Watch returned was registered when its Remove
+	// had not yet swept subscribers, so that Remove must have closed it.
+	for i, sub := range subs {
+		deadline := time.After(2 * time.Second)
+	drain:
+		for {
+			select {
+			case _, open := <-sub.Events():
+				if !open {
+					break drain
+				}
+			case <-deadline:
+				t.Fatalf("subscription %d orphaned: channel never closed", i)
+			}
+		}
 	}
 }
 

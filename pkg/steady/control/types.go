@@ -91,9 +91,10 @@ type Epoch struct {
 	// Delta lists the changes since the previous version; nil on the
 	// first epoch and when the platform topology changed (replace).
 	Delta *Delta `json:"delta,omitempty"`
-	// Resync marks a replay-gap copy: the subscriber's Last-Event-ID
-	// fell behind the retained history, so it received the current
-	// epoch in full and must discard incremental state.
+	// Resync marks an epoch the subscriber must take whole, discarding
+	// any incrementally-applied state: a replay-gap copy (its
+	// Last-Event-ID fell behind the retained history) or a replace
+	// whose new platform topology makes a delta impossible.
 	Resync bool `json:"resync,omitempty"`
 }
 

@@ -9,9 +9,11 @@ import (
 // stream. Events delivers epochs in version order; the channel closes
 // when the subscriber is evicted (its buffer overflowed — it must
 // resubscribe with its last seen version), when the deployment is
-// removed or replaced away, or when the Manager closes. Call Close
-// when done reading; it only deregisters, the channel is left to the
-// garbage collector.
+// removed, or when the Manager closes. A replace does not close the
+// stream: subscribers receive the replacement epoch, marked Resync
+// when the new platform's topology makes a delta impossible. Call
+// Close when done reading; it only deregisters, the channel is left
+// to the garbage collector.
 type Subscription struct {
 	d    *deployment
 	ch   chan *Epoch
@@ -48,13 +50,14 @@ func (m *Manager) Watch(id string, lastVersion uint64) (*Subscription, error) {
 		return nil, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.epoch == nil {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
 	}
-	if len(d.watched) >= m.cfg.MaxWatchers {
+	if n := len(d.watched); n >= m.cfg.MaxWatchers {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: deployment %q has %d watchers, limit %d",
-			ErrTooManyWatchers, id, len(d.watched), m.cfg.MaxWatchers)
+			ErrTooManyWatchers, id, n, m.cfg.MaxWatchers)
 	}
 
 	var pending []*Epoch
@@ -87,6 +90,22 @@ func (m *Manager) Watch(id string, lastVersion uint64) (*Subscription, error) {
 		sub.ch <- ep
 	}
 	d.watched[sub] = struct{}{}
+	d.mu.Unlock()
+
+	// Re-verify the registration: a Remove between lookup and the add
+	// above has already swept this deployment's subscribers, and a sub
+	// registered after that sweep would stream keepalives forever. Now
+	// that the sub is visible to Remove's sweep, a current registry
+	// entry proves any later Remove will close it. (m.mu is never taken
+	// while holding d.mu: Close holds m.mu across d.mu, so the inverse
+	// order can deadlock behind a pending writer.)
+	m.mu.RLock()
+	registered := m.deps[id] == d
+	m.mu.RUnlock()
+	if !registered {
+		sub.Close()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDeployment, id)
+	}
 	return sub, nil
 }
 

@@ -144,8 +144,10 @@ const watchKeepalive = 15 * time.Second
 // of the bounded history yields one full epoch marked "resync"
 // instead. A client that stops reading for a full buffer is evicted —
 // the stream ends and it must reconnect with Last-Event-ID. The
-// stream also ends when the deployment is removed or replaced by an
-// incompatible platform, or the server shuts down.
+// stream also ends when the deployment is removed or the server shuts
+// down; a replace keeps it open, delivering the replacement epoch —
+// marked "resync" (no delta) when the new platform's topology differs
+// from the old one.
 func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	last, err := watchResume(r)
 	if err != nil {
